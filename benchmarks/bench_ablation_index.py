@@ -1,0 +1,24 @@
+"""Ablation — kd-tree versus ball-tree bounding regions.
+
+The paper's framework is index-agnostic ("hierarchical index structures
+(e.g., kd-tree)"); this ablation measures whether enclosing balls (one
+sqrt per node, tighter on diagonal clusters) beat axis-aligned boxes
+(branchy but sqrt-free) for the QUAD bounds.
+"""
+
+import pytest
+
+from repro.methods.quad import QUADMethod
+
+from benchmarks.conftest import get_renderer
+
+INDEXES = ("kd", "ball")
+
+
+@pytest.mark.parametrize("index", INDEXES)
+def test_index_render_time(benchmark, index):
+    renderer = get_renderer("crime")
+    method = QUADMethod(index=index)
+    method.fit(renderer.points, renderer.kernel, renderer.gamma, renderer.weight)
+    benchmark.group = "ablation index (quad, crime, eps=0.01)"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, method), rounds=2, iterations=1)

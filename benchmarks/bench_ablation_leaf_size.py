@@ -1,0 +1,20 @@
+"""Ablation — kd-tree leaf capacity versus εKDV render time.
+
+Not in the paper (which fixes its index configuration); measures the
+trade-off between bound granularity (small leaves) and vectorised exact
+evaluation (large leaves) in this implementation.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+LEAF_SIZES = (32, 128, 512)
+
+
+@pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+def test_leaf_size_render_time(benchmark, leaf_size):
+    renderer = get_renderer("crime", leaf_size=leaf_size)
+    prepare(renderer, "quad")
+    benchmark.group = "ablation leaf size (quad, crime, eps=0.01)"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, "quad"), rounds=2, iterations=1)

@@ -1,0 +1,23 @@
+"""Ablation — best-first (bound-gap) versus FIFO refinement ordering.
+
+The paper's Table 3 prescribes popping the node with the largest bound
+gap; this ablation quantifies what that priority buys over breadth-first
+refinement.
+"""
+
+import pytest
+
+from repro.methods.quad import QUADMethod
+
+from benchmarks.conftest import get_renderer
+
+ORDERINGS = ("gap", "fifo")
+
+
+@pytest.mark.parametrize("ordering", ORDERINGS)
+def test_ordering_render_time(benchmark, ordering):
+    renderer = get_renderer("home")
+    method = QUADMethod(ordering=ordering)
+    method.fit(renderer.points, renderer.kernel, renderer.gamma, renderer.weight)
+    benchmark.group = "ablation ordering (quad, home, eps=0.01)"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, method), rounds=2, iterations=1)

@@ -1,0 +1,51 @@
+"""Ablation — Z-order curve-stratified sampling versus uniform sampling.
+
+Zheng et al. argue curve stratification lowers the estimator's variance
+on spatially clustered data; this ablation measures both the sampling
+cost and the resulting colour-map quality at equal sample size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_density
+from repro.sampling.random_sample import random_sample
+from repro.sampling.zorder_sample import zorder_sample
+from repro.visual.metrics import average_relative_error
+
+from benchmarks.conftest import get_renderer
+
+SAMPLERS = {
+    "zorder": lambda points, m: zorder_sample(points, m),
+    "uniform": lambda points, m: random_sample(points, m, seed=0),
+}
+
+
+@pytest.mark.parametrize("sampler", sorted(SAMPLERS))
+def test_sampling_cost(benchmark, sampler):
+    renderer = get_renderer("crime")
+    m = max(len(renderer.points) // 10, 10)
+    benchmark.group = "ablation sampling (crime, 10% sample)"
+    sample, multiplier = benchmark.pedantic(
+        SAMPLERS[sampler], args=(renderer.points, m), rounds=3, iterations=1
+    )
+    assert len(sample) * multiplier == pytest.approx(len(renderer.points), rel=0.01)
+
+
+def test_zorder_quality_not_worse_than_uniform():
+    """At equal sample size, the stratified sample's map error is
+    comparable to or better than uniform sampling's (variance claim)."""
+    renderer = get_renderer("crime")
+    points = renderer.points
+    centers = renderer.grid.centers()
+    exact = exact_density(points, centers, renderer.kernel, renderer.gamma, renderer.weight)
+    floor = 1e-6 * float(exact.max())
+    m = max(len(points) // 10, 10)
+    errors = {}
+    for name, sampler in SAMPLERS.items():
+        sample, multiplier = sampler(points, m)
+        approx = exact_density(
+            sample, centers, renderer.kernel, renderer.gamma, renderer.weight * multiplier
+        )
+        errors[name] = average_relative_error(approx, exact, floor=floor)
+    assert errors["zorder"] <= errors["uniform"] * 1.5

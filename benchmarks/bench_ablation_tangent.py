@@ -1,0 +1,24 @@
+"""Ablation — lower-bound tangent at the mean (t*, Equation 3) vs midpoint.
+
+The paper chooses t* = mean of the x_i without measuring the
+alternative; this ablation times both choices (and the engine work
+counters in ``python -m repro experiment ablation_tangent`` show the
+pruning difference directly).
+"""
+
+import pytest
+
+from repro.methods.quad import QUADMethod
+
+from benchmarks.conftest import get_renderer
+
+TANGENTS = ("mean", "midpoint")
+
+
+@pytest.mark.parametrize("tangent", TANGENTS)
+def test_tangent_render_time(benchmark, tangent):
+    renderer = get_renderer("home")
+    method = QUADMethod(tangent=tangent)
+    method.fit(renderer.points, renderer.kernel, renderer.gamma, renderer.weight)
+    benchmark.group = "ablation tangent (quad, home, eps=0.01)"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, method), rounds=2, iterations=1)

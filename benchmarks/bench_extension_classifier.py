@@ -1,0 +1,50 @@
+"""Extension — bound-accelerated kernel density classification.
+
+The application behind tKDC: exact argmax-class decisions with early
+termination once one class's lower bound clears the rivals' upper
+bounds. Timed against the brute-force class-density argmax.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernel_classifier import KernelClassifier
+
+from benchmarks.conftest import BENCH_N
+
+N_QUERIES = 40
+
+_models = {}
+
+
+def fitted_model():
+    if "model" not in _models:
+        rng = np.random.default_rng(0)
+        half = BENCH_N // 2
+        a = rng.normal(size=(half, 2))
+        b = rng.normal(size=(half, 2)) + [1.5, 0.5]
+        points = np.vstack([a, b])
+        labels = np.repeat([0, 1], half)
+        _models["model"] = (KernelClassifier().fit(points, labels), points)
+    return _models["model"]
+
+
+def test_classifier_bounded(benchmark):
+    model, points = fitted_model()
+    queries = points[:N_QUERIES]
+    benchmark.group = f"extension classifier ({N_QUERIES} queries)"
+    predictions = benchmark.pedantic(model.predict, args=(queries,), rounds=2, iterations=1)
+    assert len(predictions) == N_QUERIES
+
+
+def test_classifier_exact(benchmark):
+    model, points = fitted_model()
+    queries = points[:N_QUERIES]
+    benchmark.group = f"extension classifier ({N_QUERIES} queries)"
+    benchmark.pedantic(model.predict_exact, args=(queries,), rounds=2, iterations=1)
+
+
+def test_bounded_matches_exact():
+    model, points = fitted_model()
+    queries = points[: N_QUERIES * 2]
+    np.testing.assert_array_equal(model.predict(queries), model.predict_exact(queries))

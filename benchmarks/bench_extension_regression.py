@@ -1,0 +1,43 @@
+"""Extension — bound-accelerated kernel regression vs exact evaluation.
+
+The paper's stated future work ("apply QUAD to ... kernel regression"):
+times Nadaraya-Watson prediction through the bound-refinement engine
+against the brute-force estimator at equal accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernel_regression import KernelRegressor
+
+from benchmarks.conftest import BENCH_N
+
+N_QUERIES = 50
+
+_models = {}
+
+
+def fitted_model():
+    if "model" not in _models:
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-3, 3, size=(BENCH_N, 2))
+        y = np.sin(X[:, 0]) * np.cos(X[:, 1]) + rng.normal(0, 0.05, BENCH_N)
+        _models["model"] = (KernelRegressor().fit(X, y), X)
+    return _models["model"]
+
+
+def test_regression_bounded(benchmark):
+    model, X = fitted_model()
+    queries = X[:N_QUERIES]
+    benchmark.group = f"extension regression ({N_QUERIES} queries)"
+    predictions = benchmark.pedantic(
+        model.predict, args=(queries,), kwargs={"tol": 0.01}, rounds=2, iterations=1
+    )
+    assert np.all(np.isfinite(predictions))
+
+
+def test_regression_exact(benchmark):
+    model, X = fitted_model()
+    queries = X[:N_QUERIES]
+    benchmark.group = f"extension regression ({N_QUERIES} queries)"
+    benchmark.pedantic(model.predict_exact, args=(queries,), rounds=2, iterations=1)

@@ -1,0 +1,44 @@
+"""Extension — streaming KDV ingestion and mid-stream query latency."""
+
+import numpy as np
+import pytest
+
+from repro.visual.streaming import StreamingKDV
+
+from benchmarks.conftest import BENCH_N
+
+
+def build_stream(buffer_limit):
+    rng = np.random.default_rng(0)
+    stream = StreamingKDV(gamma=4.0, weight=1.0, buffer_limit=buffer_limit)
+    for __ in range(8):
+        stream.extend(rng.normal(size=(BENCH_N // 8, 2)))
+    return stream
+
+
+@pytest.mark.parametrize("buffer_limit", (512, 4096))
+def test_ingest_throughput(benchmark, buffer_limit):
+    rng = np.random.default_rng(1)
+    batches = [rng.normal(size=(BENCH_N // 8, 2)) for __ in range(8)]
+
+    def ingest():
+        stream = StreamingKDV(gamma=4.0, weight=1.0, buffer_limit=buffer_limit)
+        for batch in batches:
+            stream.extend(batch)
+        return stream
+
+    benchmark.group = "extension streaming ingest"
+    stream = benchmark.pedantic(ingest, rounds=2, iterations=1)
+    assert stream.total_points == BENCH_N
+
+
+def test_midstream_query_latency(benchmark):
+    stream = build_stream(buffer_limit=1024)
+    queries = np.random.default_rng(2).normal(size=(30, 2))
+
+    def run_queries():
+        return [stream.density_eps(q, eps=0.01) for q in queries]
+
+    benchmark.group = "extension streaming query (30 queries)"
+    values = benchmark.pedantic(run_queries, rounds=2, iterations=1)
+    assert all(np.isfinite(values))

@@ -1,0 +1,27 @@
+"""Figure 14 — εKDV response time varying ε (per method, per dataset).
+
+Paper result: QUAD is at least one order of magnitude faster than KARL,
+which beats aKDE and Z-order; EXACT and Scikit time out. Compare the
+per-method timings this harness records (grouped by dataset/ε).
+"""
+
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+METHODS = ("akde", "karl", "quad", "zorder")
+DATASETS = ("crime", "home")
+EPS_VALUES = (0.01, 0.05)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("method", METHODS)
+def test_eps_render_time(benchmark, dataset, eps, method):
+    renderer = get_renderer(dataset)
+    prepare(renderer, method)
+    benchmark.group = f"fig14 {dataset} eps={eps}"
+    image = benchmark.pedantic(
+        renderer.render_eps, args=(eps, method), rounds=2, iterations=1
+    )
+    assert image.shape == (renderer.grid.height, renderer.grid.width)

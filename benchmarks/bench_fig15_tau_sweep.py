@@ -1,0 +1,28 @@
+"""Figure 15 — τKDV response time varying τ (tKDC vs KARL vs QUAD).
+
+Paper result: QUAD at least one order of magnitude below tKDC and KARL
+at every threshold; τKDV is far cheaper than εKDV across the board.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+METHODS = ("tkdc", "karl", "quad")
+DATASETS = ("crime", "home")
+OFFSETS = (-0.2, 0.0, 0.2)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("offset", OFFSETS)
+@pytest.mark.parametrize("method", METHODS)
+def test_tau_render_time(benchmark, dataset, offset, method):
+    renderer = get_renderer(dataset)
+    prepare(renderer, method)
+    mu, sigma = renderer.density_stats()
+    tau = max(mu + offset * sigma, 1e-300)
+    benchmark.group = f"fig15 {dataset} tau=mu{offset:+.1f}s"
+    mask = benchmark.pedantic(
+        renderer.render_tau, args=(tau, method), rounds=2, iterations=1
+    )
+    assert mask.dtype == bool

@@ -1,0 +1,29 @@
+"""Figure 16 — εKDV response time varying the resolution (ε = 0.01).
+
+Paper result: time grows with pixel count for every method, but QUAD's
+lead is preserved at every resolution.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_RESOLUTION, get_renderer, prepare
+
+METHODS = ("akde", "karl", "quad")
+BASE_W, BASE_H = BENCH_RESOLUTION
+RESOLUTIONS = (
+    (max(BASE_W // 2, 4), max(BASE_H // 2, 3)),
+    (BASE_W, BASE_H),
+    (BASE_W * 2, BASE_H * 2),
+)
+
+
+@pytest.mark.parametrize("resolution", RESOLUTIONS, ids=lambda r: f"{r[0]}x{r[1]}")
+@pytest.mark.parametrize("method", METHODS)
+def test_resolution_render_time(benchmark, resolution, method):
+    renderer = get_renderer("crime", resolution=resolution)
+    prepare(renderer, method)
+    benchmark.group = f"fig16 crime {resolution[0]}x{resolution[1]}"
+    image = benchmark.pedantic(
+        renderer.render_eps, args=(0.01, method), rounds=2, iterations=1
+    )
+    assert image.size == resolution[0] * resolution[1]

@@ -1,0 +1,32 @@
+"""Figure 17 — response time varying the dataset size (hep dataset).
+
+Paper result: all methods grow roughly linearly in n, with QUAD's
+order-of-magnitude lead stable across sizes for both εKDV and τKDV.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N, get_renderer, prepare
+
+SIZES = (max(BENCH_N // 4, 500), BENCH_N, BENCH_N * 2)
+EPS_METHODS = ("akde", "karl", "quad")
+TAU_METHODS = ("tkdc", "quad")
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("method", EPS_METHODS)
+def test_eps_scalability(benchmark, n, method):
+    renderer = get_renderer("hep", n=n)
+    prepare(renderer, method)
+    benchmark.group = f"fig17a hep eps n={n}"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, method), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("method", TAU_METHODS)
+def test_tau_scalability(benchmark, n, method):
+    renderer = get_renderer("hep", n=n)
+    prepare(renderer, method)
+    mu, __ = renderer.density_stats()
+    benchmark.group = f"fig17b hep tau n={n}"
+    benchmark.pedantic(renderer.render_tau, args=(mu, method), rounds=2, iterations=1)

@@ -1,0 +1,38 @@
+"""Figure 18 — single-pixel refinement cost on the hottest pixel (home).
+
+Paper result: QUAD's bounds close in ~1/3 the iterations of KARL's on
+the densest pixel; this benchmark times exactly that single-pixel εKDV
+query and asserts the iteration ordering the figure shows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+
+def hottest_pixel(renderer):
+    exact = renderer.render_exact()
+    iy, ix = np.unravel_index(int(np.argmax(exact)), exact.shape)
+    return renderer.grid.pixel_center(ix, iy)
+
+
+@pytest.mark.parametrize("method", ("akde", "karl", "quad"))
+def test_hot_pixel_query_time(benchmark, method):
+    renderer = get_renderer("home")
+    fitted = prepare(renderer, method)
+    query = hottest_pixel(renderer)
+    benchmark.group = "fig18 home hottest pixel eps=0.01"
+    benchmark.pedantic(fitted.query_eps, args=(query, 0.01), rounds=5, iterations=2)
+
+
+def test_iteration_ordering_matches_figure():
+    """QUAD stops no later than KARL, which stops no later than aKDE."""
+    renderer = get_renderer("home")
+    query = hottest_pixel(renderer)
+    stops = {}
+    for method in ("akde", "karl", "quad"):
+        fitted = prepare(renderer, method)
+        __, trace = fitted.query_eps_traced(query, 0.01)
+        stops[method] = trace.iterations
+    assert stops["quad"] <= stops["karl"] <= stops["akde"]

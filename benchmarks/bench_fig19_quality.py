@@ -1,0 +1,28 @@
+"""Figure 19 — εKDV quality/time across methods (home, ε = 0.01).
+
+Paper result: all guarantee-carrying methods are visually identical to
+the exact map; the benchmark times each render and asserts the
+deterministic methods stay within the contract.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+from repro.visual.metrics import max_relative_error
+
+METHODS = ("exact", "akde", "karl", "quad", "zorder")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_quality_render(benchmark, method):
+    renderer = get_renderer("home")
+    prepare(renderer, method)
+    exact = renderer.render_exact()
+    benchmark.group = "fig19 home eps=0.01"
+    image = benchmark.pedantic(
+        renderer.render_eps, args=(0.01, method), rounds=2, iterations=1
+    )
+    if method != "zorder":
+        floor = 1e-6 * float(exact.max())
+        assert max_relative_error(image, exact, floor=floor) <= 0.011

@@ -1,0 +1,35 @@
+"""Figure 20 — progressive framework: pixels evaluated per fixed budget.
+
+Paper result: under the same time budget QUAD evaluates the most pixels,
+hence the lowest average relative error. Timed here as a fixed-pixel
+progressive run per method; the per-budget error series lives in
+``python -m repro experiment fig20``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_LEAF_SIZE, get_renderer
+from repro.visual.progressive import ProgressiveRenderer
+
+METHODS = ("exact", "akde", "karl", "quad")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_progressive_fixed_pixels(benchmark, method):
+    renderer = get_renderer("home")
+    progressive = ProgressiveRenderer(
+        renderer.points,
+        kernel=renderer.kernel,
+        gamma=renderer.gamma,
+        weight=renderer.weight,
+        method=method,
+        eps=0.01,
+        grid=renderer.grid,
+        leaf_size=BENCH_LEAF_SIZE,
+    )
+    budget = renderer.grid.num_pixels // 4
+    benchmark.group = f"fig20 home progressive {budget}px"
+    result = benchmark.pedantic(
+        progressive.run, kwargs={"max_pixels": budget}, rounds=2, iterations=1
+    )
+    assert result.pixels_evaluated >= budget

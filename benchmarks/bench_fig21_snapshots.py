@@ -1,0 +1,43 @@
+"""Figure 21 — QUAD progressive full-frame latency.
+
+Paper result: QUAD + progressive framework delivers a reasonable map by
+t = 0.5 s and the exact-resolution map soon after. This benchmark times
+the complete coarse-to-fine run (every pixel) and the first-quartile
+partial run that corresponds to the "reasonable" snapshot.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_LEAF_SIZE, get_renderer
+from repro.visual.progressive import ProgressiveRenderer
+
+
+def make_progressive():
+    renderer = get_renderer("home")
+    return ProgressiveRenderer(
+        renderer.points,
+        kernel=renderer.kernel,
+        gamma=renderer.gamma,
+        weight=renderer.weight,
+        method="quad",
+        eps=0.01,
+        grid=renderer.grid,
+        leaf_size=BENCH_LEAF_SIZE,
+    )
+
+
+def test_full_progressive_run(benchmark):
+    progressive = make_progressive()
+    benchmark.group = "fig21 home quad progressive"
+    result = benchmark.pedantic(progressive.run, rounds=2, iterations=1)
+    assert result.complete
+
+
+def test_quarter_progressive_run(benchmark):
+    progressive = make_progressive()
+    budget = progressive.grid.num_pixels // 4
+    benchmark.group = "fig21 home quad progressive"
+    result = benchmark.pedantic(
+        progressive.run, kwargs={"max_pixels": budget}, rounds=2, iterations=1
+    )
+    assert not result.complete or budget >= progressive.grid.num_pixels

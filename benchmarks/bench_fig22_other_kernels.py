@@ -1,0 +1,29 @@
+"""Figure 22 — εKDV time with triangular/cosine kernels (no KARL).
+
+Paper result: QUAD beats aKDE by at least an order of magnitude and
+Z-order especially at small ε; KARL cannot compete here at all
+(Section 5.1), which the capability test below pins down.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+from repro.errors import UnsupportedKernelError
+
+METHODS = ("akde", "zorder", "quad")
+KERNELS = ("triangular", "cosine")
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("method", METHODS)
+def test_other_kernel_eps_time(benchmark, kernel, method):
+    renderer = get_renderer("crime", kernel=kernel)
+    prepare(renderer, method)
+    benchmark.group = f"fig22 crime {kernel} eps=0.01"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, method), rounds=2, iterations=1)
+
+
+def test_karl_cannot_serve_distance_kernels():
+    renderer = get_renderer("crime", kernel="triangular")
+    with pytest.raises(UnsupportedKernelError):
+        renderer.get_method("karl")

@@ -1,0 +1,22 @@
+"""Figure 23 — τKDV time with triangular/cosine kernels (tKDC vs QUAD).
+
+Paper result: QUAD at least one order of magnitude ahead of tKDC at
+every threshold for both kernels.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+METHODS = ("tkdc", "quad")
+KERNELS = ("triangular", "cosine")
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("method", METHODS)
+def test_other_kernel_tau_time(benchmark, kernel, method):
+    renderer = get_renderer("crime", kernel=kernel)
+    prepare(renderer, method)
+    mu, __ = renderer.density_stats()
+    benchmark.group = f"fig23 crime {kernel} tau=mu"
+    benchmark.pedantic(renderer.render_tau, args=(mu, method), rounds=2, iterations=1)

@@ -1,0 +1,26 @@
+"""Figure 27 (appendix) — exponential kernel, εKDV and τKDV timings.
+
+Paper result: same shape as Figures 22-23 — QUAD leads by at least an
+order of magnitude; tKDC even times out on hep.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+
+@pytest.mark.parametrize("method", ("akde", "zorder", "quad"))
+def test_exponential_eps_time(benchmark, method):
+    renderer = get_renderer("crime", kernel="exponential")
+    prepare(renderer, method)
+    benchmark.group = "fig27 crime exponential eps=0.01"
+    benchmark.pedantic(renderer.render_eps, args=(0.01, method), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("method", ("tkdc", "quad"))
+def test_exponential_tau_time(benchmark, method):
+    renderer = get_renderer("crime", kernel="exponential")
+    prepare(renderer, method)
+    mu, __ = renderer.density_stats()
+    benchmark.group = "fig27 crime exponential tau=mu"
+    benchmark.pedantic(renderer.render_tau, args=(mu, method), rounds=2, iterations=1)

@@ -1,0 +1,58 @@
+"""Crime hotspot detection — the paper's motivating application.
+
+Reproduces the Figure 1 / Figure 2 workflow: given incident locations,
+(a) render the full density colour map, (b) sweep τKDV thresholds to
+extract hotspot masks at increasing strictness, and (c) compare how much
+cheaper the thresholded operation is than the full εKDV map.
+
+Run:
+    python examples/crime_hotspots.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import KDVRenderer, load_dataset
+from repro.visual.metrics import threshold_confusion
+
+
+def main():
+    points = load_dataset("crime", n=30_000, seed=1)
+    renderer = KDVRenderer(points, resolution=(160, 120))
+
+    # Full density map (the analyst's overview).
+    start = time.perf_counter()
+    density = renderer.render_eps(eps=0.01, method="quad")
+    eps_seconds = time.perf_counter() - start
+    renderer.save_density_png(density, "crime_density.png")
+    print(f"eKDV map: {eps_seconds:.2f}s -> crime_density.png")
+
+    # Threshold sweep: mu + k sigma for k in the paper's ladder.
+    mu, sigma = renderer.density_stats()
+    exact = renderer.render_exact()
+    print(f"\npixel-density stats: mu={mu:.3e}, sigma={sigma:.3e}")
+    print(f"{'threshold':>12} {'hot pixels':>10} {'tKDV time':>10} {'accuracy':>9}")
+    for k in (-0.2, 0.0, 0.2):
+        tau = mu + k * sigma
+        start = time.perf_counter()
+        mask = renderer.render_tau(tau, method="quad")
+        tau_seconds = time.perf_counter() - start
+        confusion = threshold_confusion(mask, exact >= tau)
+        label = f"mu{k:+.1f}sigma"
+        print(
+            f"{label:>12} {int(mask.sum()):>10} {tau_seconds:>9.2f}s "
+            f"{confusion['accuracy']:>9.4f}"
+        )
+        renderer.save_mask_png(mask, f"crime_hotspots_{label}.png")
+
+    # The hotspot masks agree with the exact classification exactly —
+    # tKDV's guarantee is deterministic — while costing a fraction of
+    # the full map.
+    hottest = np.unravel_index(int(np.argmax(exact)), exact.shape)
+    hot_center = renderer.grid.pixel_center(hottest[1], hottest[0])
+    print(f"\nhottest cell at data coords ({hot_center[0]:.4f}, {hot_center[1]:.4f})")
+
+
+if __name__ == "__main__":
+    main()

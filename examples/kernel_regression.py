@@ -1,0 +1,61 @@
+"""Kernel regression with QUAD bounds — the paper's future-work extension.
+
+Fits a Nadaraya-Watson regressor on noisy sensor-style data and shows
+that the bound-refinement engine reproduces the brute-force predictions
+within a deterministic tolerance while scanning a fraction of the data.
+
+Run:
+    python examples/kernel_regression.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.ml.kernel_regression import KernelRegressor
+
+
+def main():
+    rng = np.random.default_rng(0)
+    n = 30_000
+    # Sensor-calibration-style ground truth: smooth 2-D response surface.
+    X = rng.uniform(-3, 3, size=(n, 2))
+    truth = np.sin(X[:, 0]) * np.cos(0.5 * X[:, 1]) + 0.1 * X[:, 1]
+    y = truth + rng.normal(0, 0.1, n)
+
+    model = KernelRegressor(kernel="gaussian").fit(X, y)
+    queries = rng.uniform(-2.5, 2.5, size=(200, 2))
+
+    start = time.perf_counter()
+    exact = model.predict_exact(queries)
+    exact_seconds = time.perf_counter() - start
+
+    model.points_scanned = 0
+    start = time.perf_counter()
+    bounded = model.predict(queries, tol=0.01)
+    bounded_seconds = time.perf_counter() - start
+    scanned = model.points_scanned
+    full_scan = n * len(queries)
+
+    scale = float(np.max(np.abs(y)))
+    worst = float(np.max(np.abs(bounded - exact)))
+    print(f"n = {n}, {len(queries)} queries")
+    print(f"exact prediction:   {exact_seconds:.2f}s "
+          f"({full_scan:,} kernel evaluations)")
+    print(f"bounded prediction: {bounded_seconds:.2f}s, tol = 0.01 "
+          f"({scanned:,} kernel evaluations — "
+          f"{scanned / full_scan:.1%} of a full scan)")
+    print(f"worst |bounded - exact| = {worst:.4f} "
+          f"(guarantee: <= {0.01 * scale:.4f})")
+    print("(wall-clock note: the exact scan is one numpy matmul; the bound "
+          "engine's win is the pruned work, which a compiled backend "
+          "would convert to wall-clock speedup)")
+
+    rmse = float(np.sqrt(np.mean((bounded - (
+        np.sin(queries[:, 0]) * np.cos(0.5 * queries[:, 1]) + 0.1 * queries[:, 1]
+    )) ** 2)))
+    print(f"RMSE against the noise-free surface: {rmse:.4f}")
+
+
+if __name__ == "__main__":
+    main()

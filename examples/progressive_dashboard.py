@@ -1,0 +1,74 @@
+"""Progressive visualization — coarse-to-fine streaming (Section 6).
+
+Simulates the interactive dashboard use case: the analyst sees a full
+(if blocky) colour map almost immediately, and it sharpens continuously
+until they stop it. Snapshots are saved at a ladder of time budgets and
+an ASCII preview of each is printed, alongside the average relative
+error against the exact map — the paper's Figure 20/21 story.
+
+Run:
+    python examples/progressive_dashboard.py
+"""
+
+import numpy as np
+
+from repro import ProgressiveRenderer, load_dataset
+from repro.core.exact import exact_density
+from repro.visual.colormap import get_colormap
+from repro.visual.image import write_png
+from repro.visual.metrics import average_relative_error
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_preview(image, width=48, height=16):
+    """Downsample a density image to characters for terminal display."""
+    ys = np.linspace(0, image.shape[0] - 1, height).astype(int)
+    xs = np.linspace(0, image.shape[1] - 1, width).astype(int)
+    block = np.log1p(image[np.ix_(ys, xs)])
+    vmax = block.max() or 1.0
+    lines = []
+    for row in block[::-1]:  # flip so north is up
+        indices = (row / vmax * (len(ASCII_RAMP) - 1)).astype(int)
+        lines.append("".join(ASCII_RAMP[i] for i in indices))
+    return "\n".join(lines)
+
+
+def main():
+    points = load_dataset("home", n=25_000, seed=0)
+    progressive = ProgressiveRenderer(
+        points, resolution=(256, 192), method="quad", eps=0.01
+    )
+    budgets = (0.05, 0.2, 0.5, 2.0)
+    print(f"streaming a {progressive.grid.width}x{progressive.grid.height} map "
+          f"over {len(points)} points; snapshots at {budgets} seconds\n")
+    result = progressive.run(time_budget=max(budgets), snapshot_times=budgets)
+
+    exact = exact_density(
+        points,
+        progressive.grid.centers(),
+        progressive.kernel,
+        progressive.gamma,
+        progressive.weight,
+    ).reshape(progressive.grid.height, progressive.grid.width)
+    floor = 1e-6 * float(exact.max())
+
+    colormap = get_colormap("density")
+    for snapshot in result.snapshots:
+        error = average_relative_error(snapshot.image, exact, floor=floor)
+        coverage = snapshot.pixels_evaluated / progressive.grid.num_pixels
+        print(
+            f"t={snapshot.label:<5} pixels={snapshot.pixels_evaluated:>6} "
+            f"({coverage:6.1%})  avg rel error={error:.4f}"
+        )
+        print(ascii_preview(snapshot.image))
+        print()
+        write_png(
+            f"progressive_t{snapshot.label}.png",
+            colormap.apply(snapshot.image, log_scale=True),
+        )
+    print("snapshots saved as progressive_t*.png")
+
+
+if __name__ == "__main__":
+    main()

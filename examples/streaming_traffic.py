@@ -1,0 +1,76 @@
+"""Streaming traffic-incident monitoring — live KDV with exact guarantees.
+
+Simulates the traffic-hotspot monitoring scenario of the paper's Table 1:
+incident reports arrive in batches through a shift; after each batch the
+operator asks (a) the incident density at fixed sensor locations with an
+εKDV guarantee, and (b) whether any monitored junction has crossed the
+alert threshold (τKDV). The streaming estimator answers from a kd-tree
+over older arrivals plus an exactly-scanned buffer of recent ones, so
+every answer carries the full deterministic guarantee mid-stream.
+
+Run:
+    python examples/streaming_traffic.py
+"""
+
+import numpy as np
+
+from repro import StreamingKDV
+from repro.data.bandwidth import gamma_for_radius
+
+
+def incident_batch(rng, hour):
+    """Synthetic incidents: rush-hour hotspots drift through the day."""
+    n = rng.poisson(350)
+    # Two hotspots whose intensity shifts with the hour + background.
+    morning = np.array([2.0, 6.0])
+    evening = np.array([7.0, 2.5])
+    morning_share = max(0.0, 1.0 - hour / 6.0) * 0.5
+    evening_share = min(1.0, hour / 6.0) * 0.5
+    roles = rng.random(n)
+    points = np.empty((n, 2))
+    is_morning = roles < morning_share
+    is_evening = (roles >= morning_share) & (roles < morning_share + evening_share)
+    background = ~(is_morning | is_evening)
+    points[is_morning] = morning + rng.normal(0, 0.35, (int(is_morning.sum()), 2))
+    points[is_evening] = evening + rng.normal(0, 0.45, (int(is_evening.sum()), 2))
+    points[background] = rng.uniform(0, 9, (int(background.sum()), 2))
+    return points
+
+
+def main():
+    rng = np.random.default_rng(0)
+    gamma = gamma_for_radius(0.8, "gaussian")  # ~0.8 km influence radius
+    stream = StreamingKDV(
+        kernel="gaussian", gamma=gamma, weight=1.0, buffer_limit=1500
+    )
+    sensors = {
+        "junction-A (morning hub)": np.array([2.0, 6.0]),
+        "junction-B (evening hub)": np.array([7.0, 2.5]),
+        "suburb-C (control)": np.array([0.5, 0.5]),
+    }
+    alert_tau = 45.0  # incidents-equivalent density triggering an alert
+
+    print(f"{'hour':>4} {'total':>6} {'buffered':>8} {'rebuilds':>8}  densities / alerts")
+    for hour in range(9):
+        stream.extend(incident_batch(rng, hour))
+        readings = []
+        for name, location in sensors.items():
+            density = stream.density_eps(location, eps=0.01)
+            alert = stream.above_threshold(location, alert_tau)
+            flag = "ALERT" if alert else "ok"
+            readings.append(f"{name.split()[0]}={density:6.1f}[{flag}]")
+        print(
+            f"{hour:>4} {stream.total_points:>6} {stream.buffered_points:>8} "
+            f"{stream.rebuilds:>8}  " + "  ".join(readings)
+        )
+
+    # Verify one reading against the exact scan.
+    q = sensors["junction-B (evening hub)"]
+    approx = stream.density_eps(q, eps=0.01)
+    exact = stream.density_exact(q)
+    print(f"\nfinal junction-B: eps-answer {approx:.3f} vs exact {exact:.3f} "
+          f"(rel err {abs(approx - exact) / exact:.2e}, guarantee 1e-2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Enables ``python setup.py develop`` / legacy editable installs in offline
+environments that lack the ``wheel`` package required by PEP 517 editable
+builds. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""QUAD: Quadratic-Bound-based Kernel Density Visualization — reproduction.
+
+A from-scratch Python implementation of the SIGMOD 2020 paper by Chan,
+Cheng and Yiu: fast approximate (εKDV) and thresholded (τKDV) kernel
+density visualization via quadratic bounds on kernel aggregation
+functions, together with every compared baseline (EXACT, Scikit-like,
+Z-order sampling, aKDE, tKDC, KARL) and the progressive visualization
+framework.
+
+Quickstart
+----------
+>>> from repro import KernelDensity, KDVRenderer, load_dataset
+>>> points = load_dataset("crime", n=5000)
+>>> kde = KernelDensity(method="quad").fit(points)
+>>> renderer = KDVRenderer(points, resolution=(64, 48))
+>>> heatmap = renderer.render_eps(eps=0.01, method="quad")
+"""
+
+from repro.core.kde import KernelDensity
+from repro.core.kernels import available_kernels, get_kernel
+from repro.core.exact import exact_density
+from repro.data.bandwidth import scott_gamma
+from repro.data.synthetic import available_datasets, load_dataset
+from repro.compat import QuadKernelDensity
+from repro.methods.registry import available_methods, capability_table, create_method
+from repro.ml.kernel_classifier import KernelClassifier
+from repro.ml.kernel_regression import KernelRegressor
+from repro.visual.grid import PixelGrid
+from repro.visual.kdv import KDVRenderer
+from repro.visual.progressive import ProgressiveRenderer
+from repro.visual.streaming import StreamingKDV
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KernelDensity",
+    "KernelRegressor",
+    "KernelClassifier",
+    "StreamingKDV",
+    "QuadKernelDensity",
+    "KDVRenderer",
+    "ProgressiveRenderer",
+    "PixelGrid",
+    "exact_density",
+    "scott_gamma",
+    "get_kernel",
+    "available_kernels",
+    "create_method",
+    "available_methods",
+    "capability_table",
+    "load_dataset",
+    "available_datasets",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro`` / ``repro-kdv``.
+
+Subcommands
+-----------
+``render``
+    Render an εKDV or τKDV colour map of a synthetic dataset (or a CSV
+    file) to PNG.
+``experiment``
+    Run one of the paper's experiments and print its result table.
+``list``
+    Show the registered kernels, methods, datasets and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.kernels import available_kernels
+from repro.data.loaders import load_csv
+from repro.data.synthetic import available_datasets, load_dataset
+from repro.experiments.runner import available_experiments, run_experiment
+from repro.methods.registry import available_methods
+from repro.visual.kdv import KDVRenderer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    """The argparse parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kdv",
+        description="QUAD: quadratic-bound-based kernel density visualization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser("render", help="render a KDV colour map to PNG")
+    source = render.add_mutually_exclusive_group()
+    source.add_argument("--dataset", default="crime", help="synthetic dataset name")
+    source.add_argument("--csv", help="CSV file with one point per row")
+    render.add_argument("--n", type=int, default=10_000, help="synthetic dataset size")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--kernel", default="gaussian", choices=available_kernels())
+    render.add_argument("--method", default="quad", choices=available_methods())
+    render.add_argument("--width", type=int, default=320)
+    render.add_argument("--height", type=int, default=240)
+    render.add_argument("--eps", type=float, default=0.01, help="relative error (eKDV)")
+    render.add_argument(
+        "--tau-offset",
+        type=float,
+        default=None,
+        help="render a tKDV mask at tau = mu + OFFSET * sigma instead of eKDV",
+    )
+    render.add_argument("--out", default="kdv.png", help="output PNG path")
+    render.add_argument("--colormap", default="density")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=available_experiments() + ["all"],
+        help="experiment id, or 'all' to run every registered experiment",
+    )
+    experiment.add_argument("--scale", default="small")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--out-dir", default=None, help="save CSV/JSON here")
+
+    sub.add_parser("list", help="show registered components")
+    return parser
+
+
+def _command_render(args):
+    if args.csv:
+        points = load_csv(args.csv)
+    else:
+        points = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    renderer = KDVRenderer(
+        points, resolution=(args.width, args.height), kernel=args.kernel
+    )
+    if args.tau_offset is None:
+        image = renderer.render_eps(args.eps, args.method)
+        path = renderer.save_density_png(image, args.out, colormap=args.colormap)
+    else:
+        mu, sigma = renderer.density_stats()
+        tau = mu + args.tau_offset * sigma
+        mask = renderer.render_tau(tau, args.method)
+        path = renderer.save_mask_png(mask, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _command_experiment(args):
+    names = available_experiments() if args.name == "all" else [args.name]
+    for name in names:
+        result = run_experiment(
+            name, scale=args.scale, seed=args.seed, out_dir=args.out_dir
+        )
+        print(f"# {result.experiment}: {result.description}")
+        for key, value in result.metadata.items():
+            print(f"#   {key} = {value}")
+        print(result.to_table())
+        if args.out_dir:
+            print(f"# saved under {args.out_dir}")
+        print()
+    return 0
+
+
+def _command_list(args):
+    print("kernels:    ", ", ".join(available_kernels()))
+    print("methods:    ", ", ".join(available_methods()))
+    print("datasets:   ", ", ".join(available_datasets()))
+    print("experiments:", ", ".join(available_experiments()))
+    return 0
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "render": _command_render,
+        "experiment": _command_experiment,
+        "list": _command_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

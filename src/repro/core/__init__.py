@@ -1,0 +1,27 @@
+"""Core algorithmic layer: kernels, aggregates, bounds, refinement engine."""
+
+from repro.core.kernels import (
+    CosineKernel,
+    EpanechnikovKernel,
+    ExponentialKernel,
+    GaussianKernel,
+    Kernel,
+    QuarticKernel,
+    TriangularKernel,
+    available_kernels,
+    get_kernel,
+)
+from repro.core.kde import KernelDensity
+
+__all__ = [
+    "Kernel",
+    "GaussianKernel",
+    "TriangularKernel",
+    "CosineKernel",
+    "ExponentialKernel",
+    "EpanechnikovKernel",
+    "QuarticKernel",
+    "get_kernel",
+    "available_kernels",
+    "KernelDensity",
+]

@@ -1,0 +1,28 @@
+"""Lower/upper bound functions for per-node kernel sums.
+
+One provider per "camp" of the paper's comparison:
+
+* :class:`~repro.core.bounds.baseline.BaselineBoundProvider` — the
+  min/max-distance bounds used by aKDE, tKDC and Scikit-learn;
+* :class:`~repro.core.bounds.linear.LinearBoundProvider` — KARL's
+  chord/tangent linear bounds of ``exp(-x)`` (Gaussian only);
+* :class:`~repro.core.bounds.quadratic.QuadraticBoundProvider` — QUAD's
+  Gaussian quadratic bounds (the paper's Section 4);
+* :class:`~repro.core.bounds.quadratic_distance.DistanceQuadraticBoundProvider`
+  — QUAD's ``a x^2 + c`` bounds for the distance-based kernels (Section 5).
+"""
+
+from repro.core.bounds.base import BoundProvider, make_bound_provider
+from repro.core.bounds.baseline import BaselineBoundProvider
+from repro.core.bounds.linear import LinearBoundProvider
+from repro.core.bounds.quadratic import QuadraticBoundProvider
+from repro.core.bounds.quadratic_distance import DistanceQuadraticBoundProvider
+
+__all__ = [
+    "BoundProvider",
+    "BaselineBoundProvider",
+    "LinearBoundProvider",
+    "QuadraticBoundProvider",
+    "DistanceQuadraticBoundProvider",
+    "make_bound_provider",
+]

@@ -1,0 +1,145 @@
+"""Common protocol for per-node bound functions.
+
+A bound provider answers, for an index node ``R`` and a query pixel ``q``,
+an interval ``[LB_R(q), UB_R(q)]`` guaranteed to contain the node's true
+weighted kernel sum
+
+.. math::
+
+    F_R(q) = \\sum_{p_i \\in R} w \\cdot K(q, p_i)
+
+(the correctness condition of the paper's Section 3.1). The refinement
+engine is agnostic to which provider it runs — that is exactly the
+paper's experimental design, where methods differ only in their bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.kernels import get_kernel
+from repro.errors import UnsupportedKernelError
+from repro.utils.validation import check_positive
+
+__all__ = ["BoundProvider", "make_bound_provider"]
+
+
+class BoundProvider(ABC):
+    """Computes ``(LB, UB)`` for the weighted kernel sum of a node.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name or :class:`~repro.core.kernels.Kernel` instance.
+    gamma:
+        Positive bandwidth parameter of the kernel.
+    weight:
+        Per-point weight ``w`` of the kernel aggregation.
+
+    Subclasses declare :attr:`supported_kernels` (a frozenset of kernel
+    names, or ``None`` for "any kernel") and implement
+    :meth:`node_bounds`.
+    """
+
+    name = "abstract"
+    supported_kernels = None
+
+    def __init__(self, kernel, gamma, weight=1.0):
+        self.kernel = get_kernel(kernel)
+        self.gamma = check_positive(gamma, "gamma")
+        self.weight = check_positive(weight, "weight")
+        if (
+            self.supported_kernels is not None
+            and self.kernel.name not in self.supported_kernels
+        ):
+            supported = ", ".join(sorted(self.supported_kernels))
+            raise UnsupportedKernelError(
+                f"{type(self).__name__} supports only [{supported}] kernels, "
+                f"got {self.kernel.name!r}"
+            )
+
+    @abstractmethod
+    def node_bounds(self, node, q, q_sq):
+        """Return ``(lb, ub)`` bounding the node's weighted kernel sum.
+
+        Parameters
+        ----------
+        node:
+            A :class:`~repro.index.kdtree.KDTreeNode`.
+        q:
+            Query coordinates as a plain list of floats (hot path).
+        q_sq:
+            Precomputed squared norm ``||q||^2``.
+        """
+
+    def leaf_exact(self, node, q_array, q_sq):
+        """Exact weighted kernel sum over a leaf node, vectorised.
+
+        Parameters
+        ----------
+        node:
+            A leaf :class:`~repro.index.kdtree.KDTreeNode`.
+        q_array:
+            Query as a 1-D numpy array.
+        q_sq:
+            Precomputed ``||q||^2``.
+        """
+        sq_dists = node.sq_norms - 2.0 * (node.points @ q_array) + q_sq
+        np.maximum(sq_dists, 0.0, out=sq_dists)
+        values = self.kernel.evaluate(sq_dists, self.gamma)
+        if node.weights is not None:
+            return self.weight * float(np.dot(values, node.weights))
+        return self.weight * float(values.sum())
+
+    def x_interval(self, node, q):
+        """The scaled-distance interval ``[xmin, xmax]`` of a node.
+
+        Derived from the min/max distance between ``q`` and the node's
+        bounding rectangle, in the kernel's ``x`` units (``gamma * d**2``
+        for squared-distance kernels, ``gamma * d`` otherwise).
+        """
+        min_sq = node.rect.min_sq_dist(q)
+        max_sq = node.rect.max_sq_dist(q)
+        if self.kernel.uses_squared_distance:
+            return self.gamma * min_sq, self.gamma * max_sq
+        return self.gamma * math.sqrt(min_sq), self.gamma * math.sqrt(max_sq)
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(kernel={self.kernel.name!r}, "
+            f"gamma={self.gamma!r}, weight={self.weight!r})"
+        )
+
+
+def make_bound_provider(name, kernel, gamma, weight=1.0, **options):
+    """Factory mapping a provider name to an instance.
+
+    Recognised names: ``"baseline"``, ``"linear"`` (KARL) and ``"quad"``
+    (this paper; dispatches between the Gaussian O(d^2) bounds and the
+    distance-kernel O(d) bounds automatically). Extra keyword ``options``
+    go to the provider constructor (e.g. ``tangent`` for the Gaussian
+    quadratic bounds' ablation knob).
+    """
+    from repro.core.bounds.baseline import BaselineBoundProvider
+    from repro.core.bounds.linear import LinearBoundProvider
+    from repro.core.bounds.quadratic import QuadraticBoundProvider
+    from repro.core.bounds.quadratic_distance import DistanceQuadraticBoundProvider
+
+    kernel = get_kernel(kernel)
+    key = str(name).lower()
+    if key == "baseline":
+        return BaselineBoundProvider(kernel, gamma, weight, **options)
+    if key == "linear":
+        return LinearBoundProvider(kernel, gamma, weight, **options)
+    if key == "quad":
+        if kernel.uses_squared_distance:
+            return QuadraticBoundProvider(kernel, gamma, weight, **options)
+        return DistanceQuadraticBoundProvider(kernel, gamma, weight, **options)
+    from repro.errors import UnknownNameError
+
+    raise UnknownNameError(
+        f"unknown bound provider {name!r}; expected 'baseline', 'linear' or 'quad'"
+    )

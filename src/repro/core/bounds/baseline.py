@@ -1,0 +1,40 @@
+"""Min/max-distance bounds — the aKDE / tKDC / Scikit-learn camp.
+
+Because every kernel profile ``k(x)`` in this library is non-increasing
+on ``x >= 0``, the scaled-distance interval ``[xmin, xmax]`` of a node
+immediately yields (the paper's Equations 5-6, generalised):
+
+.. math::
+
+    LB_R(q) = w \\, |R| \\, k(x_{max}), \\qquad
+    UB_R(q) = w \\, |R| \\, k(x_{min})
+
+These bounds are evaluated in O(d) time for any kernel but are loose —
+they ignore how the points are distributed inside the rectangle — which
+is exactly the weakness QUAD's quadratic bounds attack.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds.base import BoundProvider
+
+__all__ = ["BaselineBoundProvider"]
+
+
+class BaselineBoundProvider(BoundProvider):
+    """Bounds from the extreme distances to the node rectangle only.
+
+    Supports every kernel (used by aKDE, tKDC and the Scikit-like
+    method in the comparison of the paper's Table 6).
+    """
+
+    name = "baseline"
+    supported_kernels = None
+
+    def node_bounds(self, node, q, q_sq):
+        xmin, xmax = self.x_interval(node, q)
+        scale = self.weight * node.agg.total_weight
+        if scale <= 0.0:
+            return 0.0, 0.0
+        profile = self.kernel.profile_scalar
+        return scale * profile(xmax), scale * profile(xmin)

@@ -1,0 +1,269 @@
+"""Kernel functions used by kernel density visualization.
+
+The paper evaluates the kernel density function (its Equations 1 and 4)
+
+.. math::
+
+    F_P(q) = \\sum_{p_i \\in P} w \\cdot K(q, p_i)
+
+for several kernels ``K``. Every kernel in this module is expressed
+through a one-dimensional *profile* ``k(x)`` of a scaled distance ``x``:
+
+* the Gaussian kernel uses the **squared** distance,
+  ``x_i = gamma * dist(q, p_i)**2`` and ``k(x) = exp(-x)``;
+* the triangular, cosine and exponential kernels (the paper's Table 4)
+  use the plain distance, ``x_i = gamma * dist(q, p_i)``.
+
+All profiles are non-increasing on ``x >= 0`` and bounded by ``k(0) = 1``,
+two facts the bound functions rely on. The Epanechnikov and quartic
+kernels are extensions beyond the paper (both appear in QGIS/Scikit-learn,
+which the paper cites as KDV providers); they are flagged as such in their
+docstrings and are supported by the baseline bounds and by exact
+aggregation, see :mod:`repro.core.bounds.quadratic_distance`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import UnknownNameError
+
+__all__ = [
+    "Kernel",
+    "GaussianKernel",
+    "TriangularKernel",
+    "CosineKernel",
+    "ExponentialKernel",
+    "EpanechnikovKernel",
+    "QuarticKernel",
+    "get_kernel",
+    "available_kernels",
+    "KERNEL_REGISTRY",
+]
+
+
+class Kernel(ABC):
+    """A kernel function ``K(q, p) = k(x)`` of a scaled distance ``x``.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"gaussian"``).
+    uses_squared_distance:
+        ``True`` when ``x = gamma * dist(q, p)**2`` (Gaussian), ``False``
+        when ``x = gamma * dist(q, p)`` (all other kernels).
+    in_paper:
+        Whether the QUAD paper itself evaluates this kernel. Extension
+        kernels set this to ``False``.
+    """
+
+    name = "abstract"
+    uses_squared_distance = False
+    in_paper = True
+
+    @abstractmethod
+    def profile(self, x):
+        """Evaluate the profile ``k(x)`` element-wise for ``x >= 0``.
+
+        Accepts and returns scalars or numpy arrays.
+        """
+
+    @abstractmethod
+    def profile_scalar(self, x):
+        """Scalar fast path of :meth:`profile` (plain ``float`` maths).
+
+        The refinement engine calls bounds hundreds of thousands of times;
+        avoiding numpy scalar overhead here matters.
+        """
+
+    @property
+    def support_xmax(self):
+        """The ``x`` beyond which the profile is exactly zero.
+
+        ``math.inf`` for kernels with unbounded support.
+        """
+        return math.inf
+
+    def x_from_distance(self, dist, gamma):
+        """Map a Euclidean distance (scalar or array) to the profile input."""
+        if self.uses_squared_distance:
+            return gamma * dist * dist
+        return gamma * dist
+
+    def evaluate(self, sq_dists, gamma):
+        """Kernel values from **squared** Euclidean distances, vectorised.
+
+        Parameters
+        ----------
+        sq_dists:
+            Array of squared distances ``dist(q, p_i)**2``.
+        gamma:
+            Positive bandwidth parameter.
+        """
+        sq_dists = np.asarray(sq_dists, dtype=np.float64)
+        if self.uses_squared_distance:
+            x = gamma * sq_dists
+        else:
+            x = gamma * np.sqrt(sq_dists)
+        return self.profile(x)
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class GaussianKernel(Kernel):
+    """``K(q, p) = exp(-gamma * dist(q, p)**2)`` — the paper's Equation 1."""
+
+    name = "gaussian"
+    uses_squared_distance = True
+
+    def profile(self, x):
+        return np.exp(-np.asarray(x, dtype=np.float64))
+
+    def profile_scalar(self, x):
+        return math.exp(-x)
+
+
+class ExponentialKernel(Kernel):
+    """``K(q, p) = exp(-gamma * dist(q, p))`` (Table 4, row 3)."""
+
+    name = "exponential"
+
+    def profile(self, x):
+        return np.exp(-np.asarray(x, dtype=np.float64))
+
+    def profile_scalar(self, x):
+        return math.exp(-x)
+
+
+class TriangularKernel(Kernel):
+    """``K(q, p) = max(1 - gamma * dist(q, p), 0)`` (Table 4, row 1)."""
+
+    name = "triangular"
+
+    @property
+    def support_xmax(self):
+        return 1.0
+
+    def profile(self, x):
+        return np.maximum(1.0 - np.asarray(x, dtype=np.float64), 0.0)
+
+    def profile_scalar(self, x):
+        return 1.0 - x if x < 1.0 else 0.0
+
+
+class CosineKernel(Kernel):
+    """``K(q, p) = cos(gamma * dist(q, p))`` when within ``pi / (2 gamma)``.
+
+    Zero outside that radius (Table 4, row 2).
+    """
+
+    name = "cosine"
+
+    @property
+    def support_xmax(self):
+        return math.pi / 2.0
+
+    def profile(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x <= math.pi / 2.0, np.cos(np.minimum(x, math.pi / 2.0)), 0.0)
+
+    def profile_scalar(self, x):
+        return math.cos(x) if x <= math.pi / 2.0 else 0.0
+
+
+class EpanechnikovKernel(Kernel):
+    """``K(q, p) = max(1 - (gamma * dist(q, p))**2, 0)``.
+
+    **Extension kernel** (not evaluated in the QUAD paper, available in
+    Scikit-learn). Its node aggregate is *exact* in O(d) time because the
+    profile is itself a quadratic in ``x``; see
+    :class:`repro.core.bounds.quadratic_distance.DistanceQuadraticBoundProvider`.
+    """
+
+    name = "epanechnikov"
+    in_paper = False
+
+    @property
+    def support_xmax(self):
+        return 1.0
+
+    def profile(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.maximum(1.0 - x * x, 0.0)
+
+    def profile_scalar(self, x):
+        return 1.0 - x * x if x < 1.0 else 0.0
+
+
+class QuarticKernel(Kernel):
+    """``K(q, p) = max((1 - (gamma * dist)**2)**2, 0)`` (biweight).
+
+    **Extension kernel** (QGIS heatmap's default shape family). Exact in
+    O(d^2) via the fourth-moment aggregate when the node is fully inside
+    the support.
+    """
+
+    name = "quartic"
+    in_paper = False
+
+    @property
+    def support_xmax(self):
+        return 1.0
+
+    def profile(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        inside = np.maximum(1.0 - x * x, 0.0)
+        return inside * inside
+
+    def profile_scalar(self, x):
+        if x >= 1.0:
+            return 0.0
+        inside = 1.0 - x * x
+        return inside * inside
+
+
+#: Registry of kernel name -> singleton instance.
+KERNEL_REGISTRY = {
+    kernel.name: kernel
+    for kernel in (
+        GaussianKernel(),
+        TriangularKernel(),
+        CosineKernel(),
+        ExponentialKernel(),
+        EpanechnikovKernel(),
+        QuarticKernel(),
+    )
+}
+
+
+def get_kernel(kernel):
+    """Resolve ``kernel`` (name or instance) to a :class:`Kernel`.
+
+    Raises
+    ------
+    UnknownNameError
+        If a string name is not registered.
+    """
+    if isinstance(kernel, Kernel):
+        return kernel
+    try:
+        return KERNEL_REGISTRY[str(kernel).lower()]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_REGISTRY))
+        raise UnknownNameError(
+            f"unknown kernel {kernel!r}; available kernels: {known}"
+        ) from None
+
+
+def available_kernels(*, paper_only=False):
+    """Return the sorted list of registered kernel names."""
+    names = (
+        name
+        for name, kernel in KERNEL_REGISTRY.items()
+        if kernel.in_paper or not paper_only
+    )
+    return sorted(names)

@@ -1,0 +1,34 @@
+"""Datasets, bandwidth selection and loading utilities."""
+
+from repro.data.bandwidth import (
+    cv_bandwidth,
+    scott_bandwidth,
+    scott_gamma,
+    silverman_bandwidth,
+)
+from repro.data.synthetic import (
+    available_datasets,
+    crime_like,
+    elnino_like,
+    hep_like,
+    home_like,
+    load_dataset,
+)
+from repro.data.loaders import load_csv, save_csv
+from repro.data.projection import pca_project
+
+__all__ = [
+    "scott_gamma",
+    "cv_bandwidth",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "elnino_like",
+    "crime_like",
+    "home_like",
+    "hep_like",
+    "load_dataset",
+    "available_datasets",
+    "load_csv",
+    "save_csv",
+    "pca_project",
+]

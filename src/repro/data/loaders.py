@@ -1,0 +1,83 @@
+"""CSV load/save helpers so users can run the library on their own data.
+
+The format is deliberately minimal: one point per row, coordinates as
+comma-separated floats, optional single header row (auto-detected).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.validation import check_points
+
+__all__ = ["load_csv", "save_csv"]
+
+
+def _is_float(token):
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def load_csv(path, *, columns=None, delimiter=","):
+    """Load points from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        File path.
+    columns:
+        Optional iterable of column indices to keep (e.g. ``(1, 2)`` for
+        latitude/longitude); defaults to all columns.
+    delimiter:
+        Field separator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Point array of shape ``(n, d)``.
+    """
+    path = Path(path)
+    rows = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for index, row in enumerate(reader):
+            row = [token.strip() for token in row if token.strip() != ""]
+            if not row:
+                continue
+            if index == 0 and not all(_is_float(token) for token in row):
+                continue  # header row
+            if not all(_is_float(token) for token in row):
+                raise InvalidParameterError(
+                    f"{path}: non-numeric value in data row {index + 1}: {row!r}"
+                )
+            rows.append([float(token) for token in row])
+    if not rows:
+        raise InvalidParameterError(f"{path}: no data rows found")
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise InvalidParameterError(f"{path}: inconsistent column counts {sorted(widths)}")
+    array = np.asarray(rows, dtype=np.float64)
+    if columns is not None:
+        columns = list(columns)
+        array = array[:, columns]
+    return check_points(array)
+
+
+def save_csv(path, points, *, header=None, delimiter=","):
+    """Write a point array to CSV (optionally with a header row)."""
+    points = check_points(points)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if header is not None:
+            writer.writerow(list(header))
+        writer.writerows(points.tolist())
+    return path

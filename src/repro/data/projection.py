@@ -1,0 +1,44 @@
+"""PCA projection used by the dimensionality sweep (paper Section 7.7).
+
+The paper follows KARL/tKDC in varying dataset dimensionality via PCA.
+This is a from-scratch implementation on the covariance eigendecomposition
+— no external ML dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.validation import check_points
+
+__all__ = ["pca_project"]
+
+
+def pca_project(points, dims):
+    """Project points onto their top ``dims`` principal components.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)`` with ``d >= dims``.
+    dims:
+        Target dimensionality (``1 <= dims <= d``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Projected points of shape ``(n, dims)``, centred, components
+        ordered by decreasing explained variance.
+    """
+    points = check_points(points, min_rows=2)
+    dims = int(dims)
+    if dims < 1 or dims > points.shape[1]:
+        raise InvalidParameterError(
+            f"dims must be in [1, {points.shape[1]}], got {dims}"
+        )
+    centred = points - points.mean(axis=0)
+    covariance = (centred.T @ centred) / (points.shape[0] - 1)
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1][:dims]
+    return centred @ eigenvectors[:, order]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch every library failure with a single ``except`` clause while
+still distinguishing specific failure modes when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain.
+
+    Raised, for example, for a non-positive bandwidth parameter ``gamma``,
+    a relative error ``eps <= 0``, or an empty point set.
+    """
+
+
+class UnsupportedKernelError(ReproError, ValueError):
+    """A method was asked to use a kernel it cannot bound.
+
+    The paper's Table 6 and Section 5.1 spell out which method supports
+    which kernel; for instance KARL's linear bounds require the Gaussian
+    kernel's squared-distance aggregate and cannot serve the triangular,
+    cosine or exponential kernels in :math:`O(d)` time.
+    """
+
+
+class UnsupportedOperationError(ReproError, ValueError):
+    """A method was asked for an operation it does not implement.
+
+    For example, tKDC answers threshold (tau) queries only, and Scikit's
+    kd-tree traversal answers approximate (eps) queries only.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method was used before :meth:`fit` was called."""
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A registry lookup (kernel, method, dataset, experiment) failed."""

@@ -1,0 +1,29 @@
+"""Experiment harness reproducing every table and figure of Section 7.
+
+Each ``figNN_*`` module exposes ``run(scale=..., seed=...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows are the
+series the corresponding paper figure plots. ``repro.experiments.runner``
+holds the registry; the CLI (``python -m repro``) drives it.
+"""
+
+from repro.experiments.common import (
+    SCALE_PRESETS,
+    ExperimentResult,
+    ScalePreset,
+    get_scale,
+)
+from repro.experiments.runner import (
+    EXPERIMENT_REGISTRY,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ScalePreset",
+    "SCALE_PRESETS",
+    "get_scale",
+    "EXPERIMENT_REGISTRY",
+    "available_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,134 @@
+"""Ablation studies of QUAD's design choices (beyond the paper's figures).
+
+DESIGN.md calls out four design decisions the paper fixes without
+measurement; each gets its own experiment here:
+
+* ``tangent`` — the lower-bound tangent point ``t* = mean(x_i)``
+  (Equation 3) versus the naive interval midpoint;
+* ``ordering`` — best-first (bound-gap priority, the paper's Table 3)
+  versus FIFO (breadth-first) node refinement;
+* ``leaf`` — kd-tree leaf capacity;
+* ``tightness`` — average per-node bound-gap ratios between the three
+  bound families (quantifying Sections 4.2-4.3's "tighter than" claims).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import make_bound_provider
+from repro.data.bandwidth import scott_gamma
+from repro.data.synthetic import load_dataset
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import eps_row, make_renderer, strip_private
+from repro.index.kdtree import KDTree
+from repro.methods.quad import QUADMethod
+from repro.visual.kdv import KDVRenderer
+
+__all__ = ["run_tangent", "run_ordering", "run_leaf_size", "run_tightness"]
+
+
+def run_tangent(scale="small", seed=0, dataset="home", eps=0.01):
+    """Mean versus midpoint tangent for the Gaussian lower bound."""
+    scale = get_scale(scale)
+    points = load_dataset(dataset, n=scale.n_points, seed=seed)
+    rows = []
+    for tangent in ("mean", "midpoint"):
+        renderer = KDVRenderer(points, resolution=scale.resolution)
+        method = QUADMethod(tangent=tangent)
+        rows.append(eps_row(renderer, method, eps, tangent=tangent, dataset=dataset))
+    return ExperimentResult(
+        experiment="ablation_tangent",
+        description="QUAD Gaussian lower bound: tangent at mean vs midpoint",
+        rows=strip_private(rows),
+        metadata={"scale": scale.name, "seed": seed, "dataset": dataset, "eps": eps},
+    )
+
+
+def run_ordering(scale="small", seed=0, dataset="home", eps=0.01):
+    """Best-first (gap) versus FIFO refinement order."""
+    scale = get_scale(scale)
+    points = load_dataset(dataset, n=scale.n_points, seed=seed)
+    rows = []
+    for ordering in ("gap", "fifo"):
+        renderer = KDVRenderer(points, resolution=scale.resolution, ordering=ordering)
+        rows.append(eps_row(renderer, "quad", eps, ordering=ordering, dataset=dataset))
+    return ExperimentResult(
+        experiment="ablation_ordering",
+        description="refinement order: bound-gap priority vs FIFO",
+        rows=strip_private(rows),
+        metadata={"scale": scale.name, "seed": seed, "dataset": dataset, "eps": eps},
+    )
+
+
+def run_leaf_size(scale="small", seed=0, dataset="crime", eps=0.01, leaf_sizes=(16, 64, 256, 1024)):
+    """kd-tree leaf capacity sweep."""
+    scale = get_scale(scale)
+    rows = []
+    for leaf_size in leaf_sizes:
+        renderer = make_renderer(
+            dataset, scale.n_points, scale.resolution, seed=seed, leaf_size=leaf_size
+        )
+        rows.append(eps_row(renderer, "quad", eps, leaf_size=leaf_size, dataset=dataset))
+    return ExperimentResult(
+        experiment="ablation_leaf",
+        description="kd-tree leaf capacity vs eKDV time",
+        rows=strip_private(rows),
+        metadata={"scale": scale.name, "seed": seed, "dataset": dataset, "eps": eps},
+    )
+
+
+def run_tightness(scale="small", seed=0, dataset="home", kernel="gaussian", samples=30):
+    """Per-node bound-gap ratios: quad vs linear vs baseline.
+
+    Quantifies the theorem-level claims: gap(QUAD) <= gap(KARL) <=
+    gap(baseline) per node, reporting mean/median gap ratios over random
+    query-node pairs.
+    """
+    scale = get_scale(scale)
+    points = load_dataset(dataset, n=scale.n_points, seed=seed)
+    gamma = scott_gamma(points, kernel)
+    tree = KDTree(points, leaf_size=256)
+    provider_names = (
+        ("baseline", "linear", "quad") if kernel == "gaussian" else ("baseline", "quad")
+    )
+    providers = {
+        name: make_bound_provider(name, kernel, gamma, 1.0) for name in provider_names
+    }
+    rng = np.random.default_rng(seed)
+    gaps = {name: [] for name in providers}
+    for __ in range(samples):
+        query = points[rng.integers(points.shape[0])]
+        q_list = query.tolist()
+        q_sq = float(query @ query)
+        for node in tree.nodes():
+            for name, provider in providers.items():
+                lb, ub = provider.node_bounds(node, q_list, q_sq)
+                gaps[name].append(ub - lb)
+    arrays = {name: np.asarray(values) for name, values in gaps.items()}
+    baseline = arrays["baseline"]
+    keep = baseline > 1e-18
+    rows = []
+    for name, values in arrays.items():
+        ratio = values[keep] / baseline[keep]
+        rows.append(
+            {
+                "provider": name,
+                "mean_gap_ratio_vs_baseline": float(ratio.mean()),
+                "median_gap_ratio_vs_baseline": float(np.median(ratio)),
+                "kernel": kernel,
+                "dataset": dataset,
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation_tightness",
+        description="per-node bound gap ratios across bound families",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "dataset": dataset,
+            "kernel": kernel,
+            "samples": samples,
+        },
+    )

@@ -1,0 +1,259 @@
+"""Shared experiment infrastructure: scale presets, timing, result tables.
+
+The paper runs on 0.17M-7M points at up to 2560 x 1920 pixels in C++;
+this pure-Python reproduction uses scaled-down presets chosen so every
+experiment finishes on a laptop while preserving the comparisons' shape.
+Every experiment takes a ``scale`` argument so a patient user can re-run
+closer to paper scale (``"large"``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from pathlib import Path
+
+from repro.errors import UnknownNameError
+
+__all__ = [
+    "ScalePreset",
+    "SCALE_PRESETS",
+    "get_scale",
+    "ExperimentResult",
+    "timed",
+    "format_table",
+]
+
+
+class ScalePreset:
+    """A bundle of experiment sizes.
+
+    Attributes
+    ----------
+    name:
+        Preset name.
+    n_points:
+        Default dataset size.
+    resolution:
+        Default ``(width, height)`` pixel grid.
+    eps_values:
+        The relative errors swept by the εKDV experiments (the paper
+        sweeps 0.01-0.05).
+    tau_offsets:
+        Threshold offsets ``k`` of ``tau = mu + k * sigma`` (the paper's
+        seven values, Section 7.2).
+    size_sweep:
+        Dataset sizes for the scalability experiment (Figure 17).
+    resolution_sweep:
+        Grids for the resolution experiment (Figure 16).
+    dims_sweep:
+        Dimensionalities for the KDE throughput experiment (Figure 24).
+    """
+
+    __slots__ = (
+        "name",
+        "n_points",
+        "resolution",
+        "eps_values",
+        "tau_offsets",
+        "size_sweep",
+        "resolution_sweep",
+        "dims_sweep",
+    )
+
+    def __init__(
+        self,
+        name,
+        n_points,
+        resolution,
+        eps_values,
+        tau_offsets,
+        size_sweep,
+        resolution_sweep,
+        dims_sweep,
+    ):
+        self.name = name
+        self.n_points = n_points
+        self.resolution = resolution
+        self.eps_values = list(eps_values)
+        self.tau_offsets = list(tau_offsets)
+        self.size_sweep = list(size_sweep)
+        self.resolution_sweep = list(resolution_sweep)
+        self.dims_sweep = list(dims_sweep)
+
+    def __repr__(self):
+        return f"ScalePreset({self.name!r}, n={self.n_points}, res={self.resolution})"
+
+
+_FULL_EPS = (0.01, 0.02, 0.03, 0.04, 0.05)
+_FULL_TAU = (-0.3, -0.2, -0.1, 0.0, 0.1, 0.2, 0.3)
+
+#: Presets: "smoke" keeps the full test suite fast; "small" is the
+#: default for the benchmark harness; "medium"/"large" approach paper
+#: shape at increasing cost.
+SCALE_PRESETS = {
+    "smoke": ScalePreset(
+        name="smoke",
+        n_points=1_500,
+        resolution=(16, 12),
+        eps_values=(0.01, 0.05),
+        tau_offsets=(-0.2, 0.0, 0.2),
+        size_sweep=(500, 1_000, 1_500),
+        resolution_sweep=((8, 6), (16, 12)),
+        dims_sweep=(2, 4),
+    ),
+    "small": ScalePreset(
+        name="small",
+        n_points=8_000,
+        resolution=(40, 30),
+        eps_values=_FULL_EPS,
+        tau_offsets=_FULL_TAU,
+        size_sweep=(2_000, 4_000, 6_000, 8_000),
+        resolution_sweep=((20, 15), (40, 30), (80, 60)),
+        dims_sweep=(2, 4, 6),
+    ),
+    "medium": ScalePreset(
+        name="medium",
+        n_points=40_000,
+        resolution=(96, 72),
+        eps_values=_FULL_EPS,
+        tau_offsets=_FULL_TAU,
+        size_sweep=(10_000, 20_000, 30_000, 40_000),
+        resolution_sweep=((24, 18), (48, 36), (96, 72), (192, 144)),
+        dims_sweep=(2, 4, 6, 8, 10),
+    ),
+    "large": ScalePreset(
+        name="large",
+        n_points=150_000,
+        resolution=(160, 120),
+        eps_values=_FULL_EPS,
+        tau_offsets=_FULL_TAU,
+        size_sweep=(25_000, 75_000, 125_000, 150_000),
+        resolution_sweep=((40, 30), (80, 60), (160, 120), (320, 240)),
+        dims_sweep=(2, 4, 6, 8, 10),
+    ),
+}
+
+
+def get_scale(scale):
+    """Resolve a preset name or instance to a :class:`ScalePreset`."""
+    if isinstance(scale, ScalePreset):
+        return scale
+    try:
+        return SCALE_PRESETS[str(scale).lower()]
+    except KeyError:
+        known = ", ".join(sorted(SCALE_PRESETS))
+        raise UnknownNameError(f"unknown scale {scale!r}; available: {known}") from None
+
+
+def timed(callable_, *args, **kwargs):
+    """Run ``callable_`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = callable_(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def format_table(rows, columns=None):
+    """Format dict-rows as an aligned text table.
+
+    Heterogeneous rows are supported: the default column set is the
+    union of all row keys in first-seen order, with ``-`` for holes.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [
+        [_format_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class ExperimentResult:
+    """Rows plus metadata of one experiment run.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier (e.g. ``"fig14"``).
+    description:
+        One-line statement of what the paper figure shows.
+    rows:
+        List of dicts, one per plotted point/series entry.
+    metadata:
+        Scale, seed, and any experiment-specific settings.
+    """
+
+    def __init__(self, experiment, description, rows, metadata=None):
+        self.experiment = experiment
+        self.description = description
+        self.rows = list(rows)
+        self.metadata = dict(metadata or {})
+
+    def to_table(self, columns=None):
+        """Aligned text table of the rows."""
+        return format_table(self.rows, columns)
+
+    def save(self, out_dir):
+        """Write ``<experiment>.csv`` and ``<experiment>.json`` under a dir."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        json_path = out_dir / f"{self.experiment}.json"
+        payload = {
+            "experiment": self.experiment,
+            "description": self.description,
+            "metadata": self.metadata,
+            "rows": self.rows,
+        }
+        json_path.write_text(json.dumps(payload, indent=2, default=str))
+        csv_path = out_dir / f"{self.experiment}.csv"
+        if self.rows:
+            # Rows may be heterogeneous (e.g. eps rows and tau rows in the
+            # same experiment); the header is the union in first-seen order.
+            columns = []
+            for row in self.rows:
+                for key in row:
+                    if key not in columns:
+                        columns.append(key)
+            with csv_path.open("w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+                writer.writeheader()
+                writer.writerows(self.rows)
+        return json_path, csv_path
+
+    def filter(self, **matches):
+        """Rows whose columns equal every given value."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in matches.items())
+        ]
+
+    def __repr__(self):
+        return f"ExperimentResult({self.experiment!r}, rows={len(self.rows)})"

@@ -1,0 +1,43 @@
+"""Figure 14 — εKDV response time versus relative error ε.
+
+The paper sweeps ε from 0.01 to 0.05 on all four datasets at 1280 x 960
+and shows QUAD at least one order of magnitude below KARL, with aKDE and
+Z-order above. This module regenerates those series (time plus work
+counters) at a configurable scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import (
+    DATASETS,
+    EPS_METHODS,
+    eps_row,
+    make_renderer,
+    strip_private,
+)
+
+__all__ = ["run"]
+
+
+def run(scale="small", seed=0, datasets=DATASETS, methods=EPS_METHODS):
+    """Run the ε sweep; one row per (dataset, method, eps)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)
+        for eps in scale.eps_values:
+            for method in methods:
+                rows.append(eps_row(renderer, method, eps, dataset=dataset))
+    return ExperimentResult(
+        experiment="fig14",
+        description="eKDV response time varying the relative error eps",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "n": scale.n_points,
+            "resolution": list(scale.resolution),
+            "kernel": "gaussian",
+        },
+    )

@@ -1,0 +1,45 @@
+"""Figure 16 — εKDV response time varying the screen resolution.
+
+The paper fixes ε = 0.01 and renders at 320 x 240 up to 2560 x 1920;
+QUAD's advantage holds at every resolution. Resolutions here are scaled
+down proportionally per preset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import (
+    DATASETS,
+    EPS_METHODS,
+    eps_row,
+    make_renderer,
+    strip_private,
+)
+
+__all__ = ["run"]
+
+
+def run(scale="small", seed=0, datasets=DATASETS, methods=EPS_METHODS, eps=0.01):
+    """Run the resolution sweep; one row per (dataset, method, grid)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for resolution in scale.resolution_sweep:
+            renderer = make_renderer(dataset, scale.n_points, resolution, seed=seed)
+            label = f"{resolution[0]}x{resolution[1]}"
+            for method in methods:
+                rows.append(
+                    eps_row(renderer, method, eps, dataset=dataset, resolution=label)
+                )
+    return ExperimentResult(
+        experiment="fig16",
+        description="eKDV response time varying the resolution (eps = 0.01)",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "n": scale.n_points,
+            "eps": eps,
+            "kernel": "gaussian",
+        },
+    )

@@ -1,0 +1,49 @@
+"""Figure 17 — response time varying the dataset size (hep dataset).
+
+The paper samples the 7M-point hep dataset down to 1M/3M/5M/7M and runs
+(a) εKDV with ε = 0.01 and (b) τKDV with τ = µ; QUAD wins by an order of
+magnitude at every size. This module runs the same two sweeps over the
+preset's size ladder.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import (
+    EPS_METHODS,
+    TAU_METHODS,
+    eps_row,
+    make_renderer,
+    strip_private,
+    tau_row,
+)
+
+__all__ = ["run"]
+
+
+def run(scale="small", seed=0, dataset="hep", eps=0.01):
+    """Run both size sweeps; rows carry an ``operation`` column."""
+    scale = get_scale(scale)
+    rows = []
+    for n in scale.size_sweep:
+        renderer = make_renderer(dataset, n, scale.resolution, seed=seed)
+        for method in EPS_METHODS:
+            row = eps_row(renderer, method, eps, dataset=dataset, n=n, operation="eps")
+            rows.append(row)
+        mu, __ = renderer.density_stats()
+        for method in TAU_METHODS:
+            rows.append(
+                tau_row(renderer, method, mu, "mu", dataset=dataset, n=n, operation="tau")
+            )
+    return ExperimentResult(
+        experiment="fig17",
+        description="response time varying the dataset size (eps = 0.01, tau = mu)",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "dataset": dataset,
+            "resolution": list(scale.resolution),
+            "kernel": "gaussian",
+        },
+    )

@@ -1,0 +1,45 @@
+"""Figure 22 — εKDV time for the triangular and cosine kernels.
+
+KARL's linear bounds cannot serve these kernels (Section 5.1), so the
+line-up is EXACT-free: aKDE, Z-order and QUAD on the crime and hep
+datasets, sweeping ε. QUAD's O(d) distance-kernel bounds keep it at
+least an order of magnitude ahead of aKDE in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import eps_row, make_renderer, strip_private
+
+__all__ = ["run"]
+
+_METHODS = ("akde", "zorder", "quad")
+_KERNELS = ("triangular", "cosine")
+_DATASETS = ("crime", "hep")
+
+
+def run(scale="small", seed=0, datasets=_DATASETS, kernels=_KERNELS, methods=_METHODS):
+    """One row per (dataset, kernel, method, eps)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for kernel in kernels:
+            renderer = make_renderer(
+                dataset, scale.n_points, scale.resolution, kernel=kernel, seed=seed
+            )
+            for eps in scale.eps_values:
+                for method in methods:
+                    rows.append(
+                        eps_row(renderer, method, eps, dataset=dataset, kernel=kernel)
+                    )
+    return ExperimentResult(
+        experiment="fig22",
+        description="eKDV response time for triangular/cosine kernels",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "n": scale.n_points,
+            "resolution": list(scale.resolution),
+        },
+    )

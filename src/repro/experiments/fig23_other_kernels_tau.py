@@ -1,0 +1,48 @@
+"""Figure 23 — τKDV time for the triangular and cosine kernels.
+
+tKDC versus QUAD on crime and hep, sweeping τ over ``mu + k sigma``;
+QUAD's tighter distance-kernel bounds keep its order-of-magnitude lead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import make_renderer, strip_private, tau_row
+
+__all__ = ["run"]
+
+_METHODS = ("tkdc", "quad")
+_KERNELS = ("triangular", "cosine")
+_DATASETS = ("crime", "hep")
+
+
+def run(scale="small", seed=0, datasets=_DATASETS, kernels=_KERNELS, methods=_METHODS):
+    """One row per (dataset, kernel, method, tau offset)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for kernel in kernels:
+            renderer = make_renderer(
+                dataset, scale.n_points, scale.resolution, kernel=kernel, seed=seed
+            )
+            mu, sigma = renderer.density_stats()
+            for offset in scale.tau_offsets:
+                tau = max(mu + offset * sigma, 1e-300)
+                label = f"mu{offset:+.1f}sigma"
+                for method in methods:
+                    rows.append(
+                        tau_row(
+                            renderer, method, tau, label, dataset=dataset, kernel=kernel
+                        )
+                    )
+    return ExperimentResult(
+        experiment="fig23",
+        description="tKDV response time for triangular/cosine kernels",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "n": scale.n_points,
+            "resolution": list(scale.resolution),
+        },
+    )

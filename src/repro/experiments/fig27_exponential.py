@@ -1,0 +1,52 @@
+"""Figure 27 (appendix 9.7) — exponential kernel, εKDV and τKDV.
+
+The paper's appendix repeats the other-kernel efficiency experiments for
+the exponential kernel on crime and hep: aKDE/Z-order/QUAD for ε, and
+tKDC/QUAD for τ (tKDC times out entirely on hep in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale
+from repro.experiments.workload import eps_row, make_renderer, strip_private, tau_row
+
+__all__ = ["run"]
+
+_EPS_METHODS = ("akde", "zorder", "quad")
+_TAU_METHODS = ("tkdc", "quad")
+_DATASETS = ("crime", "hep")
+
+
+def run(scale="small", seed=0, datasets=_DATASETS):
+    """Both sweeps with kernel = exponential; ``operation`` column set."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        renderer = make_renderer(
+            dataset, scale.n_points, scale.resolution, kernel="exponential", seed=seed
+        )
+        for eps in scale.eps_values:
+            for method in _EPS_METHODS:
+                rows.append(
+                    eps_row(renderer, method, eps, dataset=dataset, operation="eps")
+                )
+        mu, sigma = renderer.density_stats()
+        for offset in scale.tau_offsets:
+            tau = max(mu + offset * sigma, 1e-300)
+            label = f"mu{offset:+.1f}sigma"
+            for method in _TAU_METHODS:
+                rows.append(
+                    tau_row(renderer, method, tau, label, dataset=dataset, operation="tau")
+                )
+    return ExperimentResult(
+        experiment="fig27",
+        description="exponential kernel: eKDV and tKDV response times",
+        rows=strip_private(rows),
+        metadata={
+            "scale": scale.name,
+            "seed": seed,
+            "n": scale.n_points,
+            "resolution": list(scale.resolution),
+            "kernel": "exponential",
+        },
+    )

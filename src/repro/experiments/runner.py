@@ -1,0 +1,62 @@
+"""Experiment registry and orchestration."""
+
+from __future__ import annotations
+
+from repro.errors import UnknownNameError
+from repro.experiments import ablations
+from repro.experiments import (
+    fig02_illustration,
+    fig14_eps_time,
+    fig15_tau_time,
+    fig16_resolution,
+    fig17_scalability,
+    fig18_tightness,
+    fig19_quality,
+    fig20_progressive_error,
+    fig21_progressive_snapshots,
+    fig22_other_kernels_eps,
+    fig23_other_kernels_tau,
+    fig24_dimensionality,
+    fig27_exponential,
+)
+
+__all__ = ["EXPERIMENT_REGISTRY", "available_experiments", "run_experiment"]
+
+#: Experiment id -> callable(scale=..., seed=..., **kwargs) -> ExperimentResult.
+EXPERIMENT_REGISTRY = {
+    "fig02": fig02_illustration.run,
+    "fig14": fig14_eps_time.run,
+    "fig15": fig15_tau_time.run,
+    "fig16": fig16_resolution.run,
+    "fig17": fig17_scalability.run,
+    "fig18": fig18_tightness.run,
+    "fig19": fig19_quality.run,
+    "fig20": fig20_progressive_error.run,
+    "fig21": fig21_progressive_snapshots.run,
+    "fig22": fig22_other_kernels_eps.run,
+    "fig23": fig23_other_kernels_tau.run,
+    "fig24": fig24_dimensionality.run,
+    "fig27": fig27_exponential.run,
+    "ablation_tangent": ablations.run_tangent,
+    "ablation_ordering": ablations.run_ordering,
+    "ablation_leaf": ablations.run_leaf_size,
+    "ablation_tightness": ablations.run_tightness,
+}
+
+
+def available_experiments():
+    """Sorted experiment identifiers."""
+    return sorted(EXPERIMENT_REGISTRY)
+
+
+def run_experiment(name, scale="small", seed=0, out_dir=None, **kwargs):
+    """Run one experiment by id, optionally saving its result files."""
+    try:
+        runner = EXPERIMENT_REGISTRY[str(name).lower()]
+    except KeyError:
+        known = ", ".join(available_experiments())
+        raise UnknownNameError(f"unknown experiment {name!r}; available: {known}") from None
+    result = runner(scale=scale, seed=seed, **kwargs)
+    if out_dir is not None:
+        result.save(out_dir)
+    return result

@@ -1,0 +1,105 @@
+"""Workload builders shared by the figure experiments.
+
+Every efficiency experiment measures the *online* stage the way the
+paper does: the index/sample build is offline (the renderer caches
+fitted methods), and each measured row is one full colour-map render.
+Rows carry both wall-clock seconds and the hardware-neutral work
+counters (kernel point evaluations and bound evaluations), because pure
+Python wall-clock compresses constant-factor differences that the
+paper's C++ makes visible.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import load_dataset
+from repro.experiments.common import timed
+from repro.visual.kdv import KDVRenderer
+
+__all__ = [
+    "make_renderer",
+    "eps_row",
+    "tau_row",
+    "EPS_METHODS",
+    "TAU_METHODS",
+    "DATASETS",
+    "DEFAULT_LEAF_SIZE",
+]
+
+#: The εKDV competitor line-up of Figures 14, 16, 17a and 22.
+EPS_METHODS = ("akde", "karl", "quad", "zorder")
+#: The τKDV competitor line-up of Figures 15, 17b, 23 and 27.
+TAU_METHODS = ("tkdc", "karl", "quad")
+#: The paper's four datasets (Table 5), as synthetic analogues.
+DATASETS = ("elnino", "crime", "home", "hep")
+#: Leaf capacity used by the experiments (ablated separately).
+DEFAULT_LEAF_SIZE = 256
+
+
+def make_renderer(dataset, n, resolution, kernel="gaussian", seed=0, leaf_size=DEFAULT_LEAF_SIZE):
+    """A :class:`KDVRenderer` over a synthetic dataset analogue."""
+    points = load_dataset(dataset, n=n, seed=seed)
+    return KDVRenderer(points, resolution=resolution, kernel=kernel, leaf_size=leaf_size)
+
+
+def _work_columns(method):
+    """Engine counters of an indexed method, or sampling cost for Z-order."""
+    stats = getattr(method, "stats", None)
+    if stats is not None:
+        return {
+            "iterations": stats.iterations,
+            "node_evaluations": stats.node_evaluations,
+            "point_evaluations": stats.point_evaluations,
+        }
+    return {"iterations": None, "node_evaluations": None, "point_evaluations": None}
+
+
+def eps_row(renderer, method_name, eps, **extra):
+    """Render one εKDV colour map and return the measurement row.
+
+    ``method_name`` may also be a pre-built
+    :class:`~repro.methods.base.Method` instance (the ablations use
+    customised QUAD variants).
+    """
+    method = renderer.get_method(method_name)
+    stats = getattr(method, "stats", None)
+    if stats is not None:
+        stats.reset()
+    image, seconds = timed(renderer.render_eps, eps, method)
+    row = {
+        "method": method.name,
+        "eps": eps,
+        "seconds": round(seconds, 6),
+    }
+    row.update(_work_columns(method))
+    if method.name == "zorder":
+        sample, __ = method.sample_for(eps)
+        row["point_evaluations"] = sample.shape[0] * renderer.grid.num_pixels
+    row.update(extra)
+    row["_image"] = image
+    return row
+
+
+def tau_row(renderer, method_name, tau, tau_label, **extra):
+    """Render one τKDV mask and return the measurement row."""
+    method = renderer.get_method(method_name)
+    stats = getattr(method, "stats", None)
+    if stats is not None:
+        stats.reset()
+    mask, seconds = timed(renderer.render_tau, tau, method)
+    row = {
+        "method": method.name,
+        "tau": tau_label,
+        "seconds": round(seconds, 6),
+    }
+    row.update(_work_columns(method))
+    row.update(extra)
+    row["_mask"] = mask
+    return row
+
+
+def strip_private(rows):
+    """Drop the in-memory image/mask columns before tabulating/saving."""
+    cleaned = []
+    for row in rows:
+        cleaned.append({k: v for k, v in row.items() if not k.startswith("_")})
+    return cleaned

@@ -1,0 +1,7 @@
+"""Hierarchical spatial index (kd-tree) with per-node bound aggregates."""
+
+from repro.index.rectangle import Rectangle
+from repro.index.kdtree import KDTree, KDTreeNode
+from repro.index.balltree import Ball, BallTree
+
+__all__ = ["Rectangle", "KDTree", "KDTreeNode", "Ball", "BallTree"]

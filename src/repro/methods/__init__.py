@@ -1,0 +1,50 @@
+"""The compared KDV methods (the paper's Table 6).
+
+Each class couples the shared indexing framework with one camp's bound
+functions (or, for EXACT / Z-order, no index at all):
+
+========  ===========================================  =====  =====
+name      technique                                    εKDV   τKDV
+========  ===========================================  =====  =====
+exact     sequential scan                              yes    yes
+scikit    kd-tree, min/max-distance bounds             yes    no
+zorder    Z-order curve sampling + EXACT on sample     yes*   no
+akde      kd-tree, min/max-distance bounds             yes    no
+tkdc      kd-tree, min/max-distance bounds + τ prune   no     yes
+karl      kd-tree, linear bounds (Gaussian only)       yes    yes
+quad      kd-tree, quadratic bounds (this paper)       yes    yes
+========  ===========================================  =====  =====
+
+(*) probabilistic guarantee; all others deterministic.
+"""
+
+from repro.methods.base import IndexedMethod, Method
+from repro.methods.exact_method import ExactMethod
+from repro.methods.akde import AKDEMethod
+from repro.methods.tkdc import TKDCMethod
+from repro.methods.scikit_like import ScikitLikeMethod
+from repro.methods.karl import KARLMethod
+from repro.methods.quad import QUADMethod
+from repro.methods.zorder import ZOrderMethod
+from repro.methods.registry import (
+    METHOD_REGISTRY,
+    available_methods,
+    capability_table,
+    create_method,
+)
+
+__all__ = [
+    "Method",
+    "IndexedMethod",
+    "ExactMethod",
+    "AKDEMethod",
+    "TKDCMethod",
+    "ScikitLikeMethod",
+    "KARLMethod",
+    "QUADMethod",
+    "ZOrderMethod",
+    "create_method",
+    "available_methods",
+    "capability_table",
+    "METHOD_REGISTRY",
+]

@@ -1,0 +1,22 @@
+"""aKDE — Gray & Moore's dual-bound approximate KDE (SDM 2003).
+
+The original bound-based εKDV method: kd-tree traversal with the
+min/max-distance bounds of
+:class:`~repro.core.bounds.baseline.BaselineBoundProvider`. Supports
+every kernel, εKDV only (Table 6).
+"""
+
+from __future__ import annotations
+
+from repro.methods.base import IndexedMethod
+
+__all__ = ["AKDEMethod"]
+
+
+class AKDEMethod(IndexedMethod):
+    """kd-tree εKDV with min/max-distance bounds."""
+
+    name = "akde"
+    provider_name = "baseline"
+    supports_eps = True
+    supports_tau = False

@@ -1,0 +1,232 @@
+"""Method abstraction: fit points once, answer εKDV / τKDV queries.
+
+A :class:`Method` mirrors how the paper structures its comparison — an
+offline stage (index build / pre-sampling) followed by an online stage
+(per-pixel queries). Capability flags encode Table 6; asking a method
+for an operation or kernel it does not support raises immediately rather
+than silently falling back.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.engine import RefinementEngine
+from repro.core.kernels import get_kernel
+from repro.errors import (
+    NotFittedError,
+    UnsupportedKernelError,
+    UnsupportedOperationError,
+)
+from repro.index.kdtree import DEFAULT_LEAF_SIZE, KDTree
+from repro.utils.validation import check_points, check_positive
+
+__all__ = ["Method", "IndexedMethod"]
+
+
+class Method(ABC):
+    """A KDV solution method (offline fit + online queries).
+
+    Class attributes
+    ----------------
+    name:
+        Registry name.
+    supports_eps / supports_tau:
+        Which operations the method implements (the paper's Table 6).
+    supported_kernels:
+        Frozenset of kernel names, or ``None`` for all kernels.
+    deterministic_guarantee:
+        ``False`` only for the sampling camp (Z-order).
+    """
+
+    name = "abstract"
+    supports_eps = True
+    supports_tau = True
+    supported_kernels = None
+    deterministic_guarantee = True
+
+    def __init__(self):
+        self.points = None
+        self.kernel = None
+        self.gamma = None
+        self.weight = None
+        self.point_weights = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def fit(self, points, kernel="gaussian", gamma=1.0, weight=1.0, point_weights=None):
+        """Run the offline stage on a dataset.
+
+        Parameters
+        ----------
+        points:
+            Data points of shape ``(n, d)``.
+        kernel:
+            Kernel name or instance.
+        gamma:
+            Positive kernel bandwidth parameter.
+        weight:
+            Global per-point weight ``w``.
+        point_weights:
+            Optional non-negative per-point weights ``w_i`` (the
+            re-weighted-sample form of the paper's footnote 5). Methods
+            that cannot honour them raise
+            :class:`~repro.errors.UnsupportedOperationError`.
+
+        Returns
+        -------
+        Method
+            ``self``, for chaining.
+        """
+        kernel = get_kernel(kernel)
+        if self.supported_kernels is not None and kernel.name not in self.supported_kernels:
+            supported = ", ".join(sorted(self.supported_kernels))
+            raise UnsupportedKernelError(
+                f"method {self.name!r} supports only [{supported}] kernels, "
+                f"got {kernel.name!r}"
+            )
+        self.points = check_points(points)
+        self.kernel = kernel
+        self.gamma = check_positive(gamma, "gamma")
+        self.weight = check_positive(weight, "weight")
+        if point_weights is not None:
+            import numpy as np
+
+            point_weights = np.asarray(point_weights, dtype=np.float64).reshape(-1)
+        self.point_weights = point_weights
+        self._fit_impl()
+        return self
+
+    @abstractmethod
+    def _fit_impl(self):
+        """Method-specific offline work (index build, sampling, ...)."""
+
+    def _require_fitted(self):
+        if self.points is None:
+            raise NotFittedError(f"method {self.name!r} must be fitted before querying")
+
+    def _require(self, operation):
+        self._require_fitted()
+        supported = self.supports_eps if operation == "eps" else self.supports_tau
+        if not supported:
+            raise UnsupportedOperationError(
+                f"method {self.name!r} does not support {operation}KDV "
+                "(see the paper's Table 6)"
+            )
+
+    # -- online queries ------------------------------------------------------
+
+    def batch_eps(self, queries, eps, *, atol=0.0):
+        """εKDV over many query points; returns densities ``(m,)``."""
+        self._require("eps")
+        queries = check_points(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+        return self._batch_eps_impl(queries, eps, atol)
+
+    def batch_tau(self, queries, tau):
+        """τKDV over many query points; returns booleans ``(m,)``."""
+        self._require("tau")
+        queries = check_points(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+        return self._batch_tau_impl(queries, tau)
+
+    def query_eps(self, query, eps, *, atol=0.0):
+        """εKDV for a single point."""
+        return float(self.batch_eps(np.atleast_2d(query), eps, atol=atol)[0])
+
+    def query_tau(self, query, tau):
+        """τKDV for a single point."""
+        return bool(self.batch_tau(np.atleast_2d(query), tau)[0])
+
+    @abstractmethod
+    def _batch_eps_impl(self, queries, eps, atol):
+        """Answer validated εKDV batches."""
+
+    @abstractmethod
+    def _batch_tau_impl(self, queries, tau):
+        """Answer validated τKDV batches."""
+
+    def __repr__(self):
+        fitted = "fitted" if self.points is not None else "unfitted"
+        return f"{type(self).__name__}({fitted})"
+
+
+class IndexedMethod(Method):
+    """Shared implementation of the bound-based camp.
+
+    Subclasses set :attr:`provider_name` to pick their bound functions;
+    everything else — tree build, refinement loop, statistics — is
+    identical across aKDE, tKDC, KARL and QUAD, matching the paper's
+    "same framework, different bounds" experimental design.
+    """
+
+    provider_name = "baseline"
+
+    def __init__(self, leaf_size=DEFAULT_LEAF_SIZE, ordering="gap", index="kd"):
+        super().__init__()
+        if index not in ("kd", "ball"):
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(f"index must be 'kd' or 'ball', got {index!r}")
+        self.leaf_size = leaf_size
+        self.ordering = ordering
+        self.index = index
+        self.provider_options = {}
+        self.tree = None
+        self.engine = None
+
+    def _fit_impl(self):
+        from repro.core.bounds import make_bound_provider
+
+        if self.index == "ball":
+            from repro.index.balltree import BallTree
+
+            self.tree = BallTree(
+                self.points, leaf_size=self.leaf_size, weights=self.point_weights
+            )
+        else:
+            self.tree = KDTree(
+                self.points, leaf_size=self.leaf_size, weights=self.point_weights
+            )
+        provider = make_bound_provider(
+            self.provider_name,
+            self.kernel,
+            self.gamma,
+            self.weight,
+            **self.provider_options,
+        )
+        self.engine = RefinementEngine(self.tree, provider, ordering=self.ordering)
+
+    @property
+    def stats(self):
+        """Engine counters (iterations, node/leaf evaluations)."""
+        self._require_fitted()
+        return self.engine.stats
+
+    def _batch_eps_impl(self, queries, eps, atol):
+        engine = self.engine
+        out = np.empty(queries.shape[0], dtype=np.float64)
+        for index in range(queries.shape[0]):
+            out[index] = engine.query_eps(queries[index], eps, atol=atol)
+        return out
+
+    def _batch_tau_impl(self, queries, tau):
+        engine = self.engine
+        out = np.empty(queries.shape[0], dtype=bool)
+        for index in range(queries.shape[0]):
+            out[index] = engine.query_tau(queries[index], tau)
+        return out
+
+    def query_eps_traced(self, query, eps, *, atol=0.0):
+        """εKDV for one point, returning ``(value, BoundTrace)``.
+
+        Instrumentation for the tightness case study (Figure 18).
+        """
+        from repro.core.engine import BoundTrace
+
+        self._require("eps")
+        trace = BoundTrace()
+        value = self.engine.query_eps(
+            np.asarray(query, dtype=np.float64), eps, atol=atol, trace=trace
+        )
+        return value, trace

@@ -1,0 +1,45 @@
+"""EXACT — the sequential-scan reference method.
+
+No index, no pruning: every query scans every point (vectorised in
+chunks). It answers both operations trivially — εKDV by returning the
+exact value, τKDV by comparing it to the threshold — and serves as the
+ground truth for the quality experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.exact import exact_density
+from repro.methods.base import Method
+
+__all__ = ["ExactMethod"]
+
+
+class ExactMethod(Method):
+    """Brute-force exact evaluation (the paper's EXACT)."""
+
+    name = "exact"
+    supports_eps = True
+    supports_tau = True
+
+    def _fit_impl(self):
+        pass  # no offline stage
+
+    def density(self, queries):
+        """Exact densities for a batch of queries."""
+        self._require_fitted()
+        return exact_density(
+            self.points,
+            queries,
+            self.kernel,
+            self.gamma,
+            self.weight,
+            point_weights=self.point_weights,
+        )
+
+    def _batch_eps_impl(self, queries, eps, atol):
+        # The exact value satisfies every eps trivially; the parameters
+        # are accepted for interface compatibility.
+        return self.density(queries)
+
+    def _batch_tau_impl(self, queries, tau):
+        return self.density(queries) >= float(tau)

@@ -1,0 +1,24 @@
+"""KARL — linear-bound kernel aggregation (Chan et al., ICDE 2019).
+
+The state of the art QUAD improves upon: chord/tangent linear bounds of
+the exponential profile, O(d) per node. Gaussian kernel only — for the
+distance-based kernels of Table 4 its aggregate ``sum dist`` does not
+admit an O(d) evaluation (the paper's Section 5.1) — but it supports
+both εKDV and τKDV.
+"""
+
+from __future__ import annotations
+
+from repro.methods.base import IndexedMethod
+
+__all__ = ["KARLMethod"]
+
+
+class KARLMethod(IndexedMethod):
+    """kd-tree ε/τKDV with KARL's linear bounds (Gaussian only)."""
+
+    name = "karl"
+    provider_name = "linear"
+    supports_eps = True
+    supports_tau = True
+    supported_kernels = frozenset({"gaussian"})

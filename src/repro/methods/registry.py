@@ -1,0 +1,91 @@
+"""Method registry and the machine-readable version of Table 6."""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import UnknownNameError
+from repro.methods.akde import AKDEMethod
+from repro.methods.exact_method import ExactMethod
+from repro.methods.karl import KARLMethod
+from repro.methods.quad import QUADMethod
+from repro.methods.scikit_like import ScikitLikeMethod
+from repro.methods.tkdc import TKDCMethod
+from repro.methods.zorder import ZOrderMethod
+
+__all__ = ["METHOD_REGISTRY", "create_method", "available_methods", "capability_table"]
+
+#: Registry name -> method class (the paper's Table 6 column order).
+METHOD_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        ExactMethod,
+        ScikitLikeMethod,
+        ZOrderMethod,
+        AKDEMethod,
+        TKDCMethod,
+        KARLMethod,
+        QUADMethod,
+    )
+}
+
+
+def create_method(name, **kwargs):
+    """Instantiate a method by registry name.
+
+    Keyword arguments are forwarded to the method constructor (e.g.
+    ``leaf_size`` for indexed methods, ``delta`` for Z-order). Options a
+    method's constructor does not declare are silently dropped, so one
+    option set can configure a heterogeneous sweep of methods — the
+    pattern every experiment in Section 7 uses.
+    """
+    try:
+        cls = METHOD_REGISTRY[str(name).lower()]
+    except KeyError:
+        known = ", ".join(METHOD_REGISTRY)
+        raise UnknownNameError(f"unknown method {name!r}; available: {known}") from None
+    accepted = inspect.signature(cls.__init__).parameters
+    applicable = {key: value for key, value in kwargs.items() if key in accepted}
+    return cls(**applicable)
+
+
+def available_methods(*, operation=None, kernel=None):
+    """Registry names, optionally filtered by capability.
+
+    Parameters
+    ----------
+    operation:
+        ``"eps"``, ``"tau"`` or ``None`` (no filter).
+    kernel:
+        Kernel name; filters out methods that cannot bound it.
+    """
+    names = []
+    for name, cls in METHOD_REGISTRY.items():
+        if operation == "eps" and not cls.supports_eps:
+            continue
+        if operation == "tau" and not cls.supports_tau:
+            continue
+        if (
+            kernel is not None
+            and cls.supported_kernels is not None
+            and str(kernel).lower() not in cls.supported_kernels
+        ):
+            continue
+        names.append(name)
+    return names
+
+
+def capability_table():
+    """Table 6 as a dict: name -> {eps, tau, deterministic, kernels}."""
+    table = {}
+    for name, cls in METHOD_REGISTRY.items():
+        kernels = (
+            "all" if cls.supported_kernels is None else sorted(cls.supported_kernels)
+        )
+        table[name] = {
+            "eps": cls.supports_eps,
+            "tau": cls.supports_tau,
+            "deterministic": cls.deterministic_guarantee,
+            "kernels": kernels,
+        }
+    return table

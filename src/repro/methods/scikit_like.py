@@ -1,0 +1,24 @@
+"""Scikit — a faithful stand-in for Scikit-learn's ``KernelDensity``.
+
+Scikit-learn answers εKDV with a kd-tree and node bounds derived from the
+minimum/maximum distance to the node's bounding box (the paper's footnote
+6 notes it uses a kd-tree by default), i.e. the same bound family as
+aKDE. It supports relative *and* absolute tolerances; τKDV is not
+offered. The class exists as a separate registry entry so the
+experiments can report it as its own curve, as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.methods.base import IndexedMethod
+
+__all__ = ["ScikitLikeMethod"]
+
+
+class ScikitLikeMethod(IndexedMethod):
+    """Scikit-learn-style kd-tree εKDV (baseline bounds, eps-only)."""
+
+    name = "scikit"
+    provider_name = "baseline"
+    supports_eps = True
+    supports_tau = False

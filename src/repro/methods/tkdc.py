@@ -1,0 +1,23 @@
+"""tKDC — threshold-based kernel density classification (Gan & Bailis,
+SIGMOD 2017).
+
+The τKDV specialist: the same min/max-distance bounds as aKDE, but the
+refinement loop stops the moment the threshold τ separates the global
+lower/upper bounds, which prunes far more aggressively than running an
+εKDV query to completion. τKDV only (Table 6).
+"""
+
+from __future__ import annotations
+
+from repro.methods.base import IndexedMethod
+
+__all__ = ["TKDCMethod"]
+
+
+class TKDCMethod(IndexedMethod):
+    """kd-tree τKDV with min/max-distance bounds and threshold pruning."""
+
+    name = "tkdc"
+    provider_name = "baseline"
+    supports_eps = False
+    supports_tau = True

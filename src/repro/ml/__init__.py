@@ -1,0 +1,11 @@
+"""Kernel-based machine-learning extensions built on the QUAD machinery.
+
+The paper's conclusion names these as future work: "we will further
+apply QUAD to other kernel-based machine learning models, e.g., kernel
+regression". This subpackage delivers the kernel-regression instance.
+"""
+
+from repro.ml.kernel_regression import KernelRegressor
+from repro.ml.kernel_classifier import KernelClassifier
+
+__all__ = ["KernelRegressor", "KernelClassifier"]

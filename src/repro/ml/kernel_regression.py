@@ -1,0 +1,271 @@
+"""Bound-accelerated Nadaraya-Watson kernel regression.
+
+**Extension beyond the paper** (its stated future work): the
+Nadaraya-Watson estimator
+
+.. math::
+
+    \\hat{y}(q) = \\frac{\\sum_i y_i K(q, p_i)}{\\sum_i K(q, p_i)}
+
+is a ratio of two kernel aggregations, and the same per-node bounds that
+accelerate KDV bound both of them. For a node ``R`` with kernel-sum
+bounds ``[L_R, U_R]`` and label range ``[ymin_R, ymax_R]``:
+
+.. math::
+
+    N_R \\in [\\,ymin_R L_R,\\; ymax_R U_R\\,] \\text{ (labels >= 0; signed
+    labels pick the matching endpoint)}
+
+The refinement loop (the same best-first queue as the KDV engine)
+maintains global numerator and denominator intervals and stops once the
+implied ratio interval is within the requested tolerance — giving a
+*deterministic* error guarantee on the regression value, the analogue of
+εKDV's guarantee.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.core.bounds import make_bound_provider
+from repro.core.kernels import get_kernel
+from repro.data.bandwidth import scott_gamma
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.index.kdtree import KDTree
+from repro.utils.validation import check_points, check_positive
+
+__all__ = ["KernelRegressor"]
+
+
+def _node_numerator_bounds(kernel_lb, kernel_ub, ymin, ymax):
+    """Bounds on ``sum_i y_i K_i`` from kernel-sum and label ranges.
+
+    Each ``K_i`` is non-negative, so the numerator is bounded by pairing
+    the extreme label with the matching kernel-sum endpoint (which
+    endpoint depends on the label's sign).
+    """
+    lower = ymin * kernel_lb if ymin >= 0.0 else ymin * kernel_ub
+    upper = ymax * kernel_ub if ymax >= 0.0 else ymax * kernel_lb
+    return lower, upper
+
+
+def _ratio_interval(n_lb, n_ub, d_lb, d_ub):
+    """The interval of ``N / D`` over ``N in [n_lb, n_ub], D in [d_lb, d_ub]``.
+
+    Requires ``d_lb > 0`` (the caller guarantees a positive denominator
+    before dividing).
+    """
+    candidates = (n_lb / d_lb, n_lb / d_ub, n_ub / d_lb, n_ub / d_ub)
+    return min(candidates), max(candidates)
+
+
+class KernelRegressor:
+    """Nadaraya-Watson regression with a deterministic error tolerance.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name or instance (any kernel QUAD bounds support).
+    gamma:
+        Bandwidth parameter; ``None`` selects Scott's rule at fit time.
+    leaf_size:
+        kd-tree leaf capacity.
+    provider:
+        Bound family (``"quad"`` by default; ``"baseline"`` or, for the
+        Gaussian kernel, ``"linear"`` allow an apples-to-apples speed
+        comparison with the weaker bounds).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.uniform(-3, 3, size=(500, 1))
+    >>> y = np.sin(X[:, 0]) + rng.normal(0, 0.1, 500)
+    >>> model = KernelRegressor().fit(X, y)
+    >>> prediction = model.predict([[0.5]], tol=0.01)
+    """
+
+    def __init__(self, kernel="gaussian", gamma=None, leaf_size=64, provider="quad"):
+        self.kernel = get_kernel(kernel)
+        self.gamma = None if gamma is None else check_positive(gamma, "gamma")
+        self.leaf_size = int(leaf_size)
+        self.provider_name = provider
+        self.tree = None
+        self.labels = None
+        self.gamma_ = None
+        self._provider = None
+        self._label_ranges = None
+        self._leaf_labels = None
+        #: Points scanned by exact leaf evaluations since the last reset —
+        #: the work measure showing how much of the dataset pruning skipped.
+        self.points_scanned = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def fit(self, points, labels):
+        """Fit on ``(n, d)`` points with ``(n,)`` real labels."""
+        points = check_points(points)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if labels.shape[0] != points.shape[0]:
+            raise InvalidParameterError(
+                f"labels length {labels.shape[0]} != number of points {points.shape[0]}"
+            )
+        if not np.all(np.isfinite(labels)):
+            raise InvalidParameterError("labels must be finite")
+        self.gamma_ = self.gamma if self.gamma is not None else scott_gamma(points, self.kernel)
+        self.tree = KDTree(points, leaf_size=self.leaf_size)
+        self.labels = labels
+        self._provider = make_bound_provider(
+            self.provider_name, self.kernel, self.gamma_, 1.0
+        )
+        # Per-node label ranges (bottom-up) and per-leaf label vectors.
+        self._label_ranges = {}
+        self._leaf_labels = {}
+        self._collect_label_stats(self.tree.root)
+        return self
+
+    def _collect_label_stats(self, node):
+        if node.is_leaf:
+            leaf_labels = self.labels[node.indices]
+            self._leaf_labels[node.node_id] = leaf_labels
+            stats = (float(leaf_labels.min()), float(leaf_labels.max()))
+        else:
+            left = self._collect_label_stats(node.left)
+            right = self._collect_label_stats(node.right)
+            stats = (min(left[0], right[0]), max(left[1], right[1]))
+        self._label_ranges[node.node_id] = stats
+        return stats
+
+    def _require_fitted(self):
+        if self.tree is None:
+            raise NotFittedError("KernelRegressor must be fitted before predicting")
+
+    # -- exact -----------------------------------------------------------
+
+    def predict_exact(self, queries):
+        """Exact Nadaraya-Watson predictions (brute force, ground truth)."""
+        self._require_fitted()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        points = self.tree.points
+        point_sq = np.einsum("ij,ij->i", points, points)
+        out = np.empty(queries.shape[0])
+        for index, q in enumerate(queries):
+            sq = point_sq - 2.0 * (points @ q) + float(q @ q)
+            np.maximum(sq, 0.0, out=sq)
+            weights = self.kernel.evaluate(sq, self.gamma_)
+            denominator = float(weights.sum())
+            if denominator == 0.0:
+                out[index] = float(self.labels.mean())
+            else:
+                out[index] = float((weights * self.labels).sum()) / denominator
+        return out
+
+    # -- bounded refinement ----------------------------------------------
+
+    def predict(self, queries, tol=0.01, max_iterations=None):
+        """Predictions within ``± tol * label_scale`` of the exact value.
+
+        ``label_scale`` is ``max(|ymin|, |ymax|)`` of the training
+        labels, so ``tol`` is an absolute tolerance in label units after
+        normalisation — the natural analogue of εKDV's relative bound for
+        a ratio estimator (whose value can be zero).
+
+        Parameters
+        ----------
+        queries:
+            Query points.
+        tol:
+            Half-width tolerance on the prediction interval, as a
+            fraction of the label scale.
+        max_iterations:
+            Optional refinement cap per query (``None``: refine until
+            the tolerance is met, at worst fully exact).
+        """
+        self._require_fitted()
+        tol = check_positive(tol, "tol")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        scale = float(np.max(np.abs(self.labels))) or 1.0
+        out = np.empty(queries.shape[0])
+        for index in range(queries.shape[0]):
+            out[index] = self._predict_one(queries[index], tol * scale, max_iterations)
+        return out
+
+    def _predict_one(self, query, tolerance, max_iterations):
+        provider = self._provider
+        q_list = query.tolist()
+        q_sq = float(query @ query)
+        root = self.tree.root
+        d_lb, d_ub = provider.node_bounds(root, q_list, q_sq)
+        ymin, ymax = self._label_ranges[root.node_id]
+        n_lb, n_ub = _node_numerator_bounds(d_lb, d_ub, ymin, ymax)
+        # Heap ordered by denominator bound gap (the dominant uncertainty).
+        counter = 0
+        heap = [(-(d_ub - d_lb), counter, root, d_lb, d_ub, n_lb, n_ub)]
+        iterations = 0
+        while heap:
+            if d_lb > 0.0:
+                low, high = _ratio_interval(n_lb, n_ub, d_lb, d_ub)
+                if high - low <= 2.0 * tolerance:
+                    return 0.5 * (low + high)
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            iterations += 1
+            __, __, node, node_dlb, node_dub, node_nlb, node_nub = heappop(heap)
+            if node.is_leaf:
+                self.points_scanned += node.agg.n
+                weights = self.kernel.evaluate(
+                    node.sq_norms - 2.0 * (node.points @ query) + q_sq, self.gamma_
+                )
+                exact_d = float(weights.sum())
+                exact_n = float((weights * self._leaf_labels[node.node_id]).sum())
+                d_lb += exact_d - node_dlb
+                d_ub += exact_d - node_dub
+                n_lb += exact_n - node_nlb
+                n_ub += exact_n - node_nub
+            else:
+                for child in (node.left, node.right):
+                    child_dlb, child_dub = provider.node_bounds(child, q_list, q_sq)
+                    ymin, ymax = self._label_ranges[child.node_id]
+                    child_nlb, child_nub = _node_numerator_bounds(
+                        child_dlb, child_dub, ymin, ymax
+                    )
+                    counter += 1
+                    heappush(
+                        heap,
+                        (
+                            -(child_dub - child_dlb),
+                            counter,
+                            child,
+                            child_dlb,
+                            child_dub,
+                            child_nlb,
+                            child_nub,
+                        ),
+                    )
+                    d_lb += child_dlb
+                    d_ub += child_dub
+                    n_lb += child_nlb
+                    n_ub += child_nub
+                d_lb -= node_dlb
+                d_ub -= node_dub
+                n_lb -= node_nlb
+                n_ub -= node_nub
+            if d_ub < d_lb:
+                d_lb = d_ub = 0.5 * (d_lb + d_ub)
+            if n_ub < n_lb:
+                n_lb = n_ub = 0.5 * (n_lb + n_ub)
+        # Fully refined (or capped): return the midpoint ratio, falling
+        # back to the label mean where the denominator underflowed.
+        if d_ub <= 0.0:
+            return float(self.labels.mean())
+        denominator = max(0.5 * (d_lb + d_ub), np.finfo(np.float64).tiny)
+        return 0.5 * (n_lb + n_ub) / denominator
+
+    def __repr__(self):
+        state = "fitted" if self.tree is not None else "unfitted"
+        return (
+            f"KernelRegressor(kernel={self.kernel.name!r}, "
+            f"provider={self.provider_name!r}, {state})"
+        )

@@ -1,0 +1,13 @@
+"""Dataset-sampling substrate (the Z-order competitor's machinery)."""
+
+from repro.sampling.morton import morton_codes, interleave_bits
+from repro.sampling.zorder_sample import zorder_sample, sample_size_for_eps
+from repro.sampling.random_sample import random_sample
+
+__all__ = [
+    "morton_codes",
+    "interleave_bits",
+    "zorder_sample",
+    "sample_size_for_eps",
+    "random_sample",
+]

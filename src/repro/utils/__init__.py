@@ -1,0 +1,17 @@
+"""Small shared helpers (argument validation, chunked iteration)."""
+
+from repro.utils.validation import (
+    check_points,
+    check_positive,
+    check_probability_like,
+    check_query,
+)
+from repro.utils.chunking import chunk_slices
+
+__all__ = [
+    "check_points",
+    "check_positive",
+    "check_probability_like",
+    "check_query",
+    "chunk_slices",
+]

@@ -1,0 +1,43 @@
+"""Memory-bounded chunk iteration for vectorised kernel sums.
+
+The exact evaluator materialises an ``(m, n)`` distance block per chunk of
+query points; chunking keeps that block below a configurable budget so the
+library stays usable on million-point datasets without swapping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+#: Default per-chunk element budget (~64 MB of float64 distances).
+DEFAULT_CHUNK_ELEMENTS = 8_000_000
+
+
+def chunk_slices(total, n_per_row, *, max_elements=DEFAULT_CHUNK_ELEMENTS):
+    """Yield ``slice`` objects that partition ``range(total)``.
+
+    Each slice spans at most ``max_elements // n_per_row`` rows (and at
+    least one), so a dense block of shape ``(rows, n_per_row)`` never
+    exceeds the element budget.
+
+    Parameters
+    ----------
+    total:
+        Number of rows to cover.
+    n_per_row:
+        Width of the dense block built per row.
+    max_elements:
+        Upper bound on ``rows * n_per_row`` per chunk.
+    """
+    if total < 0:
+        raise InvalidParameterError(f"total must be >= 0, got {total}")
+    if n_per_row <= 0:
+        raise InvalidParameterError(f"n_per_row must be > 0, got {n_per_row}")
+    if max_elements <= 0:
+        raise InvalidParameterError(f"max_elements must be > 0, got {max_elements}")
+    rows = max(1, int(max_elements) // int(n_per_row))
+    start = 0
+    while start < total:
+        stop = min(start + rows, total)
+        yield slice(start, stop)
+        start = stop

@@ -1,0 +1,100 @@
+"""Argument validation helpers used across the public API.
+
+Every helper raises :class:`~repro.errors.InvalidParameterError` with a
+message naming the offending argument, so API misuse fails loudly and
+early rather than producing silently wrong density values.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def check_positive(value, name):
+    """Validate that ``value`` is a finite real number greater than zero.
+
+    Parameters
+    ----------
+    value:
+        The value to validate.
+    name:
+        Argument name used in the error message.
+
+    Returns
+    -------
+    float
+        ``value`` converted to ``float``.
+    """
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise InvalidParameterError(f"{name} must be finite and > 0, got {value!r}")
+    return value
+
+
+def check_probability_like(value, name, *, allow_zero=False):
+    """Validate a parameter expected to lie in ``(0, 1]`` (or ``[0, 1]``).
+
+    Used for relative errors ``eps`` and sampling failure probabilities
+    ``delta``.
+    """
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    low_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not np.isfinite(value) or not low_ok or value > 1.0:
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise InvalidParameterError(f"{name} must be in {bound}, got {value!r}")
+    return value
+
+
+def check_points(points, *, name="points", min_rows=1):
+    """Validate and normalise a point set into a 2-D float64 array.
+
+    Accepts any array-like of shape ``(n, d)``. One-dimensional input of
+    length ``n`` is treated as ``n`` points in one dimension.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` array of shape ``(n, d)``.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise InvalidParameterError(
+            f"{name} must be a 2-D array of shape (n, d), got ndim={array.ndim}"
+        )
+    if array.shape[0] < min_rows:
+        raise InvalidParameterError(
+            f"{name} must contain at least {min_rows} point(s), got {array.shape[0]}"
+        )
+    if array.shape[1] < 1:
+        raise InvalidParameterError(f"{name} must have at least one column")
+    if not np.all(np.isfinite(array)):
+        raise InvalidParameterError(f"{name} must not contain NaN or infinity")
+    return np.ascontiguousarray(array)
+
+
+def check_query(query, dims, *, name="query"):
+    """Validate a single query point against the fitted dimensionality.
+
+    Returns
+    -------
+    numpy.ndarray
+        A 1-D ``float64`` array of length ``dims``.
+    """
+    array = np.asarray(query, dtype=np.float64).reshape(-1)
+    if array.shape[0] != dims:
+        raise InvalidParameterError(
+            f"{name} must have {dims} coordinate(s), got {array.shape[0]}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise InvalidParameterError(f"{name} must not contain NaN or infinity")
+    return array

@@ -1,0 +1,34 @@
+"""Visualization layer: pixel grids, colour maps, renderers, metrics."""
+
+from repro.visual.grid import PixelGrid
+from repro.visual.colormap import Colormap, get_colormap, two_color_map
+from repro.visual.image import write_png, write_ppm
+from repro.visual.kdv import KDVRenderer
+from repro.visual.metrics import (
+    average_relative_error,
+    max_relative_error,
+    threshold_confusion,
+)
+from repro.visual.streaming import StreamingKDV
+from repro.visual.progressive import (
+    ProgressiveRenderer,
+    ProgressiveResult,
+    quadtree_regions,
+)
+
+__all__ = [
+    "PixelGrid",
+    "Colormap",
+    "get_colormap",
+    "two_color_map",
+    "write_png",
+    "write_ppm",
+    "KDVRenderer",
+    "ProgressiveRenderer",
+    "StreamingKDV",
+    "ProgressiveResult",
+    "quadtree_regions",
+    "average_relative_error",
+    "max_relative_error",
+    "threshold_confusion",
+]

@@ -1,0 +1,132 @@
+"""Colour maps turning densities into RGB colour values.
+
+Piecewise-linear interpolation between anchor colours — no matplotlib
+dependency. The default ``"density"`` map runs dark-blue -> green ->
+yellow -> red, matching the hotspot colouring convention of the paper's
+Figure 1; a two-colour map renders τKDV masks (its Figure 2c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, UnknownNameError
+
+__all__ = ["Colormap", "get_colormap", "two_color_map", "COLORMAP_REGISTRY"]
+
+
+class Colormap:
+    """A piecewise-linear colour map over ``[0, 1]``.
+
+    Parameters
+    ----------
+    anchors:
+        Sequence of ``(position, (r, g, b))`` with positions increasing
+        from 0 to 1 and channels in ``0..255``.
+    name:
+        Registry/display name.
+    """
+
+    def __init__(self, anchors, name="custom"):
+        if len(anchors) < 2:
+            raise InvalidParameterError("a colormap needs at least two anchors")
+        positions = np.array([anchor[0] for anchor in anchors], dtype=np.float64)
+        colors = np.array([anchor[1] for anchor in anchors], dtype=np.float64)
+        if positions[0] != 0.0 or positions[-1] != 1.0:
+            raise InvalidParameterError("anchor positions must start at 0 and end at 1")
+        if np.any(np.diff(positions) <= 0.0):
+            raise InvalidParameterError("anchor positions must be strictly increasing")
+        if colors.shape[1] != 3 or np.any(colors < 0) or np.any(colors > 255):
+            raise InvalidParameterError("anchor colors must be RGB triples in 0..255")
+        self.positions = positions
+        self.colors = colors
+        self.name = name
+
+    def apply(self, values, vmin=None, vmax=None, *, log_scale=False):
+        """Map an array of values to ``uint8`` RGB.
+
+        Parameters
+        ----------
+        values:
+            Array of any shape; output appends a channel axis.
+        vmin, vmax:
+            Normalisation range (defaults to the data range).
+        log_scale:
+            Normalise on ``log1p`` of the values — KDV colour maps are
+            often log-scaled because densities span orders of magnitude.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        work = np.log1p(np.maximum(values, 0.0)) if log_scale else values
+        if vmin is None:
+            vmin = float(np.nanmin(work)) if work.size else 0.0
+        elif log_scale:
+            vmin = float(np.log1p(max(vmin, 0.0)))
+        if vmax is None:
+            vmax = float(np.nanmax(work)) if work.size else 1.0
+        elif log_scale:
+            vmax = float(np.log1p(max(vmax, 0.0)))
+        span = vmax - vmin
+        if span <= 0.0:
+            normalised = np.zeros_like(work)
+        else:
+            normalised = np.clip((work - vmin) / span, 0.0, 1.0)
+        rgb = np.empty(normalised.shape + (3,), dtype=np.float64)
+        for channel in range(3):
+            rgb[..., channel] = np.interp(
+                normalised, self.positions, self.colors[:, channel]
+            )
+        return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+    def __repr__(self):
+        return f"Colormap(name={self.name!r}, anchors={len(self.positions)})"
+
+
+#: Built-in maps. "density" mimics the classic KDV hotspot ramp.
+COLORMAP_REGISTRY = {
+    "density": Colormap(
+        [
+            (0.00, (13, 8, 135)),
+            (0.25, (84, 2, 163)),
+            (0.50, (219, 92, 104)),
+            (0.75, (244, 166, 54)),
+            (1.00, (240, 249, 33)),
+        ],
+        name="density",
+    ),
+    "heat": Colormap(
+        [
+            (0.00, (0, 0, 64)),
+            (0.35, (0, 128, 255)),
+            (0.65, (255, 255, 0)),
+            (1.00, (255, 0, 0)),
+        ],
+        name="heat",
+    ),
+    "gray": Colormap([(0.0, (0, 0, 0)), (1.0, (255, 255, 255))], name="gray"),
+}
+
+
+def get_colormap(colormap):
+    """Resolve a name or instance to a :class:`Colormap`."""
+    if isinstance(colormap, Colormap):
+        return colormap
+    try:
+        return COLORMAP_REGISTRY[str(colormap).lower()]
+    except KeyError:
+        known = ", ".join(sorted(COLORMAP_REGISTRY))
+        raise UnknownNameError(
+            f"unknown colormap {colormap!r}; available: {known}"
+        ) from None
+
+
+def two_color_map(mask, hot=(220, 20, 20), cold=(235, 235, 235)):
+    """Render a boolean τKDV mask as a two-colour RGB image.
+
+    The paper's Figure 2c: one colour for pixels with ``F(q) >= tau``,
+    another for the rest.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    rgb = np.empty(mask.shape + (3,), dtype=np.uint8)
+    rgb[mask] = np.asarray(hot, dtype=np.uint8)
+    rgb[~mask] = np.asarray(cold, dtype=np.uint8)
+    return rgb

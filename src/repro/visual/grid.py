@@ -1,0 +1,116 @@
+"""Pixel grids: the mapping between screen pixels and data coordinates.
+
+A :class:`PixelGrid` covers a data-space viewport with ``width x height``
+pixels; each pixel's density is evaluated at its centre, exactly as KDV
+tools do. Row-major layout: row index ``iy`` grows along the second data
+axis, column index ``ix`` along the first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.validation import check_points
+
+__all__ = ["PixelGrid"]
+
+#: Fraction of the data extent added around it when auto-fitting a viewport.
+DEFAULT_MARGIN = 0.05
+
+
+class PixelGrid:
+    """A ``width x height`` pixel grid over a rectangular 2-D viewport.
+
+    Parameters
+    ----------
+    width, height:
+        Resolution in pixels (the paper's default is 1280 x 960).
+    low, high:
+        Viewport corners in data coordinates, each a pair
+        ``(x, y)``.
+    """
+
+    def __init__(self, width, height, low, high):
+        width = int(width)
+        height = int(height)
+        if width < 1 or height < 1:
+            raise InvalidParameterError(
+                f"resolution must be >= 1x1, got {width}x{height}"
+            )
+        low = np.asarray(low, dtype=np.float64).reshape(-1)
+        high = np.asarray(high, dtype=np.float64).reshape(-1)
+        if low.shape != (2,) or high.shape != (2,):
+            raise InvalidParameterError("viewport corners must be 2-D points")
+        if np.any(low >= high):
+            raise InvalidParameterError("viewport must satisfy low < high per axis")
+        self.width = width
+        self.height = height
+        self.low = low
+        self.high = high
+        self._cell = (high - low) / np.array([width, height], dtype=np.float64)
+
+    @classmethod
+    def fit(cls, points, width, height, *, margin=DEFAULT_MARGIN):
+        """A grid whose viewport covers ``points`` with a relative margin."""
+        points = check_points(points)
+        if points.shape[1] != 2:
+            raise InvalidParameterError(
+                f"PixelGrid.fit needs 2-D points, got {points.shape[1]} dims"
+            )
+        low = points.min(axis=0)
+        high = points.max(axis=0)
+        extent = high - low
+        extent[extent == 0.0] = 1.0
+        pad = margin * extent
+        return cls(width, height, low - pad, high + pad)
+
+    @property
+    def resolution(self):
+        """The ``(width, height)`` pair."""
+        return self.width, self.height
+
+    @property
+    def num_pixels(self):
+        """Total pixel count."""
+        return self.width * self.height
+
+    def pixel_center(self, ix, iy):
+        """Data coordinates of the centre of pixel ``(ix, iy)``."""
+        if not (0 <= ix < self.width and 0 <= iy < self.height):
+            raise InvalidParameterError(
+                f"pixel ({ix}, {iy}) outside {self.width}x{self.height} grid"
+            )
+        return self.low + self._cell * (np.array([ix, iy], dtype=np.float64) + 0.5)
+
+    def centers(self):
+        """All pixel centres as an ``(height * width, 2)`` array.
+
+        Row-major: index ``iy * width + ix`` corresponds to pixel
+        ``(ix, iy)``; reshape densities with :meth:`to_image`.
+        """
+        xs = self.low[0] + self._cell[0] * (np.arange(self.width) + 0.5)
+        ys = self.low[1] + self._cell[1] * (np.arange(self.height) + 0.5)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        return np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+    def to_image(self, values):
+        """Reshape a flat per-pixel array into ``(height, width)``."""
+        values = np.asarray(values)
+        if values.size != self.num_pixels:
+            raise InvalidParameterError(
+                f"expected {self.num_pixels} values, got {values.size}"
+            )
+        return values.reshape(self.height, self.width)
+
+    def scaled(self, factor):
+        """A grid over the same viewport at ``factor`` times the resolution."""
+        width = max(1, int(round(self.width * factor)))
+        height = max(1, int(round(self.height * factor)))
+        return PixelGrid(width, height, self.low, self.high)
+
+    def __repr__(self):
+        return (
+            f"PixelGrid({self.width}x{self.height}, "
+            f"low={self.low.tolist()}, high={self.high.tolist()})"
+        )

@@ -1,0 +1,80 @@
+"""Minimal PNG / PPM writers (standard library only).
+
+The experiments save rendered colour maps (Figures 19 and 21) to disk;
+PNG is produced directly via :mod:`zlib` — one IDAT chunk, no filtering
+beyond filter type 0 — so the library needs no imaging dependency.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["write_png", "write_ppm"]
+
+
+def _as_rgb8(image):
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise InvalidParameterError(
+            f"image must have shape (height, width, 3), got {image.shape}"
+        )
+    if image.dtype != np.uint8:
+        image = np.clip(image, 0, 255).astype(np.uint8)
+    return image
+
+
+def _png_chunk(tag, payload):
+    chunk = tag + payload
+    return struct.pack(">I", len(payload)) + chunk + struct.pack(">I", zlib.crc32(chunk))
+
+
+def write_png(path, image):
+    """Write an RGB image array to a PNG file.
+
+    Parameters
+    ----------
+    path:
+        Output file path (parent directories are created).
+    image:
+        Array of shape ``(height, width, 3)``; non-``uint8`` input is
+        clipped and converted.
+
+    Returns
+    -------
+    pathlib.Path
+        The written path.
+    """
+    image = _as_rgb8(image)
+    height, width = image.shape[:2]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    # Scanlines with filter byte 0 (None) prepended.
+    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = image.reshape(height, width * 3)
+    payload = zlib.compress(raw.tobytes(), level=6)
+    with path.open("wb") as handle:
+        handle.write(b"\x89PNG\r\n\x1a\n")
+        handle.write(_png_chunk(b"IHDR", header))
+        handle.write(_png_chunk(b"IDAT", payload))
+        handle.write(_png_chunk(b"IEND", b""))
+    return path
+
+
+def write_ppm(path, image):
+    """Write an RGB image array to a binary PPM (P6) file."""
+    image = _as_rgb8(image)
+    height, width = image.shape[:2]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(image.tobytes())
+    return path

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Sizes are deliberately small: the suite exercises every code path and
+invariant, while the benchmarks (not tests) carry the heavy workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.bandwidth import scott_gamma
+from repro.data.synthetic import load_dataset
+from repro.index.kdtree import KDTree
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_points():
+    """A clustered 2-D dataset (crime-like, 600 points)."""
+    return load_dataset("crime", n=600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def smooth_points():
+    """A smooth 2-D dataset (home-like, 600 points)."""
+    return load_dataset("home", n=600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_points):
+    return KDTree(small_points, leaf_size=32)
+
+
+@pytest.fixture(scope="session")
+def small_gamma(small_points):
+    return scott_gamma(small_points, "gaussian")
+
+
+@pytest.fixture(scope="session")
+def highdim_points():
+    """A 5-D dataset for dimensionality-generic paths."""
+    return load_dataset("hep", n=400, seed=3, dims=5)
+
+
+def exact_node_sum(node, query, kernel, gamma, weight=1.0):
+    """Brute-force weighted kernel sum over all points under a node."""
+    stack = [node]
+    total = 0.0
+    query = np.asarray(query, dtype=np.float64)
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            sq_dists = ((current.points - query) ** 2).sum(axis=1)
+            total += weight * float(kernel.evaluate(sq_dists, gamma).sum())
+        else:
+            stack.append(current.left)
+            stack.append(current.right)
+    return total
+
+
+@pytest.fixture(scope="session")
+def node_sum():
+    """Expose the brute-force node-sum helper as a fixture."""
+    return exact_node_sum

@@ -1,0 +1,121 @@
+"""Ball tree index and Ball bounding region."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.index.balltree import Ball, BallTree
+
+
+class TestBall:
+    def test_of_points_encloses_all(self, small_points):
+        ball = Ball.of_points(small_points)
+        dists = np.sqrt(((small_points - ball.center) ** 2).sum(axis=1))
+        assert np.all(dists <= ball.radius * (1 + 1e-12))
+
+    def test_contains(self):
+        ball = Ball([0.0, 0.0], 1.0)
+        assert ball.contains([0.5, 0.5])
+        assert not ball.contains([1.5, 0.0])
+
+    def test_min_dist_inside_zero(self):
+        ball = Ball([0.0, 0.0], 2.0)
+        assert ball.min_sq_dist([1.0, 0.0]) == 0.0
+
+    def test_min_dist_outside(self):
+        ball = Ball([0.0, 0.0], 1.0)
+        assert ball.min_sq_dist([3.0, 0.0]) == pytest.approx(4.0)
+
+    def test_max_dist(self):
+        ball = Ball([0.0, 0.0], 1.0)
+        assert ball.max_sq_dist([3.0, 0.0]) == pytest.approx(16.0)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(InvalidParameterError):
+            Ball([0.0], -1.0)
+
+    def test_distance_interval(self):
+        ball = Ball([0.0, 0.0], 1.0)
+        low, high = ball.distance_interval([2.0, 0.0])
+        assert (low, high) == (pytest.approx(1.0), pytest.approx(3.0))
+
+
+class TestBallTree:
+    def test_structure_invariants(self, small_points):
+        tree = BallTree(small_points, leaf_size=32)
+        assert sum(leaf.size for leaf in tree.leaves()) == len(small_points)
+        for leaf in tree.leaves():
+            assert leaf.size <= 32
+            dists = np.sqrt(((leaf.points - leaf.rect.center) ** 2).sum(axis=1))
+            assert np.all(dists <= leaf.rect.radius * (1 + 1e-12))
+
+    def test_leaf_indices_recover_points(self, small_points):
+        tree = BallTree(small_points, leaf_size=16)
+        for leaf in tree.leaves():
+            np.testing.assert_array_equal(small_points[leaf.indices], leaf.points)
+
+    def test_identical_points_single_leaf(self):
+        tree = BallTree(np.full((50, 2), 1.0), leaf_size=8)
+        assert tree.root.is_leaf
+
+    def test_rejects_bad_leaf_size(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            BallTree(small_points, leaf_size=0)
+
+
+class TestBoundsOnBallTree:
+    """The bound providers are duck-typed over the bounding region."""
+
+    @pytest.mark.parametrize("provider_name", ["baseline", "linear", "quad"])
+    def test_gaussian_bounds_bracket(self, provider_name, small_points, small_gamma, node_sum):
+        from repro.core.bounds import make_bound_provider
+        from repro.core.kernels import get_kernel
+
+        tree = BallTree(small_points, leaf_size=32)
+        kernel = get_kernel("gaussian")
+        provider = make_bound_provider(provider_name, kernel, small_gamma, 1.0)
+        rng = np.random.default_rng(0)
+        for __ in range(5):
+            q = small_points[rng.integers(len(small_points))]
+            q_list = q.tolist()
+            q_sq = float(q @ q)
+            for node in tree.nodes():
+                lb, ub = provider.node_bounds(node, q_list, q_sq)
+                exact = node_sum(node, q, kernel, small_gamma)
+                assert lb <= exact * (1 + 1e-9) + 1e-12
+                assert ub >= exact * (1 - 1e-9) - 1e-12
+
+    def test_quad_method_with_ball_index_honours_eps(self, small_points):
+        from repro.core.kde import KernelDensity
+
+        kde = KernelDensity(method="quad", index="ball").fit(small_points)
+        queries = small_points[:15]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.02)
+        assert np.all(np.abs(approx - exact) <= 0.02 * exact + 1e-18)
+
+    def test_invalid_index_name_rejected(self):
+        from repro.methods.quad import QUADMethod
+
+        with pytest.raises(InvalidParameterError):
+            QUADMethod(index="rtree")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    qx=st.floats(-10, 10),
+    qy=st.floats(-10, 10),
+)
+def test_ball_distance_bracket_property(seed, qx, qy):
+    """Ball min/max distances bracket the distance to every member."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(25, 2)) * rng.uniform(0.1, 3.0)
+    ball = Ball.of_points(points)
+    q = [qx, qy]
+    min_sq = ball.min_sq_dist(q)
+    max_sq = ball.max_sq_dist(q)
+    sq = ((points - np.array(q)) ** 2).sum(axis=1)
+    assert np.all(sq >= min_sq - 1e-9 * max(min_sq, 1.0))
+    assert np.all(sq <= max_sq + 1e-9 * max(max_sq, 1.0))

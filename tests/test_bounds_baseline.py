@@ -1,0 +1,70 @@
+"""Baseline (min/max-distance) bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds.baseline import BaselineBoundProvider
+from repro.core.kernels import get_kernel
+from repro.index.kdtree import KDTree
+
+
+@pytest.mark.parametrize(
+    "kernel_name",
+    ["gaussian", "triangular", "cosine", "exponential", "epanechnikov", "quartic"],
+)
+def test_baseline_supports_every_kernel(kernel_name):
+    BaselineBoundProvider(kernel_name, gamma=1.0)
+
+
+def test_bounds_bracket_exact_sum(small_tree, small_gamma, node_sum):
+    kernel = get_kernel("gaussian")
+    provider = BaselineBoundProvider(kernel, small_gamma, weight=0.5)
+    rng = np.random.default_rng(0)
+    for __ in range(10):
+        q = small_tree.points[rng.integers(small_tree.n_points)]
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in small_tree.nodes():
+            lb, ub = provider.node_bounds(node, q_list, q_sq)
+            exact = node_sum(node, q, kernel, small_gamma, weight=0.5)
+            assert lb - 1e-12 <= exact <= ub + 1e-12
+
+
+def test_bounds_scale_with_weight(small_tree, small_gamma):
+    unit = BaselineBoundProvider("gaussian", small_gamma, weight=1.0)
+    double = BaselineBoundProvider("gaussian", small_gamma, weight=2.0)
+    q = small_tree.points[0].tolist()
+    q_sq = sum(v * v for v in q)
+    lb1, ub1 = unit.node_bounds(small_tree.root, q, q_sq)
+    lb2, ub2 = double.node_bounds(small_tree.root, q, q_sq)
+    assert lb2 == pytest.approx(2 * lb1)
+    assert ub2 == pytest.approx(2 * ub1)
+
+
+def test_far_query_with_compact_kernel_gives_zero(small_tree):
+    provider = BaselineBoundProvider("triangular", gamma=1.0)
+    far = (small_tree.root.rect.high + 100.0).tolist()
+    q_sq = sum(v * v for v in far)
+    lb, ub = provider.node_bounds(small_tree.root, far, q_sq)
+    assert lb == 0.0
+    assert ub == 0.0
+
+
+def test_query_inside_rect_has_upper_n_times_weight(small_tree):
+    provider = BaselineBoundProvider("gaussian", gamma=1.0, weight=1.0)
+    center = ((small_tree.root.rect.low + small_tree.root.rect.high) / 2).tolist()
+    q_sq = sum(v * v for v in center)
+    __, ub = provider.node_bounds(small_tree.root, center, q_sq)
+    # xmin = 0 inside the box, so the upper bound is w * n * k(0) = n.
+    assert ub == pytest.approx(small_tree.n_points)
+
+
+def test_leaf_exact_matches_brute_force(small_tree, small_gamma):
+    kernel = get_kernel("gaussian")
+    provider = BaselineBoundProvider(kernel, small_gamma, weight=1.0)
+    leaf = next(small_tree.leaves())
+    q = np.asarray(small_tree.points[3], dtype=np.float64)
+    expected = float(
+        np.exp(-small_gamma * ((leaf.points - q) ** 2).sum(axis=1)).sum()
+    )
+    assert provider.leaf_exact(leaf, q, float(q @ q)) == pytest.approx(expected)

@@ -1,0 +1,76 @@
+"""KARL linear bounds (chord upper, tangent-at-mean lower)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds.baseline import BaselineBoundProvider
+from repro.core.bounds.linear import LinearBoundProvider
+from repro.core.kernels import get_kernel
+from repro.errors import UnsupportedKernelError
+
+
+def test_rejects_non_gaussian_kernels():
+    for name in ("triangular", "cosine", "exponential"):
+        with pytest.raises(UnsupportedKernelError):
+            LinearBoundProvider(name, gamma=1.0)
+
+
+def test_bounds_bracket_exact_sum(small_tree, small_gamma, node_sum):
+    kernel = get_kernel("gaussian")
+    provider = LinearBoundProvider(kernel, small_gamma)
+    rng = np.random.default_rng(1)
+    for __ in range(10):
+        q = small_tree.points[rng.integers(small_tree.n_points)] + rng.normal(0, 0.01, 2)
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in small_tree.nodes():
+            lb, ub = provider.node_bounds(node, q_list, q_sq)
+            exact = node_sum(node, q, kernel, small_gamma)
+            assert lb <= exact * (1 + 1e-10) + 1e-12
+            assert ub >= exact * (1 - 1e-10) - 1e-12
+
+
+def test_tighter_than_baseline(small_tree, small_gamma):
+    """Lemma-level claim: KARL's interval is inside the baseline's."""
+    linear = LinearBoundProvider("gaussian", small_gamma)
+    baseline = BaselineBoundProvider("gaussian", small_gamma)
+    rng = np.random.default_rng(2)
+    for __ in range(5):
+        q = small_tree.points[rng.integers(small_tree.n_points)]
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in small_tree.nodes():
+            l_lb, l_ub = linear.node_bounds(node, q_list, q_sq)
+            b_lb, b_ub = baseline.node_bounds(node, q_list, q_sq)
+            assert l_lb >= b_lb - 1e-12
+            assert l_ub <= b_ub + 1e-12
+
+
+def test_tangent_at_mean_closed_form():
+    """At t = mean(x_i), the aggregated lower bound is n * exp(-t)."""
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    from repro.index.kdtree import KDTree
+
+    tree = KDTree(points, leaf_size=10)
+    gamma = 0.3
+    provider = LinearBoundProvider("gaussian", gamma)
+    q = np.array([2.0, 2.0])
+    lb, __ = provider.node_bounds(tree.root, q.tolist(), float(q @ q))
+    x = gamma * ((points - q) ** 2).sum(axis=1)
+    assert lb == pytest.approx(len(points) * math.exp(-x.mean()), rel=1e-12)
+
+
+def test_degenerate_interval_returns_point_bounds():
+    """All points at one location: bounds collapse to the exact value."""
+    points = np.full((20, 2), 2.0)
+    from repro.index.kdtree import KDTree
+
+    tree = KDTree(points)
+    provider = LinearBoundProvider("gaussian", gamma=1.0)
+    q = [3.0, 2.0]
+    lb, ub = provider.node_bounds(tree.root, q, 13.0)
+    expected = 20 * math.exp(-1.0)
+    assert lb == pytest.approx(expected)
+    assert ub == pytest.approx(expected)

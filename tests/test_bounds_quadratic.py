@@ -1,0 +1,185 @@
+"""QUAD Gaussian quadratic bounds: scalar formulas, erratum, tightness."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds.baseline import BaselineBoundProvider
+from repro.core.bounds.linear import LinearBoundProvider
+from repro.core.bounds.quadratic import (
+    QuadraticBoundProvider,
+    lower_coefficients,
+    optimal_upper_curvature,
+    upper_coefficients,
+)
+from repro.core.kernels import get_kernel
+from repro.errors import InvalidParameterError, UnsupportedKernelError
+
+
+class TestScalarUpperBound:
+    def test_interpolates_endpoints(self):
+        au, bu, cu = upper_coefficients(0.5, 3.5)
+        for x in (0.5, 3.5):
+            assert au * x * x + bu * x + cu == pytest.approx(math.exp(-x), rel=1e-12)
+
+    def test_curvature_positive(self):
+        """Theorem 1 requires a_u > 0 — the printed formula violates this."""
+        for xmin, xmax in [(0.0, 1.0), (0.5, 3.5), (2.0, 2.5), (0.1, 6.0)]:
+            assert optimal_upper_curvature(xmin, xmax) > 0.0
+
+    def test_erratum_paper_formula_is_negated(self):
+        """The paper's printed a*_u is exactly the negation of the correct one."""
+        xmin, xmax = 0.5, 3.5
+        width = xmax - xmin
+        printed = ((width + 1.0) * math.exp(-xmax) - math.exp(-xmin)) / width**2
+        assert optimal_upper_curvature(xmin, xmax) == pytest.approx(-printed)
+
+    def test_matches_figure7_example(self):
+        """Figure 7: on an interval ~[0.5, 3.5], a_u = 0.05 is correct but
+        0.1 is not — so a*_u must lie between them."""
+        au = optimal_upper_curvature(0.5, 3.5)
+        assert 0.05 < au < 0.1
+
+    def test_dominates_exponential_on_interval(self):
+        xs = np.linspace(0.2, 4.2, 500)
+        au, bu, cu = upper_coefficients(0.2, 4.2)
+        qu = au * xs * xs + bu * xs + cu
+        assert np.all(qu >= np.exp(-xs) - 1e-12)
+
+    def test_below_chord_on_interval(self):
+        """Tightness vs KARL: QU never exceeds the chord (a_u = 0 case)."""
+        xmin, xmax = 0.3, 2.7
+        au, bu, cu = upper_coefficients(xmin, xmax)
+        mu = (math.exp(-xmax) - math.exp(-xmin)) / (xmax - xmin)
+        ku = math.exp(-xmin) - mu * xmin
+        xs = np.linspace(xmin, xmax, 300)
+        assert np.all(au * xs * xs + bu * xs + cu <= mu * xs + ku + 1e-12)
+
+
+class TestScalarLowerBound:
+    def test_tangency_conditions(self):
+        t, xmax = 1.0, 3.0
+        al, bl, cl = lower_coefficients(t, xmax)
+        assert al * t * t + bl * t + cl == pytest.approx(math.exp(-t), rel=1e-12)
+        assert 2 * al * t + bl == pytest.approx(-math.exp(-t), rel=1e-12)
+        assert al * xmax * xmax + bl * xmax + cl == pytest.approx(
+            math.exp(-xmax), rel=1e-12
+        )
+
+    def test_below_exponential_on_interval(self):
+        xs = np.linspace(0.0, 5.0, 500)
+        al, bl, cl = lower_coefficients(1.2, 5.0)
+        ql = al * xs * xs + bl * xs + cl
+        assert np.all(ql <= np.exp(-xs) + 1e-12)
+
+    def test_above_tangent_line(self):
+        """Tightness vs KARL: QL dominates the tangent line everywhere."""
+        t = 0.8
+        al, bl, cl = lower_coefficients(t, 2.5)
+        xs = np.linspace(0.0, 2.5, 200)
+        tangent = math.exp(-t) * (1 + t - xs)
+        assert np.all(al * xs * xs + bl * xs + cl >= tangent - 1e-12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    xmin=st.floats(0.0, 20.0),
+    width=st.floats(1e-6, 20.0),
+    t_frac=st.floats(0.0, 1.0),
+)
+def test_scalar_bounds_sandwich_exp_property(xmin, width, t_frac):
+    """Property: QL <= exp(-x) <= QU across the interval, any geometry."""
+    xmax = xmin + width
+    t = xmin + t_frac * width
+    xs = np.linspace(xmin, xmax, 64)
+    e = np.exp(-xs)
+    au, bu, cu = upper_coefficients(xmin, xmax)
+    qu = au * xs * xs + bu * xs + cu
+    assert np.all(qu >= e - 1e-9 * np.maximum(e, 1e-300) - 1e-12)
+    # The provider falls back to the tangent line when (xmax - t) is a
+    # tiny fraction of the width (the a_l cancellation is amplified by
+    # (width / gap)^2 there) — mirror that domain restriction here.
+    if xmax - t > 2e-3 * width:
+        al, bl, cl = lower_coefficients(t, xmax)
+        ql = al * xs * xs + bl * xs + cl
+        tol = 1e-9 * math.exp(-t)
+        assert np.all(ql <= e + tol + 1e-12)
+
+
+class TestProvider:
+    def test_rejects_non_gaussian(self):
+        with pytest.raises(UnsupportedKernelError):
+            QuadraticBoundProvider("triangular", gamma=1.0)
+
+    def test_rejects_bad_tangent_option(self):
+        with pytest.raises(InvalidParameterError):
+            QuadraticBoundProvider("gaussian", gamma=1.0, tangent="left")
+
+    def test_bounds_bracket_exact_sum(self, small_tree, small_gamma, node_sum):
+        kernel = get_kernel("gaussian")
+        provider = QuadraticBoundProvider(kernel, small_gamma)
+        rng = np.random.default_rng(3)
+        for __ in range(10):
+            q = small_tree.points[rng.integers(small_tree.n_points)] + rng.normal(
+                0, 0.02, 2
+            )
+            q_list = q.tolist()
+            q_sq = float(q @ q)
+            for node in small_tree.nodes():
+                lb, ub = provider.node_bounds(node, q_list, q_sq)
+                exact = node_sum(node, q, kernel, small_gamma)
+                assert lb <= exact * (1 + 1e-9) + 1e-12
+                assert ub >= exact * (1 - 1e-9) - 1e-12
+
+    def test_midpoint_tangent_still_correct(self, small_tree, small_gamma, node_sum):
+        kernel = get_kernel("gaussian")
+        provider = QuadraticBoundProvider(kernel, small_gamma, tangent="midpoint")
+        rng = np.random.default_rng(4)
+        q = small_tree.points[rng.integers(small_tree.n_points)]
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in small_tree.nodes():
+            lb, ub = provider.node_bounds(node, q_list, q_sq)
+            exact = node_sum(node, q, kernel, small_gamma)
+            assert lb <= exact * (1 + 1e-9) + 1e-12
+            assert ub >= exact * (1 - 1e-9) - 1e-12
+
+    def test_tighter_than_linear_and_baseline(self, small_tree, small_gamma):
+        """The headline claim: QUAD interval inside KARL inside baseline."""
+        quad = QuadraticBoundProvider("gaussian", small_gamma)
+        linear = LinearBoundProvider("gaussian", small_gamma)
+        baseline = BaselineBoundProvider("gaussian", small_gamma)
+        rng = np.random.default_rng(5)
+        for __ in range(5):
+            q = small_tree.points[rng.integers(small_tree.n_points)]
+            q_list = q.tolist()
+            q_sq = float(q @ q)
+            for node in small_tree.nodes():
+                q_lb, q_ub = quad.node_bounds(node, q_list, q_sq)
+                l_lb, l_ub = linear.node_bounds(node, q_list, q_sq)
+                b_lb, b_ub = baseline.node_bounds(node, q_list, q_sq)
+                tol = 1e-9 * max(abs(l_ub), 1e-300)
+                assert q_lb >= l_lb - tol
+                assert q_ub <= l_ub + tol
+                assert q_lb >= b_lb - tol
+                assert q_ub <= b_ub + tol
+
+    def test_highdim_bounds_correct(self, highdim_points, node_sum):
+        """The generic (non-2-D) aggregate path brackets correctly."""
+        from repro.data.bandwidth import scott_gamma
+        from repro.index.kdtree import KDTree
+
+        gamma = scott_gamma(highdim_points, "gaussian")
+        tree = KDTree(highdim_points, leaf_size=32)
+        kernel = get_kernel("gaussian")
+        provider = QuadraticBoundProvider(kernel, gamma)
+        q = highdim_points[7]
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in tree.nodes():
+            lb, ub = provider.node_bounds(node, q_list, q_sq)
+            exact = node_sum(node, q, kernel, gamma)
+            assert lb <= exact * (1 + 1e-9) + 1e-12
+            assert ub >= exact * (1 - 1e-9) - 1e-12

@@ -1,0 +1,199 @@
+"""QUAD a*x^2 + c bounds for the distance-based kernels (Section 5)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds.baseline import BaselineBoundProvider
+from repro.core.bounds.quadratic_distance import DistanceQuadraticBoundProvider
+from repro.core.kernels import get_kernel
+from repro.data.bandwidth import scott_gamma
+from repro.errors import UnsupportedKernelError
+from repro.index.kdtree import KDTree
+
+KERNELS = ["triangular", "cosine", "exponential", "epanechnikov", "quartic"]
+
+
+def test_rejects_gaussian():
+    with pytest.raises(UnsupportedKernelError):
+        DistanceQuadraticBoundProvider("gaussian", gamma=1.0)
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+def test_bounds_bracket_exact_sum(kernel_name, small_tree, node_sum, small_points):
+    kernel = get_kernel(kernel_name)
+    gamma = scott_gamma(small_points, kernel)
+    provider = DistanceQuadraticBoundProvider(kernel, gamma)
+    rng = np.random.default_rng(10)
+    for __ in range(8):
+        q = small_points[rng.integers(len(small_points))] + rng.normal(0, 0.02, 2)
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in small_tree.nodes():
+            lb, ub = provider.node_bounds(node, q_list, q_sq)
+            exact = node_sum(node, q, kernel, gamma)
+            assert lb <= exact * (1 + 1e-9) + 1e-12, (kernel_name, node.node_id)
+            assert ub >= exact * (1 - 1e-9) - 1e-12, (kernel_name, node.node_id)
+
+
+@pytest.mark.parametrize("kernel_name", ["triangular", "cosine", "exponential"])
+def test_paper_kernels_tighter_than_baseline(kernel_name, small_tree, small_points):
+    """Lemmas 5-6 and Section 9.6: QUAD inside the baseline interval."""
+    kernel = get_kernel(kernel_name)
+    gamma = scott_gamma(small_points, kernel)
+    quad = DistanceQuadraticBoundProvider(kernel, gamma)
+    baseline = BaselineBoundProvider(kernel, gamma)
+    rng = np.random.default_rng(11)
+    for __ in range(5):
+        q = small_points[rng.integers(len(small_points))]
+        q_list = q.tolist()
+        q_sq = float(q @ q)
+        for node in small_tree.nodes():
+            q_lb, q_ub = quad.node_bounds(node, q_list, q_sq)
+            b_lb, b_ub = baseline.node_bounds(node, q_list, q_sq)
+            tol = 1e-9 * max(b_ub, 1e-300)
+            assert q_lb >= b_lb - tol
+            assert q_ub <= b_ub + tol
+
+
+class TestTriangularClosedForms:
+    def test_theorem2_closed_form(self):
+        """LB = w(n - sqrt(n * sum x^2)) (proof of Lemma 6)."""
+        points = np.array([[0.1, 0.0], [0.0, 0.2], [0.15, 0.1], [0.05, 0.05]])
+        tree = KDTree(points, leaf_size=10)
+        gamma = 1.0
+        provider = DistanceQuadraticBoundProvider("triangular", gamma)
+        q = np.array([0.4, 0.4])
+        lb, __ = provider.node_bounds(tree.root, q.tolist(), float(q @ q))
+        x2 = (gamma**2) * ((points - q) ** 2).sum()
+        expected = len(points) - math.sqrt(len(points) * x2)
+        assert lb == pytest.approx(max(expected, 0.0), rel=1e-10)
+
+    def test_node_outside_support_is_zero(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0]])
+        tree = KDTree(points)
+        provider = DistanceQuadraticBoundProvider("triangular", gamma=1.0)
+        q = [10.0, 0.0]
+        lb, ub = provider.node_bounds(tree.root, q, 100.0)
+        assert (lb, ub) == (0.0, 0.0)
+
+    def test_straddling_support_edge_still_bracket(self, node_sum):
+        rng = np.random.default_rng(12)
+        points = rng.uniform(-1.5, 1.5, size=(80, 2))
+        tree = KDTree(points, leaf_size=16)
+        kernel = get_kernel("triangular")
+        provider = DistanceQuadraticBoundProvider(kernel, gamma=1.0)
+        q = np.array([0.0, 0.0])
+        for node in tree.nodes():
+            lb, ub = provider.node_bounds(node, q.tolist(), 0.0)
+            exact = node_sum(node, q, kernel, 1.0)
+            assert lb <= exact + 1e-12 <= ub + exact * 1e-9 + 2e-12
+
+
+class TestCosineStraddle:
+    def test_straddling_half_pi_uses_valid_fallbacks(self, node_sum):
+        rng = np.random.default_rng(13)
+        points = rng.uniform(-2.0, 2.0, size=(60, 2))
+        tree = KDTree(points, leaf_size=16)
+        kernel = get_kernel("cosine")
+        provider = DistanceQuadraticBoundProvider(kernel, gamma=1.0)
+        q = np.array([0.3, -0.2])
+        for node in tree.nodes():
+            lb, ub = provider.node_bounds(node, q.tolist(), float(q @ q))
+            exact = node_sum(node, q, kernel, 1.0)
+            assert lb <= exact * (1 + 1e-9) + 1e-12
+            assert ub >= exact * (1 - 1e-9) - 1e-12
+
+    def test_lower_bound_nonnegative(self):
+        points = np.array([[1.0, 1.0], [1.2, 0.8], [-1.0, -1.0]])
+        tree = KDTree(points)
+        provider = DistanceQuadraticBoundProvider("cosine", gamma=2.0)
+        q = [0.0, 0.0]
+        lb, __ = provider.node_bounds(tree.root, q, 0.0)
+        assert lb >= 0.0
+
+
+class TestExponentialKernel:
+    def test_tangent_point_from_rms(self):
+        """t* = sqrt(mean of x_i^2) (Equation 18) gives a valid lower bound."""
+        points = np.array([[1.0, 0.0], [0.0, 2.0], [1.5, 1.5]])
+        tree = KDTree(points, leaf_size=10)
+        kernel = get_kernel("exponential")
+        gamma = 0.7
+        provider = DistanceQuadraticBoundProvider(kernel, gamma)
+        q = np.array([3.0, 3.0])
+        lb, ub = provider.node_bounds(tree.root, q.tolist(), float(q @ q))
+        exact = float(
+            np.exp(-gamma * np.sqrt(((points - q) ** 2).sum(axis=1))).sum()
+        )
+        assert lb <= exact <= ub
+
+    def test_all_points_at_query(self):
+        points = np.full((10, 2), 1.0)
+        tree = KDTree(points)
+        provider = DistanceQuadraticBoundProvider("exponential", gamma=1.0)
+        lb, ub = provider.node_bounds(tree.root, [1.0, 1.0], 2.0)
+        assert lb == pytest.approx(10.0)
+        assert ub == pytest.approx(10.0)
+
+
+class TestExtensionKernels:
+    def test_epanechnikov_exact_inside_support(self):
+        """Inside the support the Epanechnikov node sum is exact in O(d)."""
+        points = np.array([[0.1, 0.0], [0.0, 0.1], [0.2, 0.2]])
+        tree = KDTree(points, leaf_size=10)
+        provider = DistanceQuadraticBoundProvider("epanechnikov", gamma=1.0)
+        q = np.array([0.0, 0.0])
+        lb, ub = provider.node_bounds(tree.root, q.tolist(), 0.0)
+        exact = float((1 - ((points - q) ** 2).sum(axis=1)).sum())
+        assert lb == pytest.approx(exact, rel=1e-12)
+        assert ub == pytest.approx(exact, rel=1e-12)
+
+    def test_quartic_exact_inside_support(self):
+        points = np.array([[0.1, 0.0], [0.0, 0.2], [0.15, 0.15]])
+        tree = KDTree(points, leaf_size=10)
+        provider = DistanceQuadraticBoundProvider("quartic", gamma=1.0)
+        q = np.array([0.05, 0.05])
+        lb, ub = provider.node_bounds(tree.root, q.tolist(), float(q @ q))
+        u = ((points - q) ** 2).sum(axis=1)
+        exact = float(((1 - u) ** 2).sum())
+        assert lb == pytest.approx(exact, rel=1e-10)
+        assert ub == pytest.approx(exact, rel=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    kernel_name=st.sampled_from(KERNELS),
+    gamma=st.floats(0.1, 5.0),
+)
+def test_bracket_property_random_geometry(seed, kernel_name, gamma):
+    """Property: bounds bracket the exact sum for random clouds/queries."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(30, 2)) * rng.uniform(0.1, 2.0)
+    tree = KDTree(points, leaf_size=8)
+    kernel = get_kernel(kernel_name)
+    provider = DistanceQuadraticBoundProvider(kernel, gamma)
+    q = rng.normal(size=2) * 2.0
+    q_list = q.tolist()
+    q_sq = float(q @ q)
+    for node in tree.nodes():
+        lb, ub = provider.node_bounds(node, q_list, q_sq)
+        sq_dists = ((points_under(node) - q) ** 2).sum(axis=1)
+        exact = float(kernel.evaluate(sq_dists, gamma).sum())
+        assert lb <= exact * (1 + 1e-9) + 1e-12
+        assert ub >= exact * (1 - 1e-9) - 1e-12
+
+
+def points_under(node):
+    stack = [node]
+    collected = []
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            collected.append(current.points)
+        else:
+            stack.extend([current.left, current.right])
+    return np.vstack(collected)

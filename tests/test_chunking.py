@@ -1,0 +1,39 @@
+"""Chunked iteration invariants."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.utils.chunking import chunk_slices
+
+
+def test_slices_cover_range_exactly():
+    covered = []
+    for rows in chunk_slices(17, 3, max_elements=9):
+        covered.extend(range(rows.start, rows.stop))
+    assert covered == list(range(17))
+
+
+def test_each_chunk_within_budget():
+    for rows in chunk_slices(100, 10, max_elements=35):
+        assert (rows.stop - rows.start) * 10 <= 35 or (rows.stop - rows.start) == 1
+
+
+def test_budget_smaller_than_row_still_progresses():
+    slices = list(chunk_slices(5, 1000, max_elements=10))
+    assert len(slices) == 5
+    assert all(s.stop - s.start == 1 for s in slices)
+
+
+def test_zero_total_yields_nothing():
+    assert list(chunk_slices(0, 10)) == []
+
+
+def test_single_chunk_when_budget_large():
+    slices = list(chunk_slices(10, 10, max_elements=1_000_000))
+    assert slices == [slice(0, 10)]
+
+
+@pytest.mark.parametrize("total,n_per_row,max_elements", [(-1, 1, 1), (1, 0, 1), (1, 1, 0)])
+def test_invalid_arguments_raise(total, n_per_row, max_elements):
+    with pytest.raises(InvalidParameterError):
+        list(chunk_slices(total, n_per_row, max_elements=max_elements))

@@ -1,0 +1,103 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_render_defaults(self):
+        args = build_parser().parse_args(["render"])
+        assert args.dataset == "crime"
+        assert args.method == "quad"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--method", "warp"])
+
+    def test_experiment_all_accepted(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.name == "all"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quad" in out and "fig14" in out
+
+    def test_render_eps_png(self, tmp_path, capsys):
+        out = tmp_path / "map.png"
+        code = main(
+            [
+                "render",
+                "--dataset",
+                "crime",
+                "--n",
+                "300",
+                "--width",
+                "12",
+                "--height",
+                "10",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_render_tau_png(self, tmp_path):
+        out = tmp_path / "mask.png"
+        code = main(
+            [
+                "render",
+                "--dataset",
+                "home",
+                "--n",
+                "300",
+                "--width",
+                "10",
+                "--height",
+                "8",
+                "--tau-offset",
+                "0.0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_render_from_csv(self, tmp_path):
+        csv = tmp_path / "pts.csv"
+        import numpy as np
+
+        from repro.data.loaders import save_csv
+
+        save_csv(csv, np.random.default_rng(0).normal(size=(200, 2)))
+        out = tmp_path / "csv.png"
+        code = main(
+            ["render", "--csv", str(csv), "--width", "8", "--height", "8", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_experiment_command(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment",
+                "ablation_tightness",
+                "--scale",
+                "smoke",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation_tightness" in out
+        assert (tmp_path / "ablation_tightness.csv").exists()

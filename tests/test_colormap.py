@@ -1,0 +1,89 @@
+"""Colour maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, UnknownNameError
+from repro.visual.colormap import Colormap, get_colormap, two_color_map
+
+
+class TestConstruction:
+    def test_needs_two_anchors(self):
+        with pytest.raises(InvalidParameterError):
+            Colormap([(0.0, (0, 0, 0))])
+
+    def test_positions_must_span_unit(self):
+        with pytest.raises(InvalidParameterError):
+            Colormap([(0.1, (0, 0, 0)), (1.0, (255, 255, 255))])
+
+    def test_positions_must_increase(self):
+        with pytest.raises(InvalidParameterError):
+            Colormap([(0.0, (0, 0, 0)), (0.5, (1, 1, 1)), (0.5, (2, 2, 2)), (1.0, (3, 3, 3))])
+
+    def test_channels_validated(self):
+        with pytest.raises(InvalidParameterError):
+            Colormap([(0.0, (0, 0, -1)), (1.0, (255, 255, 255))])
+
+
+class TestApply:
+    def test_endpoints_hit_anchor_colors(self):
+        cmap = Colormap([(0.0, (10, 20, 30)), (1.0, (200, 100, 50))])
+        rgb = cmap.apply(np.array([0.0, 1.0]))
+        np.testing.assert_array_equal(rgb[0], [10, 20, 30])
+        np.testing.assert_array_equal(rgb[1], [200, 100, 50])
+
+    def test_midpoint_interpolates(self):
+        cmap = Colormap([(0.0, (0, 0, 0)), (1.0, (200, 100, 50))])
+        rgb = cmap.apply(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_array_equal(rgb[1], [100, 50, 25])
+
+    def test_output_shape_appends_channels(self):
+        cmap = get_colormap("density")
+        rgb = cmap.apply(np.zeros((5, 7)))
+        assert rgb.shape == (5, 7, 3)
+        assert rgb.dtype == np.uint8
+
+    def test_constant_input_maps_to_low_anchor(self):
+        cmap = Colormap([(0.0, (1, 2, 3)), (1.0, (9, 9, 9))])
+        rgb = cmap.apply(np.full(4, 7.0))
+        np.testing.assert_array_equal(rgb, np.tile([1, 2, 3], (4, 1)))
+
+    def test_explicit_range_clips(self):
+        cmap = Colormap([(0.0, (0, 0, 0)), (1.0, (100, 100, 100))])
+        rgb = cmap.apply(np.array([-5.0, 50.0]), vmin=0.0, vmax=10.0)
+        np.testing.assert_array_equal(rgb[0], [0, 0, 0])
+        np.testing.assert_array_equal(rgb[1], [100, 100, 100])
+
+    def test_log_scale_orders_preserved(self):
+        cmap = get_colormap("gray")
+        values = np.array([0.0, 1e-6, 1e-3, 1.0])
+        rgb = cmap.apply(values, log_scale=True)
+        greys = rgb[..., 0].astype(int)
+        assert np.all(np.diff(greys) >= 0)
+        assert greys[-1] > greys[0]
+
+
+class TestRegistry:
+    def test_known_maps(self):
+        for name in ("density", "heat", "gray"):
+            assert get_colormap(name).name == name
+
+    def test_instance_passthrough(self):
+        cmap = get_colormap("heat")
+        assert get_colormap(cmap) is cmap
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownNameError):
+            get_colormap("viridis-extra")
+
+
+class TestTwoColor:
+    def test_mask_rendering(self):
+        mask = np.array([[True, False]])
+        rgb = two_color_map(mask, hot=(1, 2, 3), cold=(7, 8, 9))
+        np.testing.assert_array_equal(rgb[0, 0], [1, 2, 3])
+        np.testing.assert_array_equal(rgb[0, 1], [7, 8, 9])
+
+    def test_shape(self):
+        rgb = two_color_map(np.zeros((4, 6), dtype=bool))
+        assert rgb.shape == (4, 6, 3)

@@ -1,0 +1,129 @@
+"""Scikit-learn-style facade (QuadKernelDensity)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compat import QuadKernelDensity, kernel_normaliser
+from repro.errors import InvalidParameterError, NotFittedError
+
+
+class TestNormaliser:
+    def test_gaussian_any_dims(self):
+        assert kernel_normaliser("gaussian", 2.0, 3) == pytest.approx(
+            (2 * math.pi * 4.0) ** -1.5
+        )
+
+    @pytest.mark.parametrize(
+        "kernel", ["triangular", "epanechnikov", "quartic", "cosine", "exponential"]
+    )
+    @pytest.mark.parametrize("dims", [1, 2])
+    def test_compact_kernels_integrate_to_one(self, kernel, dims):
+        """Numerically verify the analytic normalising constants."""
+        from repro.core.kernels import get_kernel
+
+        k = get_kernel(kernel)
+        h = 1.3
+        support = k.support_xmax
+        gamma = (1.0 if math.isinf(support) else support) / h
+        normaliser = kernel_normaliser(kernel, h, dims)
+        # Radial integral: 1-D: 2 * int_0^R k(gamma r) dr;
+        # 2-D: 2 pi int_0^R r k(gamma r) dr. (R chosen to cover support.)
+        radius = 40.0 * h if math.isinf(support) else h * 1.0001
+        rs = np.linspace(0.0, radius, 400_001)
+        values = k.profile(k.x_from_distance(rs, gamma))
+        if dims == 1:
+            integral = 2.0 * np.trapezoid(values, rs)
+        else:
+            integral = 2.0 * math.pi * np.trapezoid(rs * values, rs)
+        assert normaliser * integral == pytest.approx(1.0, rel=1e-3)
+
+    def test_unsupported_dims_raise(self):
+        with pytest.raises(InvalidParameterError):
+            kernel_normaliser("triangular", 1.0, 3)
+
+
+class TestEstimator:
+    @pytest.fixture(scope="class")
+    def data(self, request):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(2_000, 2))
+
+    def test_score_samples_matches_true_gaussian_density(self, data):
+        """On standard-normal data, the KDE approximates the true pdf."""
+        model = QuadKernelDensity(kernel="gaussian", rtol=1e-3).fit(data)
+        origin_log_density = float(model.score_samples([[0.0, 0.0]])[0])
+        true_log = math.log(1.0 / (2 * math.pi))
+        assert origin_log_density == pytest.approx(true_log, abs=0.25)
+
+    def test_score_is_sum_of_log_densities(self, data):
+        model = QuadKernelDensity().fit(data)
+        subset = data[:10]
+        assert model.score(subset) == pytest.approx(
+            float(model.score_samples(subset).sum())
+        )
+
+    def test_rtol_zero_is_exact(self, data):
+        exactish = QuadKernelDensity(rtol=0.0).fit(data)
+        approx = QuadKernelDensity(rtol=0.01).fit(data)
+        queries = data[:20]
+        exact_values = np.exp(exactish.score_samples(queries))
+        approx_values = np.exp(approx.score_samples(queries))
+        assert np.all(
+            np.abs(approx_values - exact_values) <= 0.01 * exact_values + 1e-15
+        )
+
+    def test_explicit_bandwidth(self, data):
+        model = QuadKernelDensity(bandwidth=0.5).fit(data)
+        assert model.bandwidth_ == 0.5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            QuadKernelDensity().score_samples([[0.0, 0.0]])
+
+    def test_sample_gaussian_distribution(self, data):
+        model = QuadKernelDensity(bandwidth=0.2).fit(data)
+        draws = model.sample(3_000, random_state=1)
+        assert draws.shape == (3_000, 2)
+        # Smoothed bootstrap of N(0,1) data: mean ~0, std ~sqrt(1+h^2).
+        assert abs(float(draws.mean())) < 0.1
+        assert float(draws.std()) == pytest.approx(math.sqrt(1 + 0.04), abs=0.1)
+
+    def test_sample_compact_kernel_stays_in_support(self):
+        points = np.zeros((50, 2))
+        model = QuadKernelDensity(kernel="triangular", bandwidth=1.0).fit(points)
+        draws = model.sample(200, random_state=2)
+        dists = np.sqrt((draws**2).sum(axis=1))
+        assert np.all(dists <= 1.0 + 1e-9)
+
+    def test_sample_exponential_kernel_has_tail(self):
+        """Infinite-support kernels must not be truncated at h."""
+        points = np.zeros((20, 1))
+        model = QuadKernelDensity(kernel="exponential", bandwidth=1.0).fit(points)
+        draws = model.sample(800, random_state=3).ravel()
+        # For a 1-D Laplace(h=1), P(|x| > 1) = e^-1 ~ 0.37.
+        tail_fraction = float(np.mean(np.abs(draws) > 1.0))
+        assert 0.2 < tail_fraction < 0.55
+        # Mean |x| of Laplace(1) is 1.
+        assert float(np.abs(draws).mean()) == pytest.approx(1.0, abs=0.2)
+
+    def test_sample_weight_forwarded(self):
+        rng = np.random.default_rng(3)
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        points = np.repeat(points, 50, axis=0) + rng.normal(0, 0.1, (100, 2))
+        weights = np.concatenate([np.full(50, 10.0), np.full(50, 1.0)])
+        model = QuadKernelDensity(bandwidth=0.5).fit(points, sample_weight=weights)
+        near, far = np.exp(model.score_samples([[0.0, 0.0], [10.0, 10.0]]))
+        assert near > 5 * far
+
+    def test_zero_density_maps_to_neg_inf(self):
+        points = np.zeros((10, 2))
+        model = QuadKernelDensity(kernel="triangular", bandwidth=1.0, rtol=0.0).fit(
+            points
+        )
+        assert model.score_samples([[100.0, 100.0]])[0] == -np.inf
+
+    def test_negative_tolerances_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QuadKernelDensity(rtol=-1.0)

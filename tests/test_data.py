@@ -1,0 +1,209 @@
+"""Datasets, bandwidth rules, loaders, PCA projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.bandwidth import (
+    gamma_for_radius,
+    scott_bandwidth,
+    scott_gamma,
+    silverman_bandwidth,
+)
+from repro.data.loaders import load_csv, save_csv
+from repro.data.projection import pca_project
+from repro.data.synthetic import (
+    DATASET_REGISTRY,
+    available_datasets,
+    crime_like,
+    hep_like,
+    load_dataset,
+)
+from repro.errors import InvalidParameterError, UnknownNameError
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
+    def test_shapes_and_determinism(self, name):
+        a = load_dataset(name, n=200, seed=5)
+        b = load_dataset(name, n=200, seed=5)
+        assert a.shape == (200, 2)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, n=100, seed=0)
+        b = load_dataset(name, n=100, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_hep_configurable_dims(self):
+        assert hep_like(50, dims=7).shape == (50, 7)
+
+    def test_crime_is_clustered(self):
+        """Hotspot structure: density mass concentrates (kurtosis-ish test)."""
+        points = crime_like(4000, seed=0)
+        from repro.core.exact import exact_density
+
+        rng = np.random.default_rng(0)
+        sample = points[rng.choice(len(points), 200, replace=False)]
+        gamma = scott_gamma(points, "gaussian")
+        densities = exact_density(points, sample, "gaussian", gamma, 1.0 / len(points))
+        # Clustered data: the hottest sampled pixel well exceeds the mean
+        # (a uniform cloud at this bandwidth stays within ~1.3x).
+        assert densities.max() > 2.0 * densities.mean()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(UnknownNameError):
+            load_dataset("taxi")
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("crime", n=0)
+
+    def test_available_datasets(self):
+        assert available_datasets() == ["crime", "elnino", "hep", "home"]
+
+
+class TestBandwidth:
+    def test_scott_formula(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(1000, 2))
+        h = scott_bandwidth(points)
+        sigma = points.std(axis=0, ddof=1).mean()
+        assert h == pytest.approx(sigma * 1000 ** (-1.0 / 6.0))
+
+    def test_scott_gamma_gaussian_relation(self, small_points):
+        h = scott_bandwidth(small_points)
+        assert scott_gamma(small_points, "gaussian") == pytest.approx(1 / (2 * h * h))
+
+    def test_scott_gamma_distance_kernel_relation(self, small_points):
+        h = scott_bandwidth(small_points)
+        assert scott_gamma(small_points, "triangular") == pytest.approx(1 / h)
+
+    def test_silverman_close_to_scott(self, small_points):
+        ratio = silverman_bandwidth(small_points) / scott_bandwidth(small_points)
+        assert 0.5 < ratio < 1.5
+
+    def test_constant_data_stays_finite(self):
+        points = np.full((50, 2), 3.0)
+        assert math.isfinite(scott_gamma(points, "gaussian"))
+
+    def test_gamma_for_radius_gaussian(self):
+        assert gamma_for_radius(2.0, "gaussian") == pytest.approx(0.25)
+
+    def test_gamma_for_radius_compact_kernel(self):
+        # Triangular support edge at x = 1 -> gamma = 1/r.
+        assert gamma_for_radius(4.0, "triangular") == pytest.approx(0.25)
+
+    def test_gamma_for_radius_cosine(self):
+        assert gamma_for_radius(1.0, "cosine") == pytest.approx(math.pi / 2)
+
+
+class TestCVBandwidth:
+    def test_recovers_reasonable_bandwidth_on_gaussian_data(self):
+        """LOO-CV should not pick the extreme candidates on clean data."""
+        from repro.data.bandwidth import cv_bandwidth, scott_bandwidth
+
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(800, 2))
+        scott = scott_bandwidth(points)
+        best = cv_bandwidth(points, "gaussian")
+        assert scott * 0.25 <= best <= scott * 4.0
+        # On smooth unimodal data, CV lands within a factor ~4 of Scott.
+        assert best >= scott * 0.5
+
+    def test_explicit_candidates_respected(self, small_points):
+        from repro.data.bandwidth import cv_bandwidth
+
+        best = cv_bandwidth(small_points, candidates=[0.01, 0.05])
+        assert best in (0.01, 0.05)
+
+    def test_empty_candidates_rejected(self, small_points):
+        from repro.data.bandwidth import cv_bandwidth
+
+        with pytest.raises(InvalidParameterError):
+            cv_bandwidth(small_points, candidates=[])
+
+    def test_subsampling_cap(self):
+        from repro.data.bandwidth import cv_bandwidth
+
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(3000, 2))
+        best = cv_bandwidth(points, max_points=300)
+        assert best > 0
+
+    def test_compact_kernel_supported(self, small_points):
+        from repro.data.bandwidth import cv_bandwidth, scott_bandwidth
+
+        scott = scott_bandwidth(small_points)
+        best = cv_bandwidth(small_points, "epanechnikov", candidates=[scott, 2 * scott])
+        assert best in (scott, 2 * scott)
+
+
+class TestLoaders:
+    def test_roundtrip(self, tmp_path, small_points):
+        path = save_csv(tmp_path / "pts.csv", small_points[:20])
+        loaded = load_csv(path)
+        np.testing.assert_allclose(loaded, small_points[:20])
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("lat,lon\n1.0,2.0\n3.0,4.0\n")
+        loaded = load_csv(path)
+        np.testing.assert_array_equal(loaded, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_column_selection(self, tmp_path):
+        path = tmp_path / "cols.csv"
+        path.write_text("1,2,3\n4,5,6\n")
+        loaded = load_csv(path, columns=(2, 0))
+        np.testing.assert_array_equal(loaded, [[3.0, 1.0], [6.0, 4.0]])
+
+    def test_bad_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2\n3,oops\n")
+        with pytest.raises(InvalidParameterError):
+            load_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2\n3,4,5\n")
+        with pytest.raises(InvalidParameterError):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(InvalidParameterError):
+            load_csv(path)
+
+    def test_save_with_header(self, tmp_path):
+        path = save_csv(tmp_path / "h.csv", [[1.0, 2.0]], header=("x", "y"))
+        assert path.read_text().splitlines()[0] == "x,y"
+
+
+class TestPCA:
+    def test_projection_shape(self, highdim_points):
+        assert pca_project(highdim_points, 3).shape == (len(highdim_points), 3)
+
+    def test_components_ordered_by_variance(self, highdim_points):
+        projected = pca_project(highdim_points, 4)
+        variances = projected.var(axis=0)
+        assert all(a >= b - 1e-9 for a, b in zip(variances, variances[1:]))
+
+    def test_full_projection_preserves_total_variance(self, highdim_points):
+        projected = pca_project(highdim_points, highdim_points.shape[1])
+        centred = highdim_points - highdim_points.mean(axis=0)
+        assert projected.var(axis=0).sum() == pytest.approx(
+            centred.var(axis=0).sum(), rel=1e-9
+        )
+
+    def test_output_centred(self, highdim_points):
+        projected = pca_project(highdim_points, 2)
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_rejects_bad_dims(self, highdim_points):
+        with pytest.raises(InvalidParameterError):
+            pca_project(highdim_points, 0)
+        with pytest.raises(InvalidParameterError):
+            pca_project(highdim_points, 99)

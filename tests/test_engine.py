@@ -1,0 +1,159 @@
+"""Refinement engine: termination, contracts, statistics, traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import make_bound_provider
+from repro.core.engine import BoundTrace, RefinementEngine
+from repro.core.exact import exact_density
+from repro.errors import InvalidParameterError
+from repro.index.kdtree import KDTree
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    from repro.data.bandwidth import scott_gamma
+    from repro.data.synthetic import load_dataset
+
+    points = load_dataset("crime", n=500, seed=1)
+    gamma = scott_gamma(points, "gaussian")
+    tree = KDTree(points, leaf_size=32)
+    provider = make_bound_provider("quad", "gaussian", gamma, 1.0 / len(points))
+    engine = RefinementEngine(tree, provider)
+    exact = lambda q: float(
+        exact_density(points, np.atleast_2d(q), "gaussian", gamma, 1.0 / len(points))[0]
+    )
+    return points, engine, exact
+
+
+class TestEpsQueries:
+    def test_relative_error_contract(self, setup):
+        points, engine, exact = setup
+        rng = np.random.default_rng(0)
+        for eps in (0.01, 0.05, 0.2):
+            for __ in range(15):
+                q = points[rng.integers(len(points))] + rng.normal(0, 0.01, 2)
+                value = engine.query_eps(q, eps)
+                truth = exact(q)
+                assert abs(value - truth) <= eps * truth + 1e-18
+
+    def test_larger_eps_needs_fewer_iterations(self, setup):
+        points, engine, __ = setup
+        q = points[0]
+        engine.stats.reset()
+        engine.query_eps(q, 0.01)
+        tight = engine.stats.iterations
+        engine.stats.reset()
+        engine.query_eps(q, 0.5)
+        loose = engine.stats.iterations
+        assert loose <= tight
+
+    def test_atol_allows_early_stop_far_away(self, setup):
+        points, engine, __ = setup
+        far = points.max(axis=0) + 50.0
+        engine.stats.reset()
+        engine.query_eps(far, 0.01, atol=1e-6)
+        with_atol = engine.stats.iterations
+        engine.stats.reset()
+        engine.query_eps(far, 0.01, atol=0.0)
+        without = engine.stats.iterations
+        assert with_atol <= without
+
+    def test_rejects_bad_eps(self, setup):
+        __, engine, __ = setup
+        with pytest.raises(InvalidParameterError):
+            engine.query_eps([0.0, 0.0], 0.0)
+        with pytest.raises(InvalidParameterError):
+            engine.query_eps([0.0, 0.0], 2.0)
+
+    def test_rejects_negative_atol(self, setup):
+        __, engine, __ = setup
+        with pytest.raises(InvalidParameterError):
+            engine.query_eps([0.0, 0.0], 0.01, atol=-1.0)
+
+
+class TestTauQueries:
+    def test_matches_exact_comparison(self, setup):
+        points, engine, exact = setup
+        rng = np.random.default_rng(1)
+        queries = points[rng.choice(len(points), size=25, replace=False)]
+        truths = np.array([exact(q) for q in queries])
+        tau = float(np.median(truths))
+        for q, truth in zip(queries, truths):
+            if abs(truth - tau) < 1e-12 * max(tau, 1.0):
+                continue  # knife-edge ties are legitimately either way
+            assert engine.query_tau(q, tau) == (truth >= tau)
+
+    def test_extreme_thresholds(self, setup):
+        points, engine, __ = setup
+        q = points[0]
+        assert engine.query_tau(q, 0.0) is True or engine.query_tau(q, 0.0) == True
+        assert not engine.query_tau(q, 1e9)
+
+    def test_tau_cheaper_than_full_eps(self, setup):
+        points, engine, exact = setup
+        q = points[5]
+        tau = exact(q) * 0.5
+        engine.stats.reset()
+        engine.query_tau(q, tau)
+        tau_iters = engine.stats.iterations
+        engine.stats.reset()
+        engine.query_eps(q, 0.01)
+        eps_iters = engine.stats.iterations
+        assert tau_iters <= eps_iters
+
+    def test_rejects_nan_tau(self, setup):
+        __, engine, __ = setup
+        with pytest.raises(InvalidParameterError):
+            engine.query_tau([0.0, 0.0], float("nan"))
+
+
+class TestExactQueries:
+    def test_full_refinement_matches_scan(self, setup):
+        points, engine, exact = setup
+        rng = np.random.default_rng(2)
+        for __ in range(10):
+            q = points[rng.integers(len(points))] + rng.normal(0, 0.02, 2)
+            assert engine.query_exact(q) == pytest.approx(exact(q), rel=1e-9, abs=1e-30)
+
+
+class TestStatsAndTrace:
+    def test_stats_accumulate(self, setup):
+        points, engine, __ = setup
+        engine.stats.reset()
+        engine.query_eps(points[0], 0.05)
+        engine.query_eps(points[1], 0.05)
+        assert engine.stats.queries == 2
+        assert engine.stats.node_evaluations >= 2
+        d = engine.stats.as_dict()
+        assert set(d) == {
+            "queries",
+            "iterations",
+            "node_evaluations",
+            "leaf_evaluations",
+            "point_evaluations",
+        }
+
+    def test_trace_records_monotone_gap_shrink_overall(self, setup):
+        points, engine, __ = setup
+        trace = BoundTrace()
+        engine.query_eps(points[0], 0.01, trace=trace)
+        gaps = trace.gap()
+        assert trace.iterations >= 2
+        assert gaps[-1] <= gaps[0]
+        # Every recorded pair is a valid interval.
+        for lb, ub in zip(trace.lowers, trace.uppers):
+            assert lb <= ub + 1e-12
+
+    def test_fifo_ordering_works_and_is_correct(self, setup):
+        points, engine, exact = setup
+        fifo = RefinementEngine(engine.tree, engine.provider, ordering="fifo")
+        q = points[3]
+        value = fifo.query_eps(q, 0.01)
+        truth = exact(q)
+        assert abs(value - truth) <= 0.01 * truth + 1e-18
+
+    def test_invalid_ordering_rejected(self, setup):
+        __, engine, __ = setup
+        with pytest.raises(InvalidParameterError):
+            RefinementEngine(engine.tree, engine.provider, ordering="dfs")

@@ -1,0 +1,78 @@
+"""Engine offset support (exact out-of-index contributions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import make_bound_provider
+from repro.core.engine import RefinementEngine
+from repro.core.exact import exact_density
+from repro.errors import InvalidParameterError
+from repro.index.kdtree import KDTree
+
+
+@pytest.fixture(scope="module")
+def world(request):
+    rng = np.random.default_rng(31)
+    indexed = rng.normal(size=(300, 2))
+    extra = rng.normal(size=(80, 2)) + 0.5
+    gamma = 1.5
+    tree = KDTree(indexed, leaf_size=16)
+    provider = make_bound_provider("quad", "gaussian", gamma, 1.0)
+    engine = RefinementEngine(tree, provider)
+    return indexed, extra, gamma, engine
+
+
+def total_density(indexed, extra, q, gamma):
+    both = np.vstack([indexed, extra])
+    return float(exact_density(both, q, "gaussian", gamma, 1.0))
+
+
+class TestEpsOffset:
+    def test_guarantee_applies_to_total(self, world):
+        indexed, extra, gamma, engine = world
+        rng = np.random.default_rng(32)
+        for __ in range(10):
+            q = rng.normal(size=2)
+            offset = float(exact_density(extra, q, "gaussian", gamma, 1.0))
+            value = engine.query_eps(q, 0.01, offset=offset)
+            truth = total_density(indexed, extra, q, gamma)
+            assert abs(value - truth) <= 0.01 * truth + 1e-12
+
+    def test_large_offset_terminates_immediately(self, world):
+        indexed, __, gamma, engine = world
+        q = np.array([0.0, 0.0])
+        # An offset dwarfing the indexed mass makes the relative test
+        # pass at the root: one bound evaluation, no pops.
+        engine.stats.reset()
+        engine.query_eps(q, 0.01, offset=1e9)
+        assert engine.stats.iterations == 0
+
+    def test_zero_offset_matches_plain_query(self, world):
+        __, __, __, engine = world
+        q = np.array([0.2, -0.1])
+        assert engine.query_eps(q, 0.05, offset=0.0) == pytest.approx(
+            engine.query_eps(q, 0.05)
+        )
+
+    def test_negative_offset_rejected(self, world):
+        __, __, __, engine = world
+        with pytest.raises(InvalidParameterError):
+            engine.query_eps([0.0, 0.0], 0.01, offset=-1.0)
+
+
+class TestTauOffset:
+    def test_threshold_shift(self, world):
+        indexed, extra, gamma, engine = world
+        rng = np.random.default_rng(33)
+        for __ in range(10):
+            q = rng.normal(size=2)
+            offset = float(exact_density(extra, q, "gaussian", gamma, 1.0))
+            truth = total_density(indexed, extra, q, gamma)
+            for tau in (truth * 0.7, truth * 1.3):
+                assert engine.query_tau(q, tau, offset=offset) == (truth >= tau)
+
+    def test_offset_alone_can_decide(self, world):
+        __, __, __, engine = world
+        engine.stats.reset()
+        assert engine.query_tau([0.0, 0.0], tau=5.0, offset=10.0)
+        assert engine.stats.iterations == 0

@@ -1,0 +1,40 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    UnknownNameError,
+    UnsupportedKernelError,
+    UnsupportedOperationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        InvalidParameterError,
+        UnsupportedKernelError,
+        UnsupportedOperationError,
+        NotFittedError,
+        UnknownNameError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_value_errors_catchable_as_value_error():
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(UnsupportedKernelError, ValueError)
+    assert issubclass(UnsupportedOperationError, ValueError)
+
+
+def test_not_fitted_is_runtime_error():
+    assert issubclass(NotFittedError, RuntimeError)
+
+
+def test_unknown_name_is_key_error():
+    assert issubclass(UnknownNameError, KeyError)

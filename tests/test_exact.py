@@ -1,0 +1,65 @@
+"""Vectorised exact evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_density
+from repro.errors import InvalidParameterError
+
+
+def brute(points, q, kernel, gamma, weight):
+    from repro.core.kernels import get_kernel
+
+    kernel = get_kernel(kernel)
+    sq = ((points - q) ** 2).sum(axis=1)
+    return weight * float(kernel.evaluate(sq, gamma).sum())
+
+
+@pytest.mark.parametrize("kernel", ["gaussian", "triangular", "cosine", "exponential"])
+def test_matches_brute_force(kernel, small_points):
+    rng = np.random.default_rng(0)
+    queries = small_points[rng.choice(len(small_points), 5, replace=False)]
+    out = exact_density(small_points, queries, kernel, gamma=2.0, weight=0.3)
+    for q, value in zip(queries, out):
+        # Summation order differs between the chunked path and brute force.
+        assert value == pytest.approx(brute(small_points, q, kernel, 2.0, 0.3), rel=1e-9)
+
+
+def test_single_query_returns_scalar(small_points):
+    value = exact_density(small_points, small_points[0], gamma=1.0)
+    assert np.isscalar(value) or value.ndim == 0
+
+
+def test_chunking_does_not_change_result(small_points):
+    queries = small_points[:20]
+    full = exact_density(small_points, queries, gamma=1.0)
+    chunked = exact_density(small_points, queries, gamma=1.0, max_elements=64)
+    np.testing.assert_allclose(full, chunked, rtol=1e-13)
+
+
+def test_density_nonnegative(small_points):
+    out = exact_density(small_points, small_points[:50], gamma=5.0)
+    assert np.all(out >= 0.0)
+
+
+def test_dim_mismatch_rejected(small_points):
+    with pytest.raises(InvalidParameterError):
+        exact_density(small_points, np.ones((2, 3)), gamma=1.0)
+
+
+def test_point_on_top_of_data(small_points):
+    """Query exactly at a data point includes that point's full weight."""
+    out = float(exact_density(small_points, small_points[0], gamma=1.0, weight=1.0))
+    assert out >= 1.0
+
+
+def test_weight_scales_linearly(small_points):
+    q = small_points[:3]
+    a = exact_density(small_points, q, gamma=1.0, weight=1.0)
+    b = exact_density(small_points, q, gamma=1.0, weight=2.5)
+    np.testing.assert_allclose(b, 2.5 * a, rtol=1e-13)
+
+
+def test_invalid_gamma_rejected(small_points):
+    with pytest.raises(InvalidParameterError):
+        exact_density(small_points, small_points[:1], gamma=0.0)

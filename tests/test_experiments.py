@@ -1,0 +1,195 @@
+"""Experiment harness: every registered experiment runs at smoke scale.
+
+These are integration tests over the whole stack — they assert structural
+properties of the results (row schema, series completeness) plus the
+paper's qualitative claims that are robust at tiny scale (work-measure
+orderings, quality guarantees).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownNameError
+from repro.experiments import (
+    SCALE_PRESETS,
+    available_experiments,
+    get_scale,
+    run_experiment,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+
+class TestScalePresets:
+    def test_presets_registered(self):
+        assert {"smoke", "small", "medium", "large"} <= set(SCALE_PRESETS)
+
+    def test_get_scale_by_name(self):
+        assert get_scale("smoke").name == "smoke"
+
+    def test_get_scale_passthrough(self):
+        preset = get_scale("smoke")
+        assert get_scale(preset) is preset
+
+    def test_unknown_scale(self):
+        with pytest.raises(UnknownNameError):
+            get_scale("galactic")
+
+
+class TestResultObject:
+    def test_save_round_trip(self, tmp_path):
+        result = ExperimentResult("test", "demo", [{"a": 1, "b": 2.5}], {"k": "v"})
+        json_path, csv_path = result.save(tmp_path)
+        assert json_path.exists() and csv_path.exists()
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["rows"] == [{"a": 1, "b": 2.5}]
+
+    def test_filter(self):
+        result = ExperimentResult(
+            "t", "d", [{"m": "quad", "x": 1}, {"m": "karl", "x": 2}]
+        )
+        assert result.filter(m="quad") == [{"m": "quad", "x": 1}]
+
+    def test_save_heterogeneous_rows(self, tmp_path):
+        """eps and tau rows share one CSV: header is the key union."""
+        result = ExperimentResult(
+            "mixed", "d", [{"a": 1, "eps": 0.01}, {"a": 2, "tau": "mu"}]
+        )
+        __, csv_path = result.save(tmp_path)
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "a,eps,tau"
+        assert lines[1] == "1,0.01,"
+        assert lines[2] == "2,,mu"
+
+    def test_format_table_alignment(self):
+        text = format_table([{"col": 1.0}, {"col": 123456.0}])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4
+
+
+@pytest.fixture(scope="module")
+def smoke_results(request):
+    """Run every experiment once at smoke scale; cache for assertions."""
+    results = {}
+    for name in available_experiments():
+        results[name] = run_experiment(name, scale="smoke", seed=0)
+    return results
+
+
+class TestAllExperimentsRun:
+    def test_every_experiment_produces_rows(self, smoke_results):
+        for name, result in smoke_results.items():
+            assert result.rows, f"{name} produced no rows"
+
+    def test_metadata_carries_scale(self, smoke_results):
+        for result in smoke_results.values():
+            assert result.metadata.get("scale") == "smoke"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownNameError):
+            run_experiment("fig99")
+
+    def test_save_to_dir(self, tmp_path):
+        result = run_experiment("ablation_tightness", scale="smoke", out_dir=tmp_path)
+        assert (tmp_path / "ablation_tightness.json").exists()
+
+    def test_fig19_saves_pngs_via_image_dir(self, tmp_path):
+        result = run_experiment(
+            "fig19", scale="smoke", out_dir=tmp_path, image_dir=str(tmp_path)
+        )
+        pngs = list(tmp_path.glob("fig19_*.png"))
+        assert len(pngs) == len(result.rows)
+
+    def test_kwargs_forwarded_to_experiment(self):
+        result = run_experiment("fig14", scale="smoke", datasets=("crime",))
+        assert {row["dataset"] for row in result.rows} == {"crime"}
+
+
+class TestSeriesCompleteness:
+    def test_fig14_full_grid_of_series(self, smoke_results):
+        result = smoke_results["fig14"]
+        scale = get_scale("smoke")
+        expected = 4 * len(scale.eps_values) * 4  # datasets x eps x methods
+        assert len(result.rows) == expected
+
+    def test_fig15_has_all_thresholds(self, smoke_results):
+        result = smoke_results["fig15"]
+        labels = {row["tau"] for row in result.rows}
+        assert len(labels) == len(get_scale("smoke").tau_offsets)
+
+    def test_fig17_covers_both_operations(self, smoke_results):
+        ops = {row["operation"] for row in smoke_results["fig17"].rows}
+        assert ops == {"eps", "tau"}
+
+    def test_fig22_covers_kernels(self, smoke_results):
+        kernels = {row["kernel"] for row in smoke_results["fig22"].rows}
+        assert kernels == {"triangular", "cosine"}
+
+    def test_fig24_covers_dims(self, smoke_results):
+        dims = {row["dims"] for row in smoke_results["fig24"].rows}
+        assert dims == set(get_scale("smoke").dims_sweep)
+
+    def test_fig27_exponential_kernel(self, smoke_results):
+        assert smoke_results["fig27"].metadata["kernel"] == "exponential"
+
+    def test_fig02_panels(self, smoke_results):
+        panels = [row["panel"] for row in smoke_results["fig02"].rows]
+        assert panels[0] == "exact"
+        assert len(panels) == 3
+
+    def test_fig02_quality(self, smoke_results):
+        rows = smoke_results["fig02"].rows
+        assert rows[1]["avg_rel_error"] <= 0.01
+        assert rows[2]["mask_accuracy"] == 1.0
+
+
+class TestQualitativeClaims:
+    def test_fig18_quad_stops_no_later_than_karl(self, smoke_results):
+        stops = smoke_results["fig18"].metadata["stop_iterations"]
+        assert stops["quad"] <= stops["karl"]
+
+    def test_fig18_bounds_bracket_exact(self, smoke_results):
+        result = smoke_results["fig18"]
+        exact = result.metadata["exact_density"]
+        for row in result.rows:
+            assert row["lower_bound"] <= exact * (1 + 1e-9) + 1e-15
+            assert row["upper_bound"] >= exact * (1 - 1e-9) - 1e-15
+
+    def test_fig19_all_methods_high_quality(self, smoke_results):
+        for row in smoke_results["fig19"].rows:
+            if row["method"] == "zorder":
+                continue  # probabilistic guarantee
+            assert row["max_rel_error"] <= 0.011
+
+    def test_fig14_work_ordering_quad_beats_akde(self, smoke_results):
+        """The hardware-neutral claim: QUAD scans fewer points than aKDE."""
+        result = smoke_results["fig14"]
+        for dataset in ("crime", "home"):
+            quad = sum(
+                row["point_evaluations"]
+                for row in result.filter(method="quad", dataset=dataset)
+            )
+            akde = sum(
+                row["point_evaluations"]
+                for row in result.filter(method="akde", dataset=dataset)
+            )
+            assert quad <= akde
+
+    def test_fig21_quality_improves_with_budget(self, smoke_results):
+        rows = smoke_results["fig21"].rows
+        errors = [row["avg_rel_error"] for row in rows]
+        assert errors[-1] <= errors[0] + 1e-12
+
+    def test_ablation_tightness_ordering(self, smoke_results):
+        rows = {row["provider"]: row for row in smoke_results["ablation_tightness"].rows}
+        assert (
+            rows["quad"]["mean_gap_ratio_vs_baseline"]
+            <= rows["linear"]["mean_gap_ratio_vs_baseline"]
+            <= rows["baseline"]["mean_gap_ratio_vs_baseline"] + 1e-12
+        )
+
+    def test_ablation_tangent_mean_no_more_work(self, smoke_results):
+        rows = {row["tangent"]: row for row in smoke_results["ablation_tangent"].rows}
+        assert rows["mean"]["point_evaluations"] <= rows["midpoint"]["point_evaluations"] * 1.05

@@ -1,0 +1,72 @@
+"""PNG / PPM writers: files must be structurally valid and lossless."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.visual.image import write_png, write_ppm
+
+
+def decode_png(path):
+    """Minimal PNG decoder for our own single-IDAT, filter-0 output."""
+    data = path.read_bytes()
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    offset = 8
+    chunks = {}
+    while offset < len(data):
+        (length,) = struct.unpack(">I", data[offset : offset + 4])
+        tag = data[offset + 4 : offset + 8]
+        payload = data[offset + 8 : offset + 8 + length]
+        (crc,) = struct.unpack(">I", data[offset + 8 + length : offset + 12 + length])
+        assert crc == zlib.crc32(tag + payload), "chunk CRC must validate"
+        chunks.setdefault(tag, b"")
+        chunks[tag] += payload
+        offset += 12 + length
+    width, height, depth, color = struct.unpack(">IIBB", chunks[b"IHDR"][:10])
+    assert depth == 8 and color == 2  # 8-bit RGB
+    raw = zlib.decompress(chunks[b"IDAT"])
+    stride = 1 + width * 3
+    image = np.empty((height, width, 3), dtype=np.uint8)
+    for row in range(height):
+        line = raw[row * stride : (row + 1) * stride]
+        assert line[0] == 0  # filter type None
+        image[row] = np.frombuffer(line[1:], dtype=np.uint8).reshape(width, 3)
+    return image
+
+
+class TestPNG:
+    def test_roundtrip_lossless(self, tmp_path):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, size=(13, 17, 3), dtype=np.uint8)
+        path = write_png(tmp_path / "out.png", image)
+        np.testing.assert_array_equal(decode_png(path), image)
+
+    def test_float_input_clipped(self, tmp_path):
+        image = np.full((2, 2, 3), 300.0)
+        path = write_png(tmp_path / "clip.png", image)
+        assert np.all(decode_png(path) == 255)
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            write_png(tmp_path / "bad.png", np.zeros((4, 4)))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_png(tmp_path / "a" / "b" / "c.png", np.zeros((2, 2, 3), np.uint8))
+        assert path.exists()
+
+
+class TestPPM:
+    def test_header_and_payload(self, tmp_path):
+        image = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+        path = write_ppm(tmp_path / "out.ppm", image)
+        raw = path.read_bytes()
+        header, payload = raw.split(b"\n255\n", 1)
+        assert header == b"P6\n3 2"
+        assert payload == image.tobytes()
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            write_ppm(tmp_path / "bad.ppm", np.zeros((4, 4, 4)))

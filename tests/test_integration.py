@@ -1,0 +1,134 @@
+"""Cross-module integration tests: full pipelines, regression guards."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KDVRenderer,
+    KernelDensity,
+    ProgressiveRenderer,
+    load_dataset,
+)
+
+
+class TestCrossMethodConsistency:
+    """Every deterministic method must agree with EXACT on every dataset."""
+
+    @pytest.mark.parametrize("dataset", ["elnino", "crime", "home", "hep"])
+    def test_eps_agreement_across_datasets(self, dataset):
+        points = load_dataset(dataset, n=400, seed=11)
+        renderer = KDVRenderer(points, resolution=(10, 8), leaf_size=32)
+        exact = renderer.render_exact()
+        atol = 1e-9 * renderer.weight
+        for method in ("quad", "karl", "akde", "scikit"):
+            image = renderer.render_eps(0.01, method)
+            assert np.all(np.abs(image - exact) <= 0.01 * exact + atol), (
+                dataset,
+                method,
+            )
+
+    @pytest.mark.parametrize("dataset", ["crime", "home"])
+    def test_tau_agreement_across_datasets(self, dataset):
+        points = load_dataset(dataset, n=400, seed=12)
+        renderer = KDVRenderer(points, resolution=(10, 8), leaf_size=32)
+        exact = renderer.render_exact()
+        for offset in (-0.2, 0.0, 0.2):
+            mu, sigma = renderer.density_stats()
+            tau = max(mu + offset * sigma, 1e-300)
+            reference = exact >= tau
+            for method in ("quad", "karl", "tkdc"):
+                mask = renderer.render_tau(tau, method)
+                np.testing.assert_array_equal(mask, reference)
+
+    @pytest.mark.parametrize("kernel", ["triangular", "cosine", "exponential"])
+    def test_distance_kernels_end_to_end(self, kernel):
+        points = load_dataset("crime", n=400, seed=13)
+        renderer = KDVRenderer(points, resolution=(8, 6), kernel=kernel, leaf_size=32)
+        exact = renderer.render_exact()
+        atol = 1e-9 * renderer.weight
+        image = renderer.render_eps(0.02, "quad")
+        assert np.all(np.abs(image - exact) <= 0.02 * exact + atol)
+
+
+class TestNumericalRegressionGuards:
+    def test_geographic_coordinates_with_narrow_kernel(self):
+        """Regression guard for the centred-aggregate fix: lat/lon-scale
+        offsets with very narrow kernels must not break the contract."""
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(800, 2)) * 0.002 + np.array([33.75, -84.39])
+        kde = KernelDensity(method="quad", gamma=2e5).fit(points)
+        queries = points[:30]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.01)
+        assert np.all(np.abs(approx - exact) <= 0.01 * exact + 1e-18)
+
+    def test_low_density_pixels_do_not_blow_up(self):
+        """Regression guard for the Kahan-compensated engine: pixels many
+        orders of magnitude below the peak stay within eps + tiny atol."""
+        points = load_dataset("home", n=800, seed=14)
+        renderer = KDVRenderer(points, resolution=(12, 10), leaf_size=32)
+        exact = renderer.render_exact()
+        atol = 1e-9 * renderer.weight
+        image = renderer.render_eps(0.01, "quad")
+        assert np.all(np.abs(image - exact) <= 0.01 * exact + atol)
+
+    def test_engine_fully_refined_equals_vectorised_exact(self):
+        """Exhaustive refinement must equal the numpy scan bit-for-bit up
+        to summation order."""
+        points = load_dataset("crime", n=300, seed=15)
+        kde = KernelDensity(method="quad").fit(points)
+        queries = points[:10]
+        exact = kde.density(queries)
+        engine = kde.method.engine
+        refined = np.array([engine.query_exact(q) for q in queries])
+        np.testing.assert_allclose(refined, exact, rtol=1e-9)
+
+
+class TestPipelineComposition:
+    def test_progressive_then_static_share_method_state(self):
+        points = load_dataset("crime", n=300, seed=16)
+        from repro.methods.quad import QUADMethod
+
+        method = QUADMethod(leaf_size=32)
+        progressive = ProgressiveRenderer(points, resolution=(8, 6), method=method)
+        progressive.run(max_pixels=5)
+        renderer = KDVRenderer(
+            points,
+            grid=progressive.grid,
+            gamma=progressive.gamma,
+            weight=progressive.weight,
+        )
+        image = renderer.render_eps(0.01, method)
+        assert image.shape == (6, 8)
+
+    def test_csv_roundtrip_to_render(self, tmp_path):
+        from repro.data.loaders import load_csv, save_csv
+
+        points = load_dataset("elnino", n=250, seed=17)
+        path = save_csv(tmp_path / "points.csv", points, header=("a", "b"))
+        renderer = KDVRenderer(load_csv(path), resolution=(6, 5), leaf_size=32)
+        image = renderer.render_eps(0.05, "quad")
+        assert np.all(np.isfinite(image))
+
+    def test_png_output_of_full_pipeline(self, tmp_path):
+        points = load_dataset("crime", n=250, seed=18)
+        renderer = KDVRenderer(points, resolution=(8, 6), leaf_size=32)
+        density = renderer.render_eps(0.05, "quad")
+        mask = renderer.render_tau(renderer.thresholds()[3], "quad")
+        assert renderer.save_density_png(density, tmp_path / "d.png").exists()
+        assert renderer.save_mask_png(mask, tmp_path / "m.png").exists()
+
+
+class TestWorkMetricsOrdering:
+    def test_quad_scans_fewer_points_than_akde(self):
+        """The paper's core efficiency claim, in its hardware-neutral
+        form: at equal guarantees QUAD's pruning scans fewer points."""
+        points = load_dataset("crime", n=2000, seed=19)
+        renderer = KDVRenderer(points, resolution=(16, 12), leaf_size=64)
+        work = {}
+        for method in ("akde", "karl", "quad"):
+            fitted = renderer.get_method(method)
+            fitted.stats.reset()
+            renderer.render_eps(0.01, method, atol=0.0)
+            work[method] = fitted.stats.point_evaluations
+        assert work["quad"] <= work["karl"] <= work["akde"]

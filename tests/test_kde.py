@@ -1,0 +1,90 @@
+"""High-level KernelDensity API."""
+
+import numpy as np
+import pytest
+
+from repro.core.kde import KernelDensity
+from repro.errors import NotFittedError
+
+
+class TestLifecycle:
+    def test_fit_resolves_scott_gamma(self, small_points):
+        kde = KernelDensity().fit(small_points)
+        assert kde.gamma_ > 0
+        from repro.data.bandwidth import scott_gamma
+
+        assert kde.gamma_ == pytest.approx(scott_gamma(small_points, "gaussian"))
+
+    def test_explicit_gamma_kept(self, small_points):
+        kde = KernelDensity(gamma=3.0).fit(small_points)
+        assert kde.gamma_ == 3.0
+
+    def test_default_weight_is_one_over_n(self, small_points):
+        kde = KernelDensity().fit(small_points)
+        assert kde.weight_ == pytest.approx(1.0 / len(small_points))
+
+    def test_unfitted_raises(self):
+        kde = KernelDensity()
+        with pytest.raises(NotFittedError):
+            kde.density([[0.0, 0.0]])
+        with pytest.raises(NotFittedError):
+            kde.density_eps([[0.0, 0.0]])
+        with pytest.raises(NotFittedError):
+            kde.above_threshold([[0.0, 0.0]], 0.5)
+
+    def test_dims_property(self, small_points):
+        assert KernelDensity().fit(small_points).dims == 2
+
+    def test_repr_shows_state(self, small_points):
+        kde = KernelDensity()
+        assert "unfitted" in repr(kde)
+        kde.fit(small_points)
+        assert "fitted" in repr(kde)
+
+
+class TestQueries:
+    def test_density_eps_contract(self, small_points):
+        kde = KernelDensity(method="quad").fit(small_points)
+        queries = small_points[:20]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.03)
+        assert np.all(np.abs(approx - exact) <= 0.03 * exact + 1e-18)
+
+    def test_single_query_scalar(self, small_points):
+        kde = KernelDensity().fit(small_points)
+        value = kde.density_eps(small_points[0], eps=0.05)
+        assert isinstance(value, float)
+
+    def test_above_threshold_bool(self, small_points):
+        kde = KernelDensity().fit(small_points)
+        value = kde.density(small_points[:1])[0]
+        assert kde.above_threshold(small_points[0], tau=value / 2) is True
+        assert kde.above_threshold(small_points[0], tau=value * 2) is False
+
+    def test_threshold_stats(self, small_points):
+        kde = KernelDensity().fit(small_points)
+        mu, sigma = kde.threshold_stats(small_points[:100])
+        values = kde.density(small_points[:100])
+        assert mu == pytest.approx(values.mean())
+        assert sigma == pytest.approx(values.std())
+
+    def test_method_by_instance(self, small_points):
+        from repro.methods.karl import KARLMethod
+
+        kde = KernelDensity(method=KARLMethod()).fit(small_points)
+        assert kde.method.name == "karl"
+
+    @pytest.mark.parametrize("kernel", ["triangular", "cosine", "exponential"])
+    def test_other_kernels_end_to_end(self, kernel, small_points):
+        kde = KernelDensity(kernel=kernel, method="quad").fit(small_points)
+        queries = small_points[:10]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.05)
+        assert np.all(np.abs(approx - exact) <= 0.05 * exact + 1e-18)
+
+    def test_higher_dimensional_data(self, highdim_points):
+        kde = KernelDensity(method="quad").fit(highdim_points)
+        queries = highdim_points[:5]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.05)
+        assert np.all(np.abs(approx - exact) <= 0.05 * exact + 1e-18)

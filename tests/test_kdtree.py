@@ -1,0 +1,122 @@
+"""kd-tree structure and aggregate invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.index.kdtree import KDTree
+
+
+class TestStructure:
+    def test_leaf_capacity_respected(self, small_tree):
+        for leaf in small_tree.leaves():
+            assert leaf.size <= small_tree.leaf_size
+
+    def test_leaf_sizes_sum_to_n(self, small_tree):
+        assert sum(leaf.size for leaf in small_tree.leaves()) == small_tree.n_points
+
+    def test_node_count_consistent(self, small_tree):
+        assert small_tree.num_nodes == sum(1 for __ in small_tree.nodes())
+
+    def test_internal_nodes_have_two_children(self, small_tree):
+        for node in small_tree.nodes():
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+
+    def test_children_partition_parent(self, small_tree):
+        for node in small_tree.nodes():
+            if not node.is_leaf:
+                assert node.left.size + node.right.size == node.size
+
+    def test_depths_increase(self, small_tree):
+        for node in small_tree.nodes():
+            if not node.is_leaf:
+                assert node.left.depth == node.depth + 1
+                assert node.right.depth == node.depth + 1
+
+    def test_balanced_height(self, small_points):
+        tree = KDTree(small_points, leaf_size=8)
+        import math
+
+        expected = math.ceil(math.log2(len(small_points) / 8)) + 2
+        assert tree.height() <= expected
+
+    def test_node_ids_unique(self, small_tree):
+        ids = [node.node_id for node in small_tree.nodes()]
+        assert len(ids) == len(set(ids))
+
+
+class TestRectangles:
+    def test_child_rect_inside_parent(self, small_tree):
+        for node in small_tree.nodes():
+            if node.is_leaf:
+                continue
+            for child in (node.left, node.right):
+                assert np.all(child.rect.low >= node.rect.low - 1e-12)
+                assert np.all(child.rect.high <= node.rect.high + 1e-12)
+
+    def test_leaf_rect_covers_leaf_points(self, small_tree):
+        for leaf in small_tree.leaves():
+            assert np.all(leaf.points >= leaf.rect.low - 1e-12)
+            assert np.all(leaf.points <= leaf.rect.high + 1e-12)
+
+
+class TestAggregates:
+    def test_root_aggregate_counts_everything(self, small_tree):
+        assert small_tree.root.agg.n == small_tree.n_points
+
+    def test_node_aggregates_match_subtree_points(self, small_tree):
+        rng = np.random.default_rng(5)
+        q = small_tree.points[rng.integers(small_tree.n_points)]
+        q_list = q.tolist()
+        for node in small_tree.nodes():
+            stack = [node]
+            collected = []
+            while stack:
+                current = stack.pop()
+                if current.is_leaf:
+                    collected.append(current.points)
+                else:
+                    stack.extend([current.left, current.right])
+            member = np.vstack(collected)
+            d2 = float(((member - q) ** 2).sum())
+            assert node.agg.sum_sq_dists(q_list) == pytest.approx(d2, rel=1e-9, abs=1e-12)
+
+
+class TestDegenerateInputs:
+    def test_all_identical_points(self):
+        points = np.full((100, 2), 1.5)
+        tree = KDTree(points, leaf_size=8)
+        # Zero-extent data cannot be split: one (oversized) leaf.
+        assert tree.num_leaves == 1
+        assert tree.root.is_leaf
+
+    def test_single_point(self):
+        tree = KDTree([[1.0, 2.0]])
+        assert tree.root.is_leaf
+        assert tree.n_points == 1
+
+    def test_duplicate_heavy_data_terminates(self):
+        rng = np.random.default_rng(0)
+        points = np.repeat(rng.normal(size=(5, 2)), 40, axis=0)
+        tree = KDTree(points, leaf_size=4)
+        assert sum(leaf.size for leaf in tree.leaves()) == 200
+
+    def test_1d_points(self):
+        tree = KDTree(np.linspace(0, 1, 50).reshape(-1, 1), leaf_size=8)
+        assert tree.dims == 1
+        assert sum(leaf.size for leaf in tree.leaves()) == 50
+
+    def test_highdim_points(self, highdim_points):
+        tree = KDTree(highdim_points, leaf_size=32)
+        assert tree.dims == 5
+        assert sum(leaf.size for leaf in tree.leaves()) == len(highdim_points)
+
+    def test_rejects_bad_leaf_size(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            KDTree(small_points, leaf_size=0)
+
+    def test_leaf_sq_norms_cached(self, small_tree):
+        for leaf in small_tree.leaves():
+            expected = (leaf.points**2).sum(axis=1)
+            np.testing.assert_allclose(leaf.sq_norms, expected)

@@ -1,0 +1,135 @@
+"""Bound-accelerated kernel density classification (tKDC's application)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.ml.kernel_classifier import KernelClassifier
+
+
+def two_moons(n=400, seed=0):
+    """Two crescent-shaped classes."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    theta = rng.uniform(0, np.pi, half)
+    upper = np.column_stack([np.cos(theta), np.sin(theta)])
+    lower = np.column_stack([1.0 - np.cos(theta), 0.5 - np.sin(theta)])
+    points = np.vstack([upper, lower]) + rng.normal(0, 0.08, (2 * half, 2))
+    labels = np.array([0] * half + [1] * half)
+    return points, labels
+
+
+class TestLifecycle:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelClassifier().predict([[0.0, 0.0]])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KernelClassifier().fit(np.zeros((5, 2)), [1, 1, 1, 1, 1])
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            KernelClassifier().fit(np.zeros((5, 2)), [0, 1])
+
+    def test_classes_sorted_unique(self):
+        points, labels = two_moons(100)
+        model = KernelClassifier().fit(points, labels)
+        np.testing.assert_array_equal(model.classes_, [0, 1])
+
+
+class TestPrediction:
+    def test_matches_exact_argmax(self):
+        points, labels = two_moons(400)
+        model = KernelClassifier().fit(points, labels)
+        rng = np.random.default_rng(1)
+        queries = points[rng.choice(len(points), 60, replace=False)]
+        queries = queries + rng.normal(0, 0.02, queries.shape)
+        np.testing.assert_array_equal(
+            model.predict(queries), model.predict_exact(queries)
+        )
+
+    def test_training_accuracy_high(self):
+        points, labels = two_moons(600, seed=2)
+        model = KernelClassifier().fit(points, labels)
+        predictions = model.predict(points[::5])
+        accuracy = float((predictions == labels[::5]).mean())
+        assert accuracy > 0.95
+
+    def test_string_labels(self):
+        points, labels = two_moons(200)
+        names = np.array(["hot", "cold"])[labels]
+        model = KernelClassifier().fit(points, names)
+        prediction = model.predict(points[:1])[0]
+        assert prediction in ("hot", "cold")
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(3)
+        centers = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 3.5]])
+        points = np.vstack(
+            [center + rng.normal(0, 0.5, (80, 2)) for center in centers]
+        )
+        labels = np.repeat([0, 1, 2], 80)
+        model = KernelClassifier().fit(points, labels)
+        np.testing.assert_array_equal(model.predict(centers), [0, 1, 2])
+
+    def test_prunes_work(self):
+        """Bounded argmax scans fewer points than the brute-force rule."""
+        points, labels = two_moons(2000, seed=4)
+        model = KernelClassifier(leaf_size=32).fit(points, labels)
+        model.points_scanned = 0
+        queries = points[:50]
+        model.predict(queries)
+        full_scan = len(points) * len(queries)
+        assert model.points_scanned < 0.8 * full_scan
+
+    @pytest.mark.parametrize("kernel", ["triangular", "exponential"])
+    def test_other_kernels(self, kernel):
+        points, labels = two_moons(300, seed=5)
+        model = KernelClassifier(kernel=kernel).fit(points, labels)
+        queries = points[:20]
+        np.testing.assert_array_equal(
+            model.predict(queries), model.predict_exact(queries)
+        )
+
+
+class TestProbabilities:
+    def test_proba_rows_sum_to_one(self):
+        points, labels = two_moons(300, seed=6)
+        model = KernelClassifier().fit(points, labels)
+        proba = model.predict_proba(points[:10], eps=0.05)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.all(proba >= 0.0)
+
+    def test_proba_argmax_consistent_with_predict(self):
+        points, labels = two_moons(300, seed=7)
+        model = KernelClassifier().fit(points, labels)
+        queries = points[:20]
+        proba = model.predict_proba(queries, eps=0.001)
+        by_proba = model.classes_[np.argmax(proba, axis=1)]
+        exact = model.predict_exact(queries)
+        # Tight eps: disagreement only possible on near-ties.
+        densities = model.class_densities(queries)
+        margins = np.abs(densities[:, 0] - densities[:, 1]) / densities.max(axis=1)
+        clear = margins > 0.01
+        np.testing.assert_array_equal(by_proba[clear], exact[clear])
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**16), separation=st.floats(0.5, 5.0))
+def test_bounded_argmax_equals_exact_property(seed, separation):
+    """The bounded decision equals the exact argmax on random mixtures."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(60, 2))
+    b = rng.normal(size=(60, 2)) + separation
+    points = np.vstack([a, b])
+    labels = np.repeat([0, 1], 60)
+    model = KernelClassifier().fit(points, labels)
+    queries = rng.normal(size=(8, 2)) * 2.0 + separation / 2.0
+    densities = model.class_densities(queries)
+    margins = np.abs(densities[:, 0] - densities[:, 1])
+    clear = margins > 1e-9 * densities.max(axis=1)
+    predicted = model.predict(queries)
+    exact = model.predict_exact(queries)
+    np.testing.assert_array_equal(predicted[clear], exact[clear])

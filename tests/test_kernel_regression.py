@@ -1,0 +1,145 @@
+"""Bound-accelerated Nadaraya-Watson kernel regression (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.ml.kernel_regression import (
+    KernelRegressor,
+    _node_numerator_bounds,
+    _ratio_interval,
+)
+
+
+def sine_data(n=400, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-3, 3, size=(n, 1))
+    y = np.sin(X[:, 0]) + rng.normal(0, noise, n)
+    return X, y
+
+
+class TestHelperMath:
+    def test_numerator_bounds_nonnegative_labels(self):
+        lb, ub = _node_numerator_bounds(2.0, 3.0, 1.0, 4.0)
+        assert (lb, ub) == (2.0, 12.0)
+
+    def test_numerator_bounds_negative_labels(self):
+        lb, ub = _node_numerator_bounds(2.0, 3.0, -4.0, -1.0)
+        assert (lb, ub) == (-12.0, -2.0)
+
+    def test_numerator_bounds_mixed_labels(self):
+        lb, ub = _node_numerator_bounds(2.0, 3.0, -4.0, 5.0)
+        assert (lb, ub) == (-12.0, 15.0)
+
+    def test_ratio_interval_brackets(self):
+        low, high = _ratio_interval(1.0, 2.0, 0.5, 1.0)
+        assert low == 1.0 and high == 4.0
+
+
+class TestLifecycle:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelRegressor().predict([[0.0]])
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            KernelRegressor().fit(np.zeros((3, 1)), [1.0, 2.0])
+
+    def test_nan_labels_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KernelRegressor().fit(np.zeros((2, 1)), [1.0, float("nan")])
+
+    def test_fit_returns_self(self):
+        X, y = sine_data(50)
+        model = KernelRegressor()
+        assert model.fit(X, y) is model
+
+
+class TestPrediction:
+    def test_predictions_within_tolerance_of_exact(self):
+        X, y = sine_data(400)
+        model = KernelRegressor().fit(X, y)
+        queries = np.linspace(-2.5, 2.5, 15).reshape(-1, 1)
+        exact = model.predict_exact(queries)
+        approx = model.predict(queries, tol=0.01)
+        scale = float(np.max(np.abs(y)))
+        assert np.all(np.abs(approx - exact) <= 0.01 * scale + 1e-12)
+
+    def test_recovers_underlying_function(self):
+        X, y = sine_data(800, noise=0.05)
+        model = KernelRegressor().fit(X, y)
+        queries = np.linspace(-2, 2, 9).reshape(-1, 1)
+        predictions = model.predict(queries, tol=0.01)
+        np.testing.assert_allclose(predictions, np.sin(queries[:, 0]), atol=0.2)
+
+    def test_negative_labels_supported(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = -3.0 + X[:, 0] - 2 * X[:, 1]
+        model = KernelRegressor().fit(X, y)
+        queries = X[:8]
+        exact = model.predict_exact(queries)
+        approx = model.predict(queries, tol=0.02)
+        scale = float(np.max(np.abs(y)))
+        assert np.all(np.abs(approx - exact) <= 0.02 * scale + 1e-12)
+
+    def test_constant_labels_within_tolerance(self):
+        X, __ = sine_data(200)
+        model = KernelRegressor().fit(X, np.full(200, 2.5))
+        predictions = model.predict(X[:5], tol=0.01)
+        # The ratio is constant, so the tolerance contract pins the
+        # prediction to 2.5 within tol * label_scale.
+        np.testing.assert_allclose(predictions, 2.5, atol=0.01 * 2.5 + 1e-12)
+
+    def test_far_query_falls_back_to_label_mean(self):
+        X, y = sine_data(100)
+        model = KernelRegressor(gamma=50.0).fit(X, y)
+        prediction = float(model.predict([[1e6]], tol=0.01)[0])
+        assert np.isfinite(prediction)
+
+    def test_max_iterations_cap_still_finite(self):
+        X, y = sine_data(300)
+        model = KernelRegressor().fit(X, y)
+        prediction = model.predict(X[:3], tol=1e-6, max_iterations=2)
+        assert np.all(np.isfinite(prediction))
+
+    @pytest.mark.parametrize("kernel", ["gaussian", "triangular", "exponential"])
+    def test_other_kernels(self, kernel):
+        X, y = sine_data(300)
+        model = KernelRegressor(kernel=kernel).fit(X, y)
+        queries = X[:6]
+        exact = model.predict_exact(queries)
+        approx = model.predict(queries, tol=0.02)
+        scale = float(np.max(np.abs(y)))
+        assert np.all(np.abs(approx - exact) <= 0.02 * scale + 1e-12)
+
+    @pytest.mark.parametrize("provider", ["baseline", "linear", "quad"])
+    def test_every_provider_honours_tolerance(self, provider):
+        """The guarantee holds regardless of the bound family plugged in."""
+        X, y = sine_data(400)
+        model = KernelRegressor(provider=provider).fit(X, y)
+        queries = X[:8]
+        exact = model.predict_exact(queries)
+        approx = model.predict(queries, tol=0.01)
+        scale = float(np.max(np.abs(y)))
+        assert np.all(np.abs(approx - exact) <= 0.01 * scale + 1e-12)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2**16),
+    tol=st.sampled_from([0.01, 0.05]),
+    offset=st.floats(-10, 10),
+)
+def test_tolerance_contract_property(seed, tol, offset):
+    """|prediction - exact| <= tol * label_scale on random regressions."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(150, 2)) + offset
+    y = X[:, 0] * rng.normal() + rng.normal(size=150) * 0.3
+    model = KernelRegressor().fit(X, y)
+    queries = X[rng.choice(150, 4, replace=False)]
+    exact = model.predict_exact(queries)
+    approx = model.predict(queries, tol=tol)
+    scale = max(float(np.max(np.abs(y))), 1.0)
+    assert np.all(np.abs(approx - exact) <= tol * scale + 1e-10)

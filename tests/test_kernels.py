@@ -1,0 +1,144 @@
+"""Kernel functions: registry, profiles, invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.kernels import (
+    KERNEL_REGISTRY,
+    CosineKernel,
+    EpanechnikovKernel,
+    ExponentialKernel,
+    GaussianKernel,
+    QuarticKernel,
+    TriangularKernel,
+    available_kernels,
+    get_kernel,
+)
+from repro.errors import UnknownNameError
+
+ALL_KERNELS = sorted(KERNEL_REGISTRY)
+
+
+class TestRegistry:
+    def test_paper_kernels_registered(self):
+        for name in ("gaussian", "triangular", "cosine", "exponential"):
+            assert name in KERNEL_REGISTRY
+
+    def test_get_by_name_case_insensitive(self):
+        assert get_kernel("GAUSSIAN") is KERNEL_REGISTRY["gaussian"]
+
+    def test_get_passes_instances_through(self):
+        kernel = GaussianKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownNameError, match="available"):
+            get_kernel("laplacian")
+
+    def test_available_kernels_sorted(self):
+        names = available_kernels()
+        assert names == sorted(names)
+
+    def test_paper_only_filter_excludes_extensions(self):
+        names = available_kernels(paper_only=True)
+        assert "epanechnikov" not in names
+        assert "quartic" not in names
+        assert "gaussian" in names
+
+
+class TestProfileValues:
+    def test_gaussian_profile(self):
+        assert GaussianKernel().profile_scalar(0.0) == 1.0
+        assert GaussianKernel().profile_scalar(1.0) == pytest.approx(math.exp(-1))
+
+    def test_exponential_profile(self):
+        assert ExponentialKernel().profile_scalar(2.0) == pytest.approx(math.exp(-2))
+
+    def test_triangular_profile(self):
+        kernel = TriangularKernel()
+        assert kernel.profile_scalar(0.25) == 0.75
+        assert kernel.profile_scalar(1.0) == 0.0
+        assert kernel.profile_scalar(3.0) == 0.0
+
+    def test_cosine_profile(self):
+        kernel = CosineKernel()
+        assert kernel.profile_scalar(0.0) == 1.0
+        assert kernel.profile_scalar(math.pi / 2) == pytest.approx(0.0, abs=1e-15)
+        assert kernel.profile_scalar(2.0) == 0.0
+
+    def test_epanechnikov_profile(self):
+        kernel = EpanechnikovKernel()
+        assert kernel.profile_scalar(0.5) == 0.75
+        assert kernel.profile_scalar(1.5) == 0.0
+
+    def test_quartic_profile(self):
+        kernel = QuarticKernel()
+        assert kernel.profile_scalar(0.5) == pytest.approx(0.5625)
+        assert kernel.profile_scalar(1.1) == 0.0
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+class TestProfileInvariants:
+    def test_profile_at_zero_is_one(self, name):
+        assert get_kernel(name).profile_scalar(0.0) == pytest.approx(1.0)
+
+    def test_profile_nonincreasing(self, name):
+        kernel = get_kernel(name)
+        xs = np.linspace(0.0, 5.0, 200)
+        values = kernel.profile(xs)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_profile_bounded_zero_one(self, name):
+        kernel = get_kernel(name)
+        values = kernel.profile(np.linspace(0.0, 10.0, 300))
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    def test_scalar_matches_vector(self, name):
+        kernel = get_kernel(name)
+        xs = np.linspace(0.0, 4.0, 37)
+        vector = kernel.profile(xs)
+        scalar = np.array([kernel.profile_scalar(float(x)) for x in xs])
+        np.testing.assert_allclose(vector, scalar, atol=1e-15)
+
+    def test_zero_beyond_support(self, name):
+        kernel = get_kernel(name)
+        support = kernel.support_xmax
+        if math.isinf(support):
+            pytest.skip("unbounded support")
+        assert kernel.profile_scalar(support + 0.1) == 0.0
+
+    def test_evaluate_matches_profile_of_scaled_distance(self, name):
+        kernel = get_kernel(name)
+        gamma = 1.7
+        sq_dists = np.array([0.0, 0.04, 0.25, 1.0, 4.0])
+        expected_x = (
+            gamma * sq_dists if kernel.uses_squared_distance else gamma * np.sqrt(sq_dists)
+        )
+        np.testing.assert_allclose(
+            kernel.evaluate(sq_dists, gamma), kernel.profile(expected_x), atol=1e-15
+        )
+
+
+class TestXFromDistance:
+    def test_gaussian_uses_squared(self):
+        assert GaussianKernel().x_from_distance(2.0, 3.0) == 12.0
+
+    def test_triangular_uses_plain(self):
+        assert TriangularKernel().x_from_distance(2.0, 3.0) == 6.0
+
+
+@given(x=st.floats(min_value=0.0, max_value=50.0))
+def test_gaussian_profile_matches_exp_property(x):
+    assert GaussianKernel().profile_scalar(x) == pytest.approx(math.exp(-x))
+
+
+@given(
+    x=st.floats(min_value=0.0, max_value=10.0),
+    name=st.sampled_from(ALL_KERNELS),
+)
+def test_profiles_nonnegative_property(x, name):
+    assert get_kernel(name).profile_scalar(x) >= 0.0

@@ -1,0 +1,60 @@
+"""Quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.visual.metrics import (
+    average_relative_error,
+    max_relative_error,
+    threshold_confusion,
+)
+
+
+class TestRelativeErrors:
+    def test_zero_for_identical(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert average_relative_error(values, values) == 0.0
+        assert max_relative_error(values, values) == 0.0
+
+    def test_known_values(self):
+        exact = np.array([1.0, 2.0])
+        returned = np.array([1.1, 1.8])
+        assert average_relative_error(returned, exact) == pytest.approx(0.1)
+        assert max_relative_error(returned, exact) == pytest.approx(0.1)
+
+    def test_zero_exact_uses_absolute(self):
+        exact = np.array([0.0])
+        returned = np.array([0.25])
+        assert average_relative_error(returned, exact) == pytest.approx(0.25)
+
+    def test_zero_exact_zero_returned_is_zero_error(self):
+        assert max_relative_error([0.0], [0.0]) == 0.0
+
+    def test_accepts_2d_images(self):
+        exact = np.ones((4, 4))
+        returned = np.full((4, 4), 1.05)
+        assert average_relative_error(returned, exact) == pytest.approx(0.05)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            average_relative_error([1.0], [1.0, 2.0])
+
+
+class TestConfusion:
+    def test_perfect_mask(self):
+        mask = np.array([True, False, True])
+        result = threshold_confusion(mask, mask)
+        assert result["accuracy"] == 1.0
+        assert result["fp"] == result["fn"] == 0
+
+    def test_counts(self):
+        returned = np.array([True, True, False, False])
+        exact = np.array([True, False, True, False])
+        result = threshold_confusion(returned, exact)
+        assert (result["tp"], result["fp"], result["fn"], result["tn"]) == (1, 1, 1, 1)
+        assert result["accuracy"] == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            threshold_confusion([True], [True, False])

@@ -1,0 +1,143 @@
+"""Progressive visualization framework (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.visual.progressive import (
+    ProgressiveRenderer,
+    quadtree_regions,
+    region_representative,
+)
+
+
+class TestQuadtreeOrder:
+    def test_first_region_is_full_grid(self):
+        regions = quadtree_regions(8, 8)
+        assert next(regions) == (0, 0, 8, 8)
+
+    @pytest.mark.parametrize("width,height", [(8, 8), (7, 5), (1, 1), (16, 3), (1, 9)])
+    def test_unit_regions_tile_grid_exactly(self, width, height):
+        """Every pixel appears as exactly one 1x1 region (any resolution)."""
+        seen = set()
+        for x0, y0, w, h in quadtree_regions(width, height):
+            if w == 1 and h == 1:
+                assert (x0, y0) not in seen
+                seen.add((x0, y0))
+        assert seen == {(x, y) for x in range(width) for y in range(height)}
+
+    def test_regions_nest_coarse_to_fine(self):
+        sizes = [w * h for __, __, w, h in quadtree_regions(16, 16)]
+        # BFS: region areas never increase.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_representative_is_inside(self):
+        for region in quadtree_regions(9, 6):
+            px, py = region_representative(region)
+            x0, y0, w, h = region
+            assert x0 <= px < x0 + w
+            assert y0 <= py < y0 + h
+
+    def test_invalid_resolution(self):
+        with pytest.raises(InvalidParameterError):
+            list(quadtree_regions(0, 4))
+
+
+@pytest.fixture(scope="module")
+def progressive(request):
+    from repro.data.synthetic import load_dataset
+
+    points = load_dataset("crime", n=400, seed=9)
+    return ProgressiveRenderer(points, resolution=(12, 8), method="quad", eps=0.05)
+
+
+class TestStream:
+    def test_stream_covers_all_pixels(self, progressive):
+        last_count = 0
+        for __, __, count in progressive.stream():
+            last_count = count
+        assert last_count == progressive.grid.num_pixels
+
+    def test_stream_values_match_method(self, progressive):
+        # The first streamed value is the eps-density of the grid centre.
+        region, value, count = next(iter(progressive.stream()))
+        assert count == 1
+        pixel = region_representative(region)
+        center = progressive.grid.pixel_center(*pixel)
+        expected = progressive.method.query_eps(center, 0.05, atol=progressive._atol)
+        assert value == pytest.approx(expected, rel=1e-9)
+
+
+class TestRun:
+    def test_full_run_matches_direct_render(self, progressive):
+        from repro.visual.kdv import KDVRenderer
+
+        result = progressive.run()
+        assert result.complete
+        assert result.pixels_evaluated == progressive.grid.num_pixels
+        renderer = KDVRenderer(
+            progressive.points,
+            grid=progressive.grid,
+            gamma=progressive.gamma,
+            weight=progressive.weight,
+        )
+        direct = renderer.render_eps(0.05, progressive.method)
+        # Same method instance, same per-pixel queries: identical output.
+        np.testing.assert_allclose(result.image, direct, rtol=1e-12)
+
+    def test_max_pixels_budget(self, progressive):
+        result = progressive.run(max_pixels=10)
+        assert 10 <= result.pixels_evaluated <= 11
+        assert not result.complete
+        # Every pixel of the partial image is painted (coarse fill).
+        assert np.all(result.image >= 0.0)
+        assert result.image.max() > 0.0
+
+    def test_snapshot_pixels_deterministic(self, progressive):
+        result = progressive.run(snapshot_pixels=[1, 5, 20])
+        assert [snap.label for snap in result.snapshots] == [1, 5, 20]
+        assert result.snapshots[0].pixels_evaluated >= 1
+        # Later snapshots are refinements of earlier ones.
+        assert result.snapshots[-1].pixels_evaluated >= result.snapshots[0].pixels_evaluated
+
+    def test_snapshots_improve_quality(self, progressive):
+        from repro.visual.metrics import average_relative_error
+
+        result = progressive.run(snapshot_pixels=[2, progressive.grid.num_pixels])
+        from repro.core.exact import exact_density
+
+        exact = exact_density(
+            progressive.points,
+            progressive.grid.centers(),
+            progressive.kernel,
+            progressive.gamma,
+            progressive.weight,
+        ).reshape(progressive.grid.height, progressive.grid.width)
+        early = average_relative_error(result.snapshots[0].image, exact)
+        late = average_relative_error(result.snapshots[-1].image, exact)
+        assert late <= early
+
+    def test_time_budget_stops_early(self, progressive):
+        result = progressive.run(time_budget=0.0)
+        assert result.pixels_evaluated <= 2
+
+    def test_excess_snapshot_labels_filled_at_completion(self, progressive):
+        result = progressive.run(snapshot_pixels=[10**9])
+        assert len(result.snapshots) == 1
+        assert result.snapshots[0].pixels_evaluated == progressive.grid.num_pixels
+
+
+class TestValidation:
+    def test_rejects_highdim_points(self, highdim_points):
+        with pytest.raises(InvalidParameterError):
+            ProgressiveRenderer(highdim_points)
+
+    def test_method_instance_reuse(self, progressive):
+        from repro.methods.quad import QUADMethod
+
+        method = QUADMethod()
+        renderer = ProgressiveRenderer(
+            progressive.points, resolution=(6, 4), method=method
+        )
+        assert renderer.method is method
+        assert method.points is not None  # fitted on construction

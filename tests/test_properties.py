@@ -1,0 +1,149 @@
+"""End-to-end property-based tests (hypothesis) on the core guarantees.
+
+These complement the per-module property tests: random datasets, random
+bandwidths, random queries — the εKDV relative-error contract, τKDV
+classification exactness and the bound sandwich must hold for every
+method/kernel combination the registry claims to support.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bounds import make_bound_provider
+from repro.core.exact import exact_density
+from repro.core.kde import KernelDensity
+from repro.index.kdtree import KDTree
+from repro.methods.registry import create_method
+
+dataset_strategy = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**16),
+        "n": st.integers(20, 120),
+        "cluster_scale": st.floats(0.05, 2.0),
+        "offset": st.floats(-100.0, 100.0),
+    }
+)
+
+
+def make_points(params):
+    rng = np.random.default_rng(params["seed"])
+    centers = rng.uniform(-3, 3, size=(4, 2))
+    assignments = rng.integers(0, 4, size=params["n"])
+    points = centers[assignments] + rng.normal(size=(params["n"], 2)) * params[
+        "cluster_scale"
+    ]
+    return points + params["offset"]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    params=dataset_strategy,
+    eps=st.sampled_from([0.01, 0.05, 0.2]),
+    method_name=st.sampled_from(["quad", "karl", "akde", "scikit"]),
+)
+def test_eps_contract_property(params, eps, method_name):
+    """(1 - eps) F <= R <= (1 + eps) F for deterministic eps methods."""
+    points = make_points(params)
+    kde = KernelDensity(method=method_name).fit(points)
+    rng = np.random.default_rng(params["seed"] + 1)
+    queries = points[rng.choice(len(points), size=5, replace=False)]
+    values = kde.density_eps(queries, eps=eps)
+    truths = kde.density(queries)
+    assert np.all(np.abs(values - truths) <= eps * truths + 1e-15)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    params=dataset_strategy,
+    method_name=st.sampled_from(["quad", "karl", "tkdc"]),
+    quantile=st.floats(0.1, 0.9),
+)
+def test_tau_classification_property(params, method_name, quantile):
+    """τKDV answers must equal the exact comparison (away from ties)."""
+    points = make_points(params)
+    kde = KernelDensity(method=method_name).fit(points)
+    rng = np.random.default_rng(params["seed"] + 2)
+    queries = points[rng.choice(len(points), size=6, replace=False)]
+    truths = kde.density(queries)
+    tau = float(np.quantile(truths, quantile)) * (1 + 1e-6)
+    flags = kde.above_threshold(queries, tau)
+    safe = np.abs(truths - tau) > 1e-10 * np.maximum(tau, 1e-300)
+    np.testing.assert_array_equal(flags[safe], (truths >= tau)[safe])
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    params=dataset_strategy,
+    kernel=st.sampled_from(["triangular", "cosine", "exponential"]),
+    eps=st.sampled_from([0.02, 0.1]),
+)
+def test_distance_kernel_eps_contract_property(params, kernel, eps):
+    """QUAD honours the eps contract on every Table 4 kernel."""
+    points = make_points(params)
+    kde = KernelDensity(kernel=kernel, method="quad").fit(points)
+    rng = np.random.default_rng(params["seed"] + 3)
+    queries = points[rng.choice(len(points), size=5, replace=False)]
+    values = kde.density_eps(queries, eps=eps)
+    truths = kde.density(queries)
+    assert np.all(np.abs(values - truths) <= eps * truths + 1e-15)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    params=dataset_strategy,
+    gamma=st.floats(0.01, 10.0),
+    provider_name=st.sampled_from(["baseline", "linear", "quad"]),
+)
+def test_gaussian_bound_sandwich_property(params, gamma, provider_name):
+    """LB <= F <= UB on every node for every Gaussian bound family."""
+    points = make_points(params)
+    tree = KDTree(points, leaf_size=16)
+    provider = make_bound_provider(provider_name, "gaussian", gamma, 1.0)
+    rng = np.random.default_rng(params["seed"] + 4)
+    q = points[rng.integers(len(points))] + rng.normal(0, 0.1, 2)
+    q_list = q.tolist()
+    q_sq = float(q @ q)
+    for node in tree.nodes():
+        lb, ub = provider.node_bounds(node, q_list, q_sq)
+        stack = [node]
+        exact = 0.0
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                sq = ((current.points - q) ** 2).sum(axis=1)
+                exact += float(np.exp(-gamma * sq).sum())
+            else:
+                stack.extend([current.left, current.right])
+        assert lb <= exact * (1 + 1e-9) + 1e-12
+        assert ub >= exact * (1 - 1e-9) - 1e-12
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=dataset_strategy)
+def test_exact_density_translation_invariance(params):
+    """Shifting data and queries together leaves densities unchanged."""
+    points = make_points(params)
+    rng = np.random.default_rng(params["seed"] + 5)
+    queries = points[:4]
+    shift = rng.normal(size=2) * 50
+    base = exact_density(points, queries, "gaussian", 0.7, 1.0)
+    moved = exact_density(points + shift, queries + shift, "gaussian", 0.7, 1.0)
+    np.testing.assert_allclose(base, moved, rtol=1e-6)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=dataset_strategy, eps=st.sampled_from([0.05, 0.2]))
+def test_progressive_completion_matches_eps_render(params, eps):
+    """A completed progressive run equals the plain eps render."""
+    from repro.visual.kdv import KDVRenderer
+    from repro.visual.progressive import ProgressiveRenderer
+
+    points = make_points(params)
+    progressive = ProgressiveRenderer(points, resolution=(6, 5), method="quad", eps=eps)
+    result = progressive.run()
+    renderer = KDVRenderer(
+        points, grid=progressive.grid, gamma=progressive.gamma, weight=progressive.weight
+    )
+    direct = renderer.render_eps(eps, progressive.method)
+    np.testing.assert_allclose(result.image, direct, rtol=1e-12)

@@ -1,0 +1,110 @@
+"""Morton codes and dataset sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sampling.morton import interleave_bits, morton_codes
+from repro.sampling.random_sample import random_sample
+from repro.sampling.zorder_sample import sample_size_for_eps, zorder_sample
+
+
+class TestInterleave:
+    def test_known_2d_codes(self):
+        # (x=1, y=0) -> bit 0 set; (x=0, y=1) -> bit 1 set; (1,1) -> 3.
+        coords = np.array([[1, 0], [0, 1], [1, 1], [2, 0], [3, 3]])
+        codes = interleave_bits(coords, bits=2)
+        np.testing.assert_array_equal(codes, [1, 2, 3, 4, 15])
+
+    def test_codes_unique_for_distinct_cells(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 1 << 8, size=(500, 2))
+        unique_cells = len({tuple(row) for row in coords.tolist()})
+        assert len(set(interleave_bits(coords, bits=8).tolist())) == unique_cells
+
+    def test_rejects_overflowing_bits(self):
+        with pytest.raises(InvalidParameterError):
+            interleave_bits(np.array([[4, 0]]), bits=2)
+
+    def test_rejects_too_many_total_bits(self):
+        with pytest.raises(InvalidParameterError):
+            interleave_bits(np.zeros((1, 5), dtype=int), bits=16)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            interleave_bits(np.array([[-1, 0]]), bits=4)
+
+
+class TestMortonCodes:
+    def test_locality_nearby_points_share_prefix(self):
+        points = np.array([[0.0, 0.0], [0.001, 0.001], [1.0, 1.0]])
+        codes = morton_codes(points, bits=16)
+        assert abs(int(codes[0]) - int(codes[1])) < abs(int(codes[0]) - int(codes[2]))
+
+    def test_constant_dimension_handled(self):
+        points = np.column_stack([np.linspace(0, 1, 10), np.zeros(10)])
+        codes = morton_codes(points)
+        assert len(codes) == 10
+
+
+class TestSampleSize:
+    def test_shrinks_with_larger_eps(self):
+        assert sample_size_for_eps(10**9, 0.05) < sample_size_for_eps(10**9, 0.01)
+
+    def test_capped_at_n(self):
+        assert sample_size_for_eps(100, 0.001) == 100
+
+    def test_grows_with_smaller_delta(self):
+        assert sample_size_for_eps(10**9, 0.01, delta=0.01) > sample_size_for_eps(
+            10**9, 0.01, delta=0.5
+        )
+
+
+class TestZOrderSample:
+    def test_sample_size_and_weight(self, small_points):
+        sample, multiplier = zorder_sample(small_points, 100)
+        assert len(sample) <= 100
+        assert multiplier == pytest.approx(len(small_points) / len(sample))
+
+    def test_full_sample_identity(self, small_points):
+        sample, multiplier = zorder_sample(small_points, len(small_points))
+        assert multiplier == 1.0
+        assert len(sample) == len(small_points)
+
+    def test_sample_points_are_dataset_members(self, small_points):
+        sample, __ = zorder_sample(small_points, 50)
+        dataset = {tuple(row) for row in small_points.tolist()}
+        assert all(tuple(row) in dataset for row in sample.tolist())
+
+    def test_spatially_stratified_mean_close(self, small_points):
+        """Curve stratification keeps the sample's centroid near the data's."""
+        sample, __ = zorder_sample(small_points, 120)
+        np.testing.assert_allclose(
+            sample.mean(axis=0), small_points.mean(axis=0),
+            atol=2 * small_points.std(axis=0).max() / np.sqrt(120) * 3,
+        )
+
+    def test_rejects_bad_m(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            zorder_sample(small_points, 0)
+
+    def test_preserved_density_total(self, small_points):
+        """Reweighted sample preserves total mass: m' * (n/m') == n."""
+        sample, multiplier = zorder_sample(small_points, 77)
+        assert len(sample) * multiplier == pytest.approx(len(small_points))
+
+
+class TestRandomSample:
+    def test_size_and_weight(self, small_points):
+        sample, multiplier = random_sample(small_points, 50, seed=1)
+        assert len(sample) == 50
+        assert multiplier == pytest.approx(len(small_points) / 50)
+
+    def test_deterministic_per_seed(self, small_points):
+        a, __ = random_sample(small_points, 30, seed=7)
+        b, __ = random_sample(small_points, 30, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_m(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            random_sample(small_points, -1)

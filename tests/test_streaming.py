@@ -1,0 +1,112 @@
+"""Streaming KDV: buffered ingestion with exact guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.visual.streaming import StreamingKDV
+
+
+@pytest.fixture()
+def stream():
+    return StreamingKDV(gamma=2.0, weight=1.0, buffer_limit=100, leaf_size=16)
+
+
+def brute(points, q, gamma=2.0):
+    points = np.asarray(points)
+    return float(np.exp(-gamma * ((points - q) ** 2).sum(axis=1)).sum())
+
+
+class TestIngestion:
+    def test_counts(self, stream):
+        stream.extend(np.zeros((10, 2)))
+        assert stream.total_points == 10
+        assert stream.buffered_points == 10
+        assert stream.rebuilds == 0
+
+    def test_rebuild_triggered_past_limit(self, stream):
+        stream.extend(np.random.default_rng(0).normal(size=(150, 2)))
+        assert stream.rebuilds == 1
+        assert stream.buffered_points == 0
+        assert stream.total_points == 150
+
+    def test_append_single(self, stream):
+        stream.append([1.0, 2.0])
+        assert stream.total_points == 1
+
+    def test_dim_mismatch_rejected(self, stream):
+        stream.extend(np.zeros((5, 2)))
+        with pytest.raises(InvalidParameterError):
+            stream.extend(np.zeros((5, 3)))
+
+    def test_geometric_rebuild_count(self):
+        """Rebuilds stay logarithmic-ish: far fewer than batches."""
+        stream = StreamingKDV(gamma=1.0, buffer_limit=200)
+        rng = np.random.default_rng(1)
+        batches = 50
+        for __ in range(batches):
+            stream.extend(rng.normal(size=(40, 2)))
+        assert stream.rebuilds <= batches // 4
+
+
+class TestQueries:
+    def test_empty_raises(self, stream):
+        with pytest.raises(NotFittedError):
+            stream.density_eps([0.0, 0.0])
+
+    def test_buffer_only_is_exact(self, stream):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(50, 2))
+        stream.extend(points)
+        q = np.array([0.3, -0.2])
+        assert stream.density_eps(q, eps=0.01) == pytest.approx(brute(points, q))
+
+    def test_mixed_index_and_buffer_contract(self):
+        stream = StreamingKDV(gamma=2.0, weight=1.0, buffer_limit=120, leaf_size=16)
+        rng = np.random.default_rng(3)
+        all_points = []
+        for __ in range(7):
+            batch = rng.normal(size=(45, 2))
+            all_points.append(batch)
+            stream.extend(batch)
+        assert stream.rebuilds >= 1
+        assert stream.buffered_points > 0  # genuinely mixed state
+        everything = np.vstack(all_points)
+        for q in everything[:10]:
+            exact = brute(everything, q)
+            approx = stream.density_eps(q, eps=0.01)
+            assert abs(approx - exact) <= 0.01 * exact + 1e-15
+            assert stream.density_exact(q) == pytest.approx(exact, rel=1e-9)
+
+    def test_tau_with_offset(self):
+        stream = StreamingKDV(gamma=2.0, weight=1.0, buffer_limit=60, leaf_size=16)
+        rng = np.random.default_rng(4)
+        all_points = []
+        for __ in range(4):
+            batch = rng.normal(size=(35, 2))
+            all_points.append(batch)
+            stream.extend(batch)
+        everything = np.vstack(all_points)
+        for q in everything[:10]:
+            exact = brute(everything, q)
+            for tau in (exact * 0.5, exact * 2.0):
+                assert stream.above_threshold(q, tau) == (exact >= tau)
+
+    def test_density_grows_with_arrivals(self, stream):
+        q = np.array([0.0, 0.0])
+        stream.extend(np.full((20, 2), 0.1))
+        first = stream.density_eps(q, eps=0.01)
+        stream.extend(np.full((20, 2), 0.1))
+        second = stream.density_eps(q, eps=0.01)
+        assert second > first
+
+
+class TestValidation:
+    def test_bad_buffer_limit(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingKDV(buffer_limit=0)
+
+    def test_repr(self, stream):
+        stream.extend(np.zeros((3, 2)))
+        text = repr(stream)
+        assert "total=3" in text

@@ -1,0 +1,116 @@
+"""Argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.utils.validation import (
+    check_points,
+    check_positive,
+    check_probability_like,
+    check_query,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_positive_int(self):
+        assert check_positive(3, "x") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_infinity(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive("1.0", "x")
+
+
+class TestCheckProbabilityLike:
+    def test_accepts_interior_value(self):
+        assert check_probability_like(0.05, "eps") == 0.05
+
+    def test_accepts_one(self):
+        assert check_probability_like(1.0, "eps") == 1.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(InvalidParameterError):
+            check_probability_like(0.0, "eps")
+
+    def test_allows_zero_when_requested(self):
+        assert check_probability_like(0.0, "eps", allow_zero=True) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(InvalidParameterError):
+            check_probability_like(1.5, "eps")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_probability_like(-0.1, "eps", allow_zero=True)
+
+
+class TestCheckPoints:
+    def test_passes_through_2d(self):
+        out = check_points([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_promotes_1d_to_column(self):
+        out = check_points([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_output_is_contiguous(self):
+        jumbled = np.asfortranarray(np.ones((4, 3)))
+        assert check_points(jumbled).flags["C_CONTIGUOUS"]
+
+    def test_rejects_3d(self):
+        with pytest.raises(InvalidParameterError):
+            check_points(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            check_points(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            check_points([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError):
+            check_points([[1.0, float("inf")]])
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            check_points([[1.0, 2.0]], min_rows=2)
+
+
+class TestCheckQuery:
+    def test_accepts_matching_dims(self):
+        out = check_query([1.0, 2.0], 2)
+        assert out.shape == (2,)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(InvalidParameterError):
+            check_query([1.0, 2.0, 3.0], 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            check_query([1.0, float("nan")], 2)

@@ -1,0 +1,188 @@
+"""Per-point weight support (the paper's footnote 5 re-weighting form)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.aggregates import NodeAggregates
+from repro.core.exact import exact_density
+from repro.core.kde import KernelDensity
+from repro.errors import InvalidParameterError, UnsupportedOperationError
+from repro.index.balltree import BallTree
+from repro.index.kdtree import KDTree
+
+
+@pytest.fixture(scope="module")
+def weighted_world(request):
+    from repro.data.synthetic import load_dataset
+
+    rng = np.random.default_rng(21)
+    points = load_dataset("crime", n=500, seed=21)
+    weights = rng.uniform(0.1, 5.0, size=len(points))
+    return points, weights
+
+
+class TestWeightedAggregates:
+    def test_weighted_moment_identities(self, weighted_world):
+        points, weights = weighted_world
+        agg = NodeAggregates.from_points(points, weights)
+        assert agg.total_weight == pytest.approx(weights.sum())
+        q = points[3] + 0.01
+        sq = ((points - q) ** 2).sum(axis=1)
+        assert agg.sum_sq_dists(q.tolist()) == pytest.approx(
+            float(np.dot(weights, sq)), rel=1e-9
+        )
+        assert agg.sum_quartic_dists(q.tolist()) == pytest.approx(
+            float(np.dot(weights, sq * sq)), rel=1e-7
+        )
+
+    def test_uniform_weights_match_unweighted(self, weighted_world):
+        points, __ = weighted_world
+        uniform = NodeAggregates.from_points(points, np.ones(len(points)))
+        plain = NodeAggregates.from_points(points)
+        q = points[0].tolist()
+        assert uniform.sum_sq_dists(q) == pytest.approx(plain.sum_sq_dists(q))
+        assert uniform.total_weight == plain.total_weight
+
+    def test_zero_weight_points_ignored(self):
+        points = np.array([[0.0, 0.0], [100.0, 100.0]])
+        agg = NodeAggregates.from_points(points, [1.0, 0.0])
+        q = [0.0, 0.0]
+        assert agg.sum_sq_dists(q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_weights_rejected(self):
+        points = np.zeros((2, 2))
+        with pytest.raises(InvalidParameterError):
+            NodeAggregates.from_points(points, [1.0])
+        with pytest.raises(InvalidParameterError):
+            NodeAggregates.from_points(points, [-1.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            NodeAggregates.from_points(points, [0.0, 0.0])
+
+    def test_weighted_merge_matches_union(self, weighted_world):
+        points, weights = weighted_world
+        left = NodeAggregates.from_points(points[:200], weights[:200])
+        right = NodeAggregates.from_points(points[200:], weights[200:])
+        merged = NodeAggregates.merged(left, right)
+        direct = NodeAggregates.from_points(points, weights)
+        q = points[7].tolist()
+        assert merged.total_weight == pytest.approx(direct.total_weight)
+        assert merged.sum_sq_dists(q) == pytest.approx(direct.sum_sq_dists(q), rel=1e-9)
+        assert merged.sum_quartic_dists(q) == pytest.approx(
+            direct.sum_quartic_dists(q), rel=1e-7
+        )
+
+
+class TestWeightedExact:
+    def test_exact_density_with_point_weights(self, weighted_world):
+        points, weights = weighted_world
+        queries = points[:5]
+        out = exact_density(
+            points, queries, "gaussian", 2.0, 0.5, point_weights=weights
+        )
+        sq = ((points[None, :, :] - queries[:, None, :]) ** 2).sum(axis=2)
+        expected = 0.5 * (np.exp(-2.0 * sq) @ weights)
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_length_mismatch_rejected(self, weighted_world):
+        points, weights = weighted_world
+        with pytest.raises(InvalidParameterError):
+            exact_density(points, points[:1], point_weights=weights[:10])
+
+
+class TestWeightedTrees:
+    @pytest.mark.parametrize("tree_cls", [KDTree, BallTree])
+    def test_leaf_weights_aligned(self, tree_cls, weighted_world):
+        points, weights = weighted_world
+        tree = tree_cls(points, leaf_size=32, weights=weights)
+        for leaf in tree.leaves():
+            np.testing.assert_array_equal(leaf.weights, weights[leaf.indices])
+            assert leaf.agg.total_weight == pytest.approx(weights[leaf.indices].sum())
+
+    def test_root_total_weight(self, weighted_world):
+        points, weights = weighted_world
+        tree = KDTree(points, weights=weights)
+        assert tree.root.agg.total_weight == pytest.approx(weights.sum())
+
+    def test_weight_validation(self, weighted_world):
+        points, weights = weighted_world
+        with pytest.raises(InvalidParameterError):
+            KDTree(points, weights=weights[:-1])
+        with pytest.raises(InvalidParameterError):
+            KDTree(points, weights=-weights)
+
+
+class TestWeightedMethods:
+    @pytest.mark.parametrize("method", ["quad", "karl", "akde"])
+    def test_weighted_eps_contract(self, method, weighted_world):
+        points, weights = weighted_world
+        kde = KernelDensity(method=method).fit(points, point_weights=weights)
+        queries = points[:15]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.02)
+        assert np.all(np.abs(approx - exact) <= 0.02 * exact + 1e-15)
+
+    @pytest.mark.parametrize("kernel", ["triangular", "exponential"])
+    def test_weighted_distance_kernels(self, kernel, weighted_world):
+        points, weights = weighted_world
+        kde = KernelDensity(kernel=kernel, method="quad").fit(
+            points, point_weights=weights
+        )
+        queries = points[:10]
+        exact = kde.density(queries)
+        approx = kde.density_eps(queries, eps=0.05)
+        assert np.all(np.abs(approx - exact) <= 0.05 * exact + 1e-15)
+
+    def test_weighted_tau(self, weighted_world):
+        points, weights = weighted_world
+        kde = KernelDensity(method="quad").fit(points, point_weights=weights)
+        queries = points[:20]
+        truths = kde.density(queries)
+        tau = float(np.median(truths)) * 1.0001
+        flags = kde.above_threshold(queries, tau)
+        np.testing.assert_array_equal(flags, truths >= tau)
+
+    def test_zorder_rejects_point_weights(self, weighted_world):
+        points, weights = weighted_world
+        kde = KernelDensity(method="zorder")
+        with pytest.raises(UnsupportedOperationError):
+            kde.fit(points, point_weights=weights)
+
+    def test_weighted_equals_replication(self):
+        """Integer weights behave exactly like repeating the points."""
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(100, 2))
+        weights = rng.integers(1, 4, size=100).astype(float)
+        replicated = np.repeat(points, weights.astype(int), axis=0)
+        gamma = 0.8
+        weighted = KernelDensity(method="quad", gamma=gamma, weight=1.0).fit(
+            points, point_weights=weights
+        )
+        plain = KernelDensity(method="quad", gamma=gamma, weight=1.0).fit(replicated)
+        queries = points[:10]
+        np.testing.assert_allclose(
+            weighted.density(queries), plain.density(queries), rtol=1e-9
+        )
+        approx_weighted = weighted.density_eps(queries, eps=0.01)
+        approx_plain = plain.density_eps(queries, eps=0.01)
+        exact = plain.density(queries)
+        assert np.all(np.abs(approx_weighted - exact) <= 0.01 * exact + 1e-15)
+        assert np.all(np.abs(approx_plain - exact) <= 0.01 * exact + 1e-15)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2**16),
+    eps=st.sampled_from([0.02, 0.1]),
+)
+def test_weighted_eps_contract_property(seed, eps):
+    """The weighted εKDV contract holds on random weighted clouds."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(80, 2)) * rng.uniform(0.2, 2.0)
+    weights = rng.uniform(0.0, 3.0, size=80)
+    weights[0] = 1.0  # guarantee a positive total
+    kde = KernelDensity(method="quad").fit(points, point_weights=weights)
+    queries = points[:5]
+    exact = kde.density(queries)
+    approx = kde.density_eps(queries, eps=eps)
+    assert np.all(np.abs(approx - exact) <= eps * exact + 1e-15)

@@ -1,0 +1,72 @@
+"""Experiment workload helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workload import (
+    DATASETS,
+    EPS_METHODS,
+    TAU_METHODS,
+    eps_row,
+    make_renderer,
+    strip_private,
+    tau_row,
+)
+
+
+@pytest.fixture(scope="module")
+def renderer(request):
+    return make_renderer("crime", 300, (8, 6))
+
+
+class TestRows:
+    def test_eps_row_schema(self, renderer):
+        row = eps_row(renderer, "quad", 0.05, dataset="crime")
+        assert row["method"] == "quad"
+        assert row["eps"] == 0.05
+        assert row["seconds"] >= 0.0
+        assert row["point_evaluations"] >= 0
+        assert row["_image"].shape == (6, 8)
+
+    def test_zorder_row_reports_sample_scan(self, renderer):
+        row = eps_row(renderer, "zorder", 0.05)
+        sample, __ = renderer.get_method("zorder").sample_for(0.05)
+        assert row["point_evaluations"] == len(sample) * renderer.grid.num_pixels
+
+    def test_tau_row_schema(self, renderer):
+        mu, __ = renderer.density_stats()
+        row = tau_row(renderer, "quad", mu, "mu", dataset="crime")
+        assert row["tau"] == "mu"
+        assert row["_mask"].dtype == bool
+
+    def test_method_instance_accepted(self, renderer):
+        from repro.methods.quad import QUADMethod
+
+        method = QUADMethod(leaf_size=32)
+        row = eps_row(renderer, method, 0.05)
+        assert row["method"] == "quad"
+
+    def test_stats_reset_between_rows(self, renderer):
+        first = eps_row(renderer, "quad", 0.05)
+        second = eps_row(renderer, "quad", 0.05)
+        # Same workload twice: counters must not accumulate.
+        assert second["iterations"] == pytest.approx(first["iterations"], rel=0.01)
+
+
+class TestStripPrivate:
+    def test_removes_underscore_keys(self):
+        rows = [{"a": 1, "_image": object()}, {"b": 2, "_mask": object()}]
+        cleaned = strip_private(rows)
+        assert cleaned == [{"a": 1}, {"b": 2}]
+
+    def test_original_untouched(self):
+        rows = [{"a": 1, "_x": 2}]
+        strip_private(rows)
+        assert "_x" in rows[0]
+
+
+class TestConstants:
+    def test_lineups_match_paper(self):
+        assert set(EPS_METHODS) == {"akde", "karl", "quad", "zorder"}
+        assert set(TAU_METHODS) == {"tkdc", "karl", "quad"}
+        assert set(DATASETS) == {"elnino", "crime", "home", "hep"}
