@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Sequence
 
 from repro.core.kernels import available_kernels
 from repro.data.loaders import load_csv
@@ -26,7 +27,7 @@ from repro.visual.kdv import KDVRenderer
 __all__ = ["main", "build_parser"]
 
 
-def build_parser():
+def build_parser() -> argparse.ArgumentParser:
     """The argparse parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-kdv",
@@ -68,7 +69,7 @@ def build_parser():
     return parser
 
 
-def _command_render(args):
+def _command_render(args: argparse.Namespace) -> int:
     if args.csv:
         points = load_csv(args.csv)
     else:
@@ -88,7 +89,7 @@ def _command_render(args):
     return 0
 
 
-def _command_experiment(args):
+def _command_experiment(args: argparse.Namespace) -> int:
     names = available_experiments() if args.name == "all" else [args.name]
     for name in names:
         result = run_experiment(
@@ -104,7 +105,7 @@ def _command_experiment(args):
     return 0
 
 
-def _command_list(args):
+def _command_list(args: argparse.Namespace) -> int:
     print("kernels:    ", ", ".join(available_kernels()))
     print("methods:    ", ", ".join(available_methods()))
     print("datasets:   ", ", ".join(available_datasets()))
@@ -112,7 +113,7 @@ def _command_list(args):
     return 0
 
 
-def main(argv=None):
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)

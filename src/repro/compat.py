@@ -21,6 +21,7 @@ normalising constants in 1-D/2-D and the unnormalised sum elsewhere
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,10 +31,13 @@ from repro.data.bandwidth import scott_bandwidth
 from repro.errors import InvalidParameterError, NotFittedError
 from repro.utils.validation import check_points, check_positive
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike, PointLike
+
 __all__ = ["QuadKernelDensity", "kernel_normaliser"]
 
 
-def kernel_normaliser(kernel, bandwidth, dims):
+def kernel_normaliser(kernel: KernelLike, bandwidth: float, dims: int) -> float:
     """The constant making one kernel bump integrate to 1.
 
     Supported analytically: Gaussian (any d); triangular, cosine,
@@ -92,7 +96,14 @@ class QuadKernelDensity:
         Underlying solution method (default ``"quad"``).
     """
 
-    def __init__(self, bandwidth="scott", kernel="gaussian", rtol=1e-2, atol=0.0, method="quad"):
+    def __init__(
+        self,
+        bandwidth: float | str = "scott",
+        kernel: KernelLike = "gaussian",
+        rtol: float = 1e-2,
+        atol: float = 0.0,
+        method: str = "quad",
+    ) -> None:
         self.bandwidth = bandwidth
         self.kernel = get_kernel(kernel)
         self.rtol = float(rtol)
@@ -100,11 +111,16 @@ class QuadKernelDensity:
         if self.rtol < 0.0 or self.atol < 0.0:
             raise InvalidParameterError("rtol and atol must be >= 0")
         self.method = method
-        self._kde = None
-        self._points = None
-        self.bandwidth_ = None
+        self._kde: _CoreKernelDensity | None = None
+        self._points: FloatArray | None = None
+        self.bandwidth_: float | None = None
 
-    def fit(self, X, y=None, sample_weight=None):
+    def fit(
+        self,
+        X: PointLike,
+        y: object = None,
+        sample_weight: PointLike | None = None,
+    ) -> QuadKernelDensity:
         """Fit on data ``X``; ``y`` is ignored (API compatibility)."""
         X = check_points(X, name="X")
         self._points = X
@@ -127,11 +143,11 @@ class QuadKernelDensity:
         ).fit(X, point_weights=sample_weight)
         return self
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self._kde is None:
             raise NotFittedError("QuadKernelDensity must be fitted before scoring")
 
-    def score_samples(self, X):
+    def score_samples(self, X: PointLike) -> FloatArray:
         """Log probability densities at ``X`` (Scikit-learn semantics).
 
         Densities are computed with the εKDV guarantee ``rtol`` (exact
@@ -140,6 +156,8 @@ class QuadKernelDensity:
         """
         self._require_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        # lint: allow-float-eq -- rtol=0.0 is the documented exact-mode
+        # sentinel (mirrors Scikit-learn), not a computed quantity.
         if self.rtol == 0.0:
             densities = self._kde.density(X)
         else:
@@ -149,11 +167,13 @@ class QuadKernelDensity:
         with np.errstate(divide="ignore"):
             return np.log(np.maximum(densities, 0.0))
 
-    def score(self, X, y=None):
+    def score(self, X: PointLike, y: object = None) -> float:
         """Total log-likelihood of ``X``."""
         return float(self.score_samples(X).sum())
 
-    def sample(self, n_samples=1, random_state=None):
+    def sample(
+        self, n_samples: int = 1, random_state: int | None = None
+    ) -> FloatArray:
         """Smoothed-bootstrap draws from the fitted density.
 
         Resamples training points and perturbs each with kernel-shaped
@@ -192,7 +212,7 @@ class QuadKernelDensity:
                     break
         return picks + offsets
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "fitted" if self._kde is not None else "unfitted"
         return (
             f"QuadKernelDensity(kernel={self.kernel.name!r}, "

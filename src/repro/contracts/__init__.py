@@ -1,0 +1,42 @@
+"""Runtime-checkable soundness contracts (see :mod:`repro.contracts.runtime`).
+
+Usage::
+
+    REPRO_CHECK_INVARIANTS=1 python -m pytest     # whole suite, checked
+
+or programmatically::
+
+    from repro import contracts
+    with contracts.checking():
+        kde.density_eps(queries, eps=0.01)
+
+Violations raise :class:`repro.errors.InvariantViolation`.
+"""
+
+from repro.contracts.decorators import soundness_check
+from repro.contracts.runtime import (
+    ENV_VAR,
+    check_bound_pair,
+    check_eps_agreement,
+    check_kernel_values,
+    check_leaf_containment,
+    check_monotone_tightening,
+    checking,
+    invariants_enabled,
+    refresh_from_env,
+    set_invariants,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "soundness_check",
+    "invariants_enabled",
+    "set_invariants",
+    "refresh_from_env",
+    "checking",
+    "check_bound_pair",
+    "check_leaf_containment",
+    "check_monotone_tightening",
+    "check_kernel_values",
+    "check_eps_agreement",
+]

@@ -1,0 +1,62 @@
+"""The ``@soundness_check`` decorator for bound evaluations.
+
+Wraps any ``node_bounds``-shaped method — ``(self, node, q, q_sq) ->
+(lower, upper)`` — so that, while invariant checking is enabled (see
+:mod:`repro.contracts.runtime`), every returned pair is validated
+against the bound-order contract before the caller sees it. With
+checking disabled the wrapper is a single cached-boolean test, so it is
+safe to leave applied permanently on custom providers.
+
+The built-in providers are not wrapped at definition time: their
+``node_bounds`` sits on the per-pixel hot path (millions of calls per
+colour map) and even a no-op wrapper call costs a few percent there.
+Instead :class:`repro.core.bounds.base.BoundProvider` exposes
+:meth:`~repro.core.bounds.base.BoundProvider.checked_node_bounds` —
+this decorator applied to a delegating method — and the refinement
+engine routes through it whenever checking is enabled.
+"""
+
+from __future__ import annotations
+
+from functools import wraps
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+from repro.contracts.runtime import check_bound_pair, invariants_enabled
+
+if TYPE_CHECKING:
+    from repro.index.kdtree import KDTreeNode
+
+__all__ = ["soundness_check"]
+
+_Self = TypeVar("_Self")
+
+_NodeBoundsMethod = Callable[
+    [_Self, "KDTreeNode", Sequence[float], float], tuple[float, float]
+]
+
+
+def soundness_check(fn: _NodeBoundsMethod[_Self]) -> _NodeBoundsMethod[_Self]:
+    """Validate the ``(LB, UB)`` pair returned by a bound method.
+
+    The wrapped method's return value is checked with
+    :func:`repro.contracts.runtime.check_bound_pair`; a violation raises
+    :class:`repro.errors.InvariantViolation` naming the provider class,
+    the node and the query. No-op while checking is disabled.
+    """
+
+    @wraps(fn)
+    def wrapper(
+        self: _Self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> tuple[float, float]:
+        lower, upper = fn(self, node, q, q_sq)
+        if invariants_enabled():
+            check_bound_pair(
+                lower,
+                upper,
+                bound=type(self).__name__,
+                node=getattr(node, "node_id", None),
+                query=q,
+            )
+        return lower, upper
+
+    return wrapper

@@ -38,9 +38,14 @@ numpy scalar extraction at ``d <= 3``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro._types import PointLike
 
 __all__ = ["NodeAggregates"]
 
@@ -80,7 +85,18 @@ class NodeAggregates:
 
     __slots__ = ("n", "total_weight", "center", "a", "b", "v", "h", "c", "dims")
 
-    def __init__(self, n, center, a, b, v, h, c, dims, total_weight=None):
+    def __init__(
+        self,
+        n: int,
+        center: Sequence[float],
+        a: Sequence[float],
+        b: float,
+        v: Sequence[float],
+        h: float,
+        c: Sequence[float],
+        dims: int,
+        total_weight: float | None = None,
+    ) -> None:
         self.n = int(n)
         self.total_weight = float(n if total_weight is None else total_weight)
         self.center = list(center)
@@ -92,7 +108,9 @@ class NodeAggregates:
         self.dims = int(dims)
 
     @classmethod
-    def from_points(cls, points, weights=None):
+    def from_points(
+        cls, points: PointLike, weights: PointLike | None = None
+    ) -> NodeAggregates:
         """Centroid-centred aggregates of an ``(n, d)`` array.
 
         Parameters
@@ -147,7 +165,7 @@ class NodeAggregates:
             total_weight=total_weight,
         )
 
-    def recentered(self, new_center):
+    def recentered(self, new_center: Sequence[float]) -> NodeAggregates:
         """The same moments expressed relative to ``new_center``.
 
         Uses the exact translation formulas for each moment (with shift
@@ -208,7 +226,7 @@ class NodeAggregates:
         )
 
     @classmethod
-    def merged(cls, left, right):
+    def merged(cls, left: NodeAggregates, right: NodeAggregates) -> NodeAggregates:
         """Aggregates of the union of two disjoint point sets.
 
         The merged centroid is the size-weighted mean of the children's;
@@ -236,7 +254,7 @@ class NodeAggregates:
             dims=left.dims,
         )
 
-    def sum_sq_dists(self, q):
+    def sum_sq_dists(self, q: Sequence[float]) -> float:
         """``sum_i w_i dist(q, p_i)^2`` in O(d) time (w_i = 1 unweighted).
 
         Parameters
@@ -269,7 +287,7 @@ class NodeAggregates:
         # negative residue when every point coincides with q.
         return value if value > 0.0 else 0.0
 
-    def sum_quartic_dists(self, q):
+    def sum_quartic_dists(self, q: Sequence[float]) -> float:
         """``sum_i w_i dist(q, p_i)^4`` in O(d^2) time (Lemma 3)."""
         dims = self.dims
         a = self.a
@@ -318,5 +336,5 @@ class NodeAggregates:
         )
         return value if value > 0.0 else 0.0
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"NodeAggregates(n={self.n}, dims={self.dims})"

@@ -11,18 +11,31 @@ weighted kernel sum
 (the correctness condition of the paper's Section 3.1). The refinement
 engine is agnostic to which provider it runs — that is exactly the
 paper's experimental design, where methods differ only in their bounds.
+
+That correctness condition is also a runtime-checkable contract: with
+``REPRO_CHECK_INVARIANTS=1`` (see :mod:`repro.contracts`) the engine
+routes through :meth:`BoundProvider.checked_node_bounds`, which
+validates every returned pair, and cross-checks exact leaf sums against
+the advertised leaf bounds.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.core.kernels import get_kernel
+from repro.contracts.decorators import soundness_check
+from repro.contracts.runtime import check_kernel_values
+from repro.core.kernels import Kernel, get_kernel
 from repro.errors import UnsupportedKernelError
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro._types import BoundPair, FloatArray, KernelLike
+    from repro.index.kdtree import KDTreeNode
 
 __all__ = ["BoundProvider", "make_bound_provider"]
 
@@ -44,13 +57,13 @@ class BoundProvider(ABC):
     :meth:`node_bounds`.
     """
 
-    name = "abstract"
-    supported_kernels = None
+    name: str = "abstract"
+    supported_kernels: frozenset[str] | None = None
 
-    def __init__(self, kernel, gamma, weight=1.0):
-        self.kernel = get_kernel(kernel)
-        self.gamma = check_positive(gamma, "gamma")
-        self.weight = check_positive(weight, "weight")
+    def __init__(self, kernel: KernelLike, gamma: float, weight: float = 1.0) -> None:
+        self.kernel: Kernel = get_kernel(kernel)
+        self.gamma: float = check_positive(gamma, "gamma")
+        self.weight: float = check_positive(weight, "weight")
         if (
             self.supported_kernels is not None
             and self.kernel.name not in self.supported_kernels
@@ -62,7 +75,9 @@ class BoundProvider(ABC):
             )
 
     @abstractmethod
-    def node_bounds(self, node, q, q_sq):
+    def node_bounds(
+        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> BoundPair:
         """Return ``(lb, ub)`` bounding the node's weighted kernel sum.
 
         Parameters
@@ -75,7 +90,22 @@ class BoundProvider(ABC):
             Precomputed squared norm ``||q||^2``.
         """
 
-    def leaf_exact(self, node, q_array, q_sq):
+    @soundness_check
+    def checked_node_bounds(
+        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> BoundPair:
+        """:meth:`node_bounds` with the bound-order contract validated.
+
+        The refinement engine calls this variant instead of
+        :meth:`node_bounds` whenever invariant checking is enabled, so
+        built-in providers pay no wrapper cost on the normal hot path
+        while custom providers can also opt in permanently by decorating
+        their own ``node_bounds`` with
+        :func:`repro.contracts.soundness_check`.
+        """
+        return self.node_bounds(node, q, q_sq)
+
+    def leaf_exact(self, node: KDTreeNode, q_array: FloatArray, q_sq: float) -> float:
         """Exact weighted kernel sum over a leaf node, vectorised.
 
         Parameters
@@ -94,7 +124,24 @@ class BoundProvider(ABC):
             return self.weight * float(np.dot(values, node.weights))
         return self.weight * float(values.sum())
 
-    def x_interval(self, node, q):
+    def checked_leaf_exact(
+        self, node: KDTreeNode, q_array: FloatArray, q_sq: float
+    ) -> float:
+        """:meth:`leaf_exact` with the kernel-nonnegative contract validated.
+
+        Selected by the refinement engine instead of :meth:`leaf_exact`
+        whenever invariant checking is enabled, keeping the unchecked
+        leaf evaluation free of even a flag test.
+        """
+        sq_dists = node.sq_norms - 2.0 * (node.points @ q_array) + q_sq
+        np.maximum(sq_dists, 0.0, out=sq_dists)
+        values = self.kernel.evaluate(sq_dists, self.gamma)
+        check_kernel_values(values, kernel=self.kernel.name)
+        if node.weights is not None:
+            return self.weight * float(np.dot(values, node.weights))
+        return self.weight * float(values.sum())
+
+    def x_interval(self, node: KDTreeNode, q: Sequence[float]) -> tuple[float, float]:
         """The scaled-distance interval ``[xmin, xmax]`` of a node.
 
         Derived from the min/max distance between ``q`` and the node's
@@ -107,14 +154,20 @@ class BoundProvider(ABC):
             return self.gamma * min_sq, self.gamma * max_sq
         return self.gamma * math.sqrt(min_sq), self.gamma * math.sqrt(max_sq)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(kernel={self.kernel.name!r}, "
             f"gamma={self.gamma!r}, weight={self.weight!r})"
         )
 
 
-def make_bound_provider(name, kernel, gamma, weight=1.0, **options):
+def make_bound_provider(
+    name: str,
+    kernel: KernelLike,
+    gamma: float,
+    weight: float = 1.0,
+    **options: object,
+) -> BoundProvider:
     """Factory mapping a provider name to an instance.
 
     Recognised names: ``"baseline"``, ``"linear"`` (KARL) and ``"quad"``

@@ -16,7 +16,13 @@ is exactly the weakness QUAD's quadratic bounds attack.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.core.bounds.base import BoundProvider
+
+if TYPE_CHECKING:
+    from repro._types import BoundPair
+    from repro.index.kdtree import KDTreeNode
 
 __all__ = ["BaselineBoundProvider"]
 
@@ -31,7 +37,9 @@ class BaselineBoundProvider(BoundProvider):
     name = "baseline"
     supported_kernels = None
 
-    def node_bounds(self, node, q, q_sq):
+    def node_bounds(
+        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> BoundPair:
         xmin, xmax = self.x_interval(node, q)
         scale = self.weight * node.agg.total_weight
         if scale <= 0.0:

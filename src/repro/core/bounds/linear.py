@@ -22,8 +22,13 @@ O(d) aggregate — so this provider rejects them.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.bounds.base import BoundProvider
+
+if TYPE_CHECKING:
+    from repro._types import BoundPair
+    from repro.index.kdtree import KDTreeNode
 
 __all__ = ["LinearBoundProvider"]
 
@@ -37,7 +42,9 @@ class LinearBoundProvider(BoundProvider):
     name = "linear"
     supported_kernels = frozenset({"gaussian"})
 
-    def node_bounds(self, node, q, q_sq):
+    def node_bounds(
+        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> BoundPair:
         agg = node.agg
         n = agg.total_weight  # sum of point weights (= count unweighted)
         scale = self.weight * n

@@ -40,8 +40,13 @@ which reproduces Figure 7 (interval ~[0.5, 3.5] -> ``a*_u ~ 0.054``, so
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.bounds.base import BoundProvider
+
+if TYPE_CHECKING:
+    from repro._types import BoundPair, KernelLike
+    from repro.index.kdtree import KDTreeNode
 
 __all__ = ["QuadraticBoundProvider"]
 
@@ -54,13 +59,13 @@ _DEGENERATE_WIDTH = 1e-12
 _MIN_GAP_FRACTION = 2e-3
 
 
-def optimal_upper_curvature(xmin, xmax):
+def optimal_upper_curvature(xmin: float, xmax: float) -> float:
     """The sign-corrected ``a*_u`` of Theorem 1 (see module docstring)."""
     width = xmax - xmin
     return (math.exp(-xmin) - (width + 1.0) * math.exp(-xmax)) / (width * width)
 
 
-def upper_coefficients(xmin, xmax):
+def upper_coefficients(xmin: float, xmax: float) -> tuple[float, float, float]:
     """Coefficients ``(a_u, b_u, c_u)`` of the tight quadratic upper bound.
 
     ``QU`` interpolates ``exp(-x)`` at both endpoints (Section 4.2), with
@@ -75,7 +80,7 @@ def upper_coefficients(xmin, xmax):
     return au, bu, cu
 
 
-def lower_coefficients(t, xmax):
+def lower_coefficients(t: float, xmax: float) -> tuple[float, float, float]:
     """Coefficients ``(a_l, b_l, c_l)`` of the tight quadratic lower bound.
 
     ``QL`` is tangent to ``exp(-x)`` at ``t`` and interpolates it at
@@ -104,7 +109,13 @@ class QuadraticBoundProvider(BoundProvider):
     name = "quad"
     supported_kernels = frozenset({"gaussian"})
 
-    def __init__(self, kernel, gamma, weight=1.0, tangent="mean"):
+    def __init__(
+        self,
+        kernel: KernelLike,
+        gamma: float,
+        weight: float = 1.0,
+        tangent: str = "mean",
+    ) -> None:
         super().__init__(kernel, gamma, weight)
         if tangent not in ("mean", "midpoint"):
             from repro.errors import InvalidParameterError
@@ -114,7 +125,9 @@ class QuadraticBoundProvider(BoundProvider):
             )
         self.tangent = tangent
 
-    def node_bounds(self, node, q, q_sq):
+    def node_bounds(
+        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> BoundPair:
         # Fully inlined hot path: this method runs once per node pop per
         # pixel (millions of calls per colour map), so the coefficient
         # helpers above are folded in, sharing one exp() per endpoint.

@@ -45,8 +45,13 @@ Extension kernels (beyond the paper, see DESIGN.md):
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.bounds.base import BoundProvider
+
+if TYPE_CHECKING:
+    from repro._types import BoundPair, KernelLike
+    from repro.index.kdtree import KDTreeNode
 
 __all__ = ["DistanceQuadraticBoundProvider"]
 
@@ -63,7 +68,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
         {"triangular", "cosine", "exponential", "epanechnikov", "quartic"}
     )
 
-    def __init__(self, kernel, gamma, weight=1.0):
+    def __init__(self, kernel: KernelLike, gamma: float, weight: float = 1.0) -> None:
         super().__init__(kernel, gamma, weight)
         bounds_by_kernel = {
             "triangular": self._triangular_bounds,
@@ -74,7 +79,9 @@ class DistanceQuadraticBoundProvider(BoundProvider):
         }
         self._kernel_bounds = bounds_by_kernel[self.kernel.name]
 
-    def node_bounds(self, node, q, q_sq):
+    def node_bounds(
+        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+    ) -> BoundPair:
         gamma = self.gamma
         xmin = gamma * math.sqrt(node.rect.min_sq_dist(q))
         xmax = gamma * math.sqrt(node.rect.max_sq_dist(q))
@@ -90,7 +97,16 @@ class DistanceQuadraticBoundProvider(BoundProvider):
 
     # -- triangular ----------------------------------------------------
 
-    def _triangular_bounds(self, node, q, q_sq, n, xmin, xmax, x2_sum):
+    def _triangular_bounds(
+        self,
+        node: KDTreeNode,
+        q: Sequence[float],
+        q_sq: float,
+        n: float,
+        xmin: float,
+        xmax: float,
+        x2_sum: float,
+    ) -> BoundPair:
         weight = self.weight
         if xmin >= 1.0:
             return 0.0, 0.0
@@ -117,7 +133,16 @@ class DistanceQuadraticBoundProvider(BoundProvider):
 
     # -- cosine ----------------------------------------------------------
 
-    def _cosine_bounds(self, node, q, q_sq, n, xmin, xmax, x2_sum):
+    def _cosine_bounds(
+        self,
+        node: KDTreeNode,
+        q: Sequence[float],
+        q_sq: float,
+        n: float,
+        xmin: float,
+        xmax: float,
+        x2_sum: float,
+    ) -> BoundPair:
         weight = self.weight
         if xmin >= _HALF_PI:
             return 0.0, 0.0
@@ -155,7 +180,16 @@ class DistanceQuadraticBoundProvider(BoundProvider):
 
     # -- exponential -----------------------------------------------------
 
-    def _exponential_bounds(self, node, q, q_sq, n, xmin, xmax, x2_sum):
+    def _exponential_bounds(
+        self,
+        node: KDTreeNode,
+        q: Sequence[float],
+        q_sq: float,
+        n: float,
+        xmin: float,
+        xmax: float,
+        x2_sum: float,
+    ) -> BoundPair:
         weight = self.weight
         exp_xmin = math.exp(-xmin)
         exp_xmax = math.exp(-xmax)
@@ -190,7 +224,16 @@ class DistanceQuadraticBoundProvider(BoundProvider):
 
     # -- epanechnikov (extension) -----------------------------------------
 
-    def _epanechnikov_bounds(self, node, q, q_sq, n, xmin, xmax, x2_sum):
+    def _epanechnikov_bounds(
+        self,
+        node: KDTreeNode,
+        q: Sequence[float],
+        q_sq: float,
+        n: float,
+        xmin: float,
+        xmax: float,
+        x2_sum: float,
+    ) -> BoundPair:
         weight = self.weight
         if xmin >= 1.0:
             return 0.0, 0.0
@@ -218,7 +261,16 @@ class DistanceQuadraticBoundProvider(BoundProvider):
 
     # -- quartic (extension) ----------------------------------------------
 
-    def _quartic_bounds(self, node, q, q_sq, n, xmin, xmax, x2_sum):
+    def _quartic_bounds(
+        self,
+        node: KDTreeNode,
+        q: Sequence[float],
+        q_sq: float,
+        n: float,
+        xmin: float,
+        xmax: float,
+        x2_sum: float,
+    ) -> BoundPair:
         weight = self.weight
         if xmin >= 1.0:
             return 0.0, 0.0

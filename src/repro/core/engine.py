@@ -17,16 +17,32 @@ soon as the operation-specific test fires:
 The engine is method-agnostic: plugging in a different
 :class:`~repro.core.bounds.base.BoundProvider` yields a different
 published method, which is exactly how the paper frames its comparison.
+
+With ``REPRO_CHECK_INVARIANTS=1`` (see :mod:`repro.contracts`) every
+refinement additionally validates bound order, leaf containment and
+monotone tightening of the global interval; the checking branch is
+selected once per query so the normal hot path stays unchanged.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.contracts.runtime import (
+    check_leaf_containment,
+    check_monotone_tightening,
+    invariants_enabled,
+)
 from repro.errors import InvalidParameterError
 from repro.utils.validation import check_probability_like
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
+    from repro.core.bounds.base import BoundProvider
+    from repro.index.kdtree import KDTree
 
 __all__ = ["RefinementEngine", "QueryStats", "BoundTrace"]
 
@@ -57,14 +73,14 @@ class QueryStats:
         "point_evaluations",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.queries = 0
         self.iterations = 0
         self.node_evaluations = 0
         self.leaf_evaluations = 0
         self.point_evaluations = 0
 
-    def reset(self):
+    def reset(self) -> None:
         """Zero all counters."""
         self.queries = 0
         self.iterations = 0
@@ -72,7 +88,7 @@ class QueryStats:
         self.leaf_evaluations = 0
         self.point_evaluations = 0
 
-    def as_dict(self):
+    def as_dict(self) -> dict[str, int]:
         """Counters as a plain dictionary."""
         return {
             "queries": self.queries,
@@ -82,7 +98,7 @@ class QueryStats:
             "point_evaluations": self.point_evaluations,
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"QueryStats({parts})"
 
@@ -96,21 +112,21 @@ class BoundTrace:
 
     __slots__ = ("lowers", "uppers")
 
-    def __init__(self):
-        self.lowers = []
-        self.uppers = []
+    def __init__(self) -> None:
+        self.lowers: list[float] = []
+        self.uppers: list[float] = []
 
-    def record(self, lb, ub):
+    def record(self, lb: float, ub: float) -> None:
         """Append one iteration's global bounds."""
         self.lowers.append(lb)
         self.uppers.append(ub)
 
     @property
-    def iterations(self):
+    def iterations(self) -> int:
         """Number of recorded iterations."""
         return len(self.lowers)
 
-    def gap(self):
+    def gap(self) -> list[float]:
         """Per-iteration ``ub - lb`` as a list."""
         return [ub - lb for lb, ub in zip(self.lowers, self.uppers)]
 
@@ -130,7 +146,9 @@ class RefinementEngine:
         (breadth-first; exposed for the ablation benchmark).
     """
 
-    def __init__(self, tree, provider, ordering="gap"):
+    def __init__(
+        self, tree: KDTree, provider: BoundProvider, ordering: str = "gap"
+    ) -> None:
         if ordering not in ("gap", "fifo"):
             raise InvalidParameterError(
                 f"ordering must be 'gap' or 'fifo', got {ordering!r}"
@@ -142,7 +160,12 @@ class RefinementEngine:
 
     # -- shared refinement loop ------------------------------------------
 
-    def _refine(self, query, should_stop, trace=None):
+    def _refine(
+        self,
+        query: PointLike,
+        should_stop: Callable[[float, float], bool],
+        trace: BoundTrace | None = None,
+    ) -> tuple[float, float]:
         """Run the Table-3 loop until ``should_stop(lb, ub)`` is true.
 
         Returns the final ``(lb, ub)`` pair. ``query`` is a 1-D float
@@ -151,14 +174,23 @@ class RefinementEngine:
         provider = self.provider
         stats = self.stats
         stats.queries += 1
-        q_array = np.asarray(query, dtype=np.float64)
+        q_array: FloatArray = np.asarray(query, dtype=np.float64)
         q = q_array.tolist()
         q_sq = 0.0
         for value in q:
             q_sq += value * value
 
+        # Invariant checking is resolved once per query: the hot path
+        # reads a cached boolean and calls the undecorated node_bounds,
+        # while the checking path routes through checked_node_bounds and
+        # validates containment/tightening per iteration.
+        check = invariants_enabled()
+        node_bounds = provider.checked_node_bounds if check else provider.node_bounds
+        leaf_exact = provider.checked_leaf_exact if check else provider.leaf_exact
+        bound_name = type(provider).__name__
+
         root = self.tree.root
-        root_lb, root_ub = provider.node_bounds(root, q, q_sq)
+        root_lb, root_ub = node_bounds(root, q, q_sq)
         stats.node_evaluations += 1
         # The running bounds are kept as exact_acc (Kahan sum of exact
         # leaf contributions — additions of non-negative terms only) plus
@@ -186,9 +218,18 @@ class RefinementEngine:
             stats.iterations += 1
             __, __, node, node_lb, node_ub = heappop(heap)
             if node.is_leaf:
-                exact = provider.leaf_exact(node, q_array, q_sq)
+                exact = leaf_exact(node, q_array, q_sq)
                 stats.leaf_evaluations += 1
                 stats.point_evaluations += node.agg.n
+                if check:
+                    check_leaf_containment(
+                        exact,
+                        node_lb,
+                        node_ub,
+                        bound=bound_name,
+                        node=node.node_id,
+                        query=q,
+                    )
                 # exact_acc += exact (Kahan).
                 y = exact - exact_comp
                 t = exact_acc + y
@@ -199,8 +240,8 @@ class RefinementEngine:
             else:
                 left = node.left
                 right = node.right
-                left_lb, left_ub = provider.node_bounds(left, q, q_sq)
-                right_lb, right_ub = provider.node_bounds(right, q, q_sq)
+                left_lb, left_ub = node_bounds(left, q, q_sq)
+                right_lb, right_ub = node_bounds(right, q, q_sq)
                 stats.node_evaluations += 2
                 counter += 1
                 priority = -(left_ub - left_lb) if gap_ordered else counter
@@ -219,11 +260,34 @@ class RefinementEngine:
             t = heap_ub + y
             heap_ub_comp = (t - heap_ub) - y
             heap_ub = t
-            lb = exact_acc + heap_lb
-            ub = exact_acc + heap_ub
+            # Both the previous and the freshly accumulated interval are
+            # valid enclosures of F_P(q), so their intersection is too.
+            # The quadratic bounds are not pointwise monotone under
+            # splitting (a child's interval can poke marginally outside
+            # its parent's), and intersecting both keeps the
+            # monotone-tightening invariant and stops no later.
+            new_lb = exact_acc + heap_lb
+            new_ub = exact_acc + heap_ub
+            if check:
+                prev_lb = lb
+                prev_ub = ub
+            if new_lb > lb:
+                lb = new_lb
+            if new_ub < ub:
+                ub = new_ub
             if ub < lb:
                 mid = 0.5 * (lb + ub)
                 lb = ub = mid
+            if check:
+                check_monotone_tightening(
+                    prev_lb,
+                    prev_ub,
+                    lb,
+                    ub,
+                    bound=bound_name,
+                    node=node.node_id,
+                    query=q,
+                )
             if trace is not None:
                 trace.record(lb, ub)
         if not heap:
@@ -236,7 +300,15 @@ class RefinementEngine:
 
     # -- eps queries ------------------------------------------------------
 
-    def query_eps(self, query, eps, *, atol=0.0, offset=0.0, trace=None):
+    def query_eps(
+        self,
+        query: PointLike,
+        eps: float,
+        *,
+        atol: float = 0.0,
+        offset: float = 0.0,
+        trace: BoundTrace | None = None,
+    ) -> float:
         """εKDV for one pixel: a value within ``(1 ± eps)`` of ``F_P(q)``.
 
         Parameters
@@ -267,7 +339,7 @@ class RefinementEngine:
             raise InvalidParameterError(f"offset must be >= 0, got {offset!r}")
         one_plus_eps = 1.0 + eps
 
-        def should_stop(lb, ub):
+        def should_stop(lb: float, ub: float) -> bool:
             return ub + offset <= one_plus_eps * (lb + offset) or ub - lb <= atol
 
         lb, ub = self._refine(query, should_stop, trace=trace)
@@ -275,7 +347,14 @@ class RefinementEngine:
 
     # -- tau queries ------------------------------------------------------
 
-    def query_tau(self, query, tau, *, offset=0.0, trace=None):
+    def query_tau(
+        self,
+        query: PointLike,
+        tau: float,
+        *,
+        offset: float = 0.0,
+        trace: BoundTrace | None = None,
+    ) -> bool:
         """τKDV for one pixel: whether ``offset + F_P(q) >= tau``.
 
         Refinement stops the moment the threshold separates the global
@@ -287,7 +366,7 @@ class RefinementEngine:
         if not np.isfinite(tau):
             raise InvalidParameterError(f"tau must be finite, got {tau!r}")
 
-        def should_stop(lb, ub):
+        def should_stop(lb: float, ub: float) -> bool:
             return lb >= tau or ub <= tau
 
         lb, ub = self._refine(query, should_stop, trace=trace)
@@ -295,7 +374,7 @@ class RefinementEngine:
 
     # -- exact (full refinement) -------------------------------------------
 
-    def query_exact(self, query):
+    def query_exact(self, query: PointLike) -> float:
         """Fully refine one pixel (every leaf evaluated exactly)."""
         lb, ub = self._refine(query, lambda lb, ub: False)
         return 0.5 * (lb + ub)

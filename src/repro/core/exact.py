@@ -8,25 +8,30 @@ measure relative error. Evaluation is chunked so the dense
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.kernels import get_kernel
 from repro.utils.chunking import DEFAULT_CHUNK_ELEMENTS, chunk_slices
 from repro.utils.validation import check_points, check_positive
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike, PointLike
+
 __all__ = ["exact_density"]
 
 
 def exact_density(
-    points,
-    queries,
-    kernel="gaussian",
-    gamma=1.0,
-    weight=1.0,
+    points: PointLike,
+    queries: PointLike,
+    kernel: KernelLike = "gaussian",
+    gamma: float = 1.0,
+    weight: float = 1.0,
     *,
-    point_weights=None,
-    max_elements=DEFAULT_CHUNK_ELEMENTS,
-):
+    point_weights: PointLike | None = None,
+    max_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> FloatArray:
     """Exact ``F_P(q)`` for every query, by brute-force scan.
 
     Parameters

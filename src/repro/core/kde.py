@@ -19,6 +19,8 @@ True
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from repro.core.exact import exact_density
@@ -27,6 +29,10 @@ from repro.data.bandwidth import scott_gamma
 from repro.errors import NotFittedError
 from repro.methods.registry import create_method
 from repro.utils.validation import check_points, check_positive
+
+if TYPE_CHECKING:
+    from repro._types import BoolArray, FloatArray, KernelLike, PointLike
+    from repro.methods.base import Method
 
 __all__ = ["KernelDensity"]
 
@@ -52,7 +58,14 @@ class KernelDensity:
         Keyword arguments for :func:`~repro.methods.registry.create_method`.
     """
 
-    def __init__(self, kernel="gaussian", gamma=None, weight=None, method="quad", **method_options):
+    def __init__(
+        self,
+        kernel: KernelLike = "gaussian",
+        gamma: float | None = None,
+        weight: float | None = None,
+        method: str | Method = "quad",
+        **method_options: Any,
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.gamma = None if gamma is None else check_positive(gamma, "gamma")
         self.weight = None if weight is None else check_positive(weight, "weight")
@@ -60,12 +73,12 @@ class KernelDensity:
             self.method = create_method(method, **method_options)
         else:
             self.method = method
-        self.points = None
-        self.point_weights = None
-        self.gamma_ = None
-        self.weight_ = None
+        self.points: FloatArray | None = None
+        self.point_weights: PointLike | None = None
+        self.gamma_: float | None = None
+        self.weight_: float | None = None
 
-    def fit(self, points, point_weights=None):
+    def fit(self, points: PointLike, point_weights: PointLike | None = None) -> KernelDensity:
         """Fit on a dataset: resolve bandwidth/weight, build the method.
 
         Parameters
@@ -88,17 +101,18 @@ class KernelDensity:
         )
         return self
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self.points is None:
             raise NotFittedError("KernelDensity must be fitted before querying")
 
     @property
-    def dims(self):
+    def dims(self) -> int:
         """Dimensionality of the fitted data."""
         self._require_fitted()
-        return self.points.shape[1]
+        assert self.points is not None
+        return int(self.points.shape[1])
 
-    def density(self, queries):
+    def density(self, queries: PointLike) -> FloatArray:
         """Exact densities (ground truth; brute-force scan)."""
         self._require_fitted()
         return exact_density(
@@ -110,7 +124,9 @@ class KernelDensity:
             point_weights=self.point_weights,
         )
 
-    def density_eps(self, queries, eps=0.01, *, atol=0.0):
+    def density_eps(
+        self, queries: PointLike, eps: float = 0.01, *, atol: float = 0.0
+    ) -> float | FloatArray:
         """εKDV densities within ``(1 ± eps)`` of the exact values.
 
         Returns a scalar for a single query point, else an array.
@@ -121,7 +137,7 @@ class KernelDensity:
         values = self.method.batch_eps(np.atleast_2d(queries), eps, atol=atol)
         return float(values[0]) if single else values
 
-    def above_threshold(self, queries, tau):
+    def above_threshold(self, queries: PointLike, tau: float) -> bool | BoolArray:
         """τKDV: whether the density meets the threshold at each query."""
         self._require_fitted()
         queries = np.asarray(queries, dtype=np.float64)
@@ -129,7 +145,7 @@ class KernelDensity:
         flags = self.method.batch_tau(np.atleast_2d(queries), tau)
         return bool(flags[0]) if single else flags
 
-    def threshold_stats(self, sample_queries):
+    def threshold_stats(self, sample_queries: PointLike) -> tuple[float, float]:
         """The ``(mu, sigma)`` of exact densities over sample queries.
 
         The paper parameterises its τKDV experiments by thresholds
@@ -139,7 +155,7 @@ class KernelDensity:
         values = self.density(sample_queries)
         return float(values.mean()), float(values.std())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "fitted" if self.points is not None else "unfitted"
         return (
             f"KernelDensity(kernel={self.kernel.name!r}, "

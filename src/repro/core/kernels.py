@@ -26,10 +26,14 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import UnknownNameError
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike
 
 __all__ = [
     "Kernel",
@@ -43,6 +47,14 @@ __all__ = [
     "available_kernels",
     "KERNEL_REGISTRY",
 ]
+
+#: Largest magnitude fed to ``exp(-x)``. ``exp(-709)`` is still a normal
+#: float64 but larger arguments reach the subnormal range and, past
+#: ~745, underflow to zero — numpy flags both as underflow, which breaks
+#: warning-clean runs under ``-W error``. The profiles are monotone, so
+#: clamping ``x`` at the point where the result is already ~1e-308
+#: changes no observable value.
+_EXP_NEG_XMAX = 708.0
 
 
 class Kernel(ABC):
@@ -60,19 +72,19 @@ class Kernel(ABC):
         kernels set this to ``False``.
     """
 
-    name = "abstract"
-    uses_squared_distance = False
-    in_paper = True
+    name: str = "abstract"
+    uses_squared_distance: bool = False
+    in_paper: bool = True
 
     @abstractmethod
-    def profile(self, x):
+    def profile(self, x: FloatArray | float) -> FloatArray:
         """Evaluate the profile ``k(x)`` element-wise for ``x >= 0``.
 
-        Accepts and returns scalars or numpy arrays.
+        Accepts scalars or numpy arrays; returns a numpy array.
         """
 
     @abstractmethod
-    def profile_scalar(self, x):
+    def profile_scalar(self, x: float) -> float:
         """Scalar fast path of :meth:`profile` (plain ``float`` maths).
 
         The refinement engine calls bounds hundreds of thousands of times;
@@ -80,20 +92,22 @@ class Kernel(ABC):
         """
 
     @property
-    def support_xmax(self):
+    def support_xmax(self) -> float:
         """The ``x`` beyond which the profile is exactly zero.
 
         ``math.inf`` for kernels with unbounded support.
         """
         return math.inf
 
-    def x_from_distance(self, dist, gamma):
+    def x_from_distance(
+        self, dist: FloatArray | float, gamma: float
+    ) -> FloatArray | float:
         """Map a Euclidean distance (scalar or array) to the profile input."""
         if self.uses_squared_distance:
             return gamma * dist * dist
         return gamma * dist
 
-    def evaluate(self, sq_dists, gamma):
+    def evaluate(self, sq_dists: FloatArray | float, gamma: float) -> FloatArray:
         """Kernel values from **squared** Euclidean distances, vectorised.
 
         Parameters
@@ -110,7 +124,7 @@ class Kernel(ABC):
             x = gamma * np.sqrt(sq_dists)
         return self.profile(x)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
 
@@ -120,11 +134,16 @@ class GaussianKernel(Kernel):
     name = "gaussian"
     uses_squared_distance = True
 
-    def profile(self, x):
-        return np.exp(-np.asarray(x, dtype=np.float64))
+    def profile(self, x: FloatArray | float) -> FloatArray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.minimum(x, _EXP_NEG_XMAX)
+        np.negative(out, out=out)
+        # lint: allow-unclipped-exp -- ``out`` is the np.minimum-clipped
+        # copy from two lines up, negated in place (saves a temporary).
+        return np.exp(out, out=out)
 
-    def profile_scalar(self, x):
-        return math.exp(-x)
+    def profile_scalar(self, x: float) -> float:
+        return math.exp(-min(x, _EXP_NEG_XMAX))
 
 
 class ExponentialKernel(Kernel):
@@ -132,11 +151,16 @@ class ExponentialKernel(Kernel):
 
     name = "exponential"
 
-    def profile(self, x):
-        return np.exp(-np.asarray(x, dtype=np.float64))
+    def profile(self, x: FloatArray | float) -> FloatArray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.minimum(x, _EXP_NEG_XMAX)
+        np.negative(out, out=out)
+        # lint: allow-unclipped-exp -- ``out`` is the np.minimum-clipped
+        # copy from two lines up, negated in place (saves a temporary).
+        return np.exp(out, out=out)
 
-    def profile_scalar(self, x):
-        return math.exp(-x)
+    def profile_scalar(self, x: float) -> float:
+        return math.exp(-min(x, _EXP_NEG_XMAX))
 
 
 class TriangularKernel(Kernel):
@@ -145,13 +169,13 @@ class TriangularKernel(Kernel):
     name = "triangular"
 
     @property
-    def support_xmax(self):
+    def support_xmax(self) -> float:
         return 1.0
 
-    def profile(self, x):
+    def profile(self, x: FloatArray | float) -> FloatArray:
         return np.maximum(1.0 - np.asarray(x, dtype=np.float64), 0.0)
 
-    def profile_scalar(self, x):
+    def profile_scalar(self, x: float) -> float:
         return 1.0 - x if x < 1.0 else 0.0
 
 
@@ -164,14 +188,14 @@ class CosineKernel(Kernel):
     name = "cosine"
 
     @property
-    def support_xmax(self):
+    def support_xmax(self) -> float:
         return math.pi / 2.0
 
-    def profile(self, x):
+    def profile(self, x: FloatArray | float) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
         return np.where(x <= math.pi / 2.0, np.cos(np.minimum(x, math.pi / 2.0)), 0.0)
 
-    def profile_scalar(self, x):
+    def profile_scalar(self, x: float) -> float:
         return math.cos(x) if x <= math.pi / 2.0 else 0.0
 
 
@@ -188,14 +212,14 @@ class EpanechnikovKernel(Kernel):
     in_paper = False
 
     @property
-    def support_xmax(self):
+    def support_xmax(self) -> float:
         return 1.0
 
-    def profile(self, x):
+    def profile(self, x: FloatArray | float) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
         return np.maximum(1.0 - x * x, 0.0)
 
-    def profile_scalar(self, x):
+    def profile_scalar(self, x: float) -> float:
         return 1.0 - x * x if x < 1.0 else 0.0
 
 
@@ -211,15 +235,15 @@ class QuarticKernel(Kernel):
     in_paper = False
 
     @property
-    def support_xmax(self):
+    def support_xmax(self) -> float:
         return 1.0
 
-    def profile(self, x):
+    def profile(self, x: FloatArray | float) -> FloatArray:
         x = np.asarray(x, dtype=np.float64)
         inside = np.maximum(1.0 - x * x, 0.0)
         return inside * inside
 
-    def profile_scalar(self, x):
+    def profile_scalar(self, x: float) -> float:
         if x >= 1.0:
             return 0.0
         inside = 1.0 - x * x
@@ -227,7 +251,7 @@ class QuarticKernel(Kernel):
 
 
 #: Registry of kernel name -> singleton instance.
-KERNEL_REGISTRY = {
+KERNEL_REGISTRY: dict[str, Kernel] = {
     kernel.name: kernel
     for kernel in (
         GaussianKernel(),
@@ -240,7 +264,7 @@ KERNEL_REGISTRY = {
 }
 
 
-def get_kernel(kernel):
+def get_kernel(kernel: KernelLike) -> Kernel:
     """Resolve ``kernel`` (name or instance) to a :class:`Kernel`.
 
     Raises
@@ -259,7 +283,7 @@ def get_kernel(kernel):
         ) from None
 
 
-def available_kernels(*, paper_only=False):
+def available_kernels(*, paper_only: bool = False) -> list[str]:
     """Return the sorted list of registered kernel names."""
     names = (
         name

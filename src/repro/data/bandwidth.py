@@ -21,16 +21,27 @@ a constant factor only).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
 from repro.core.kernels import get_kernel
 from repro.utils.validation import check_points
 
-__all__ = ["scott_bandwidth", "silverman_bandwidth", "scott_gamma"]
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike, PointLike
+
+__all__ = [
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "scott_gamma",
+    "default_weight",
+    "cv_bandwidth",
+    "gamma_for_radius",
+]
 
 
-def _average_std(points):
+def _average_std(points: FloatArray) -> float:
     """Average of the per-dimension sample standard deviations."""
     std = points.std(axis=0, ddof=1) if points.shape[0] > 1 else np.zeros(points.shape[1])
     mean_std = float(std.mean())
@@ -41,22 +52,27 @@ def _average_std(points):
     return mean_std
 
 
-def scott_bandwidth(points):
+def scott_bandwidth(points: PointLike) -> float:
     """Scott's rule bandwidth ``h`` for a point set."""
     points = check_points(points)
     n, d = points.shape
-    return _average_std(points) * n ** (-1.0 / (d + 4))
+    return float(_average_std(points) * n ** (-1.0 / (d + 4)))
 
 
-def silverman_bandwidth(points):
+def silverman_bandwidth(points: PointLike) -> float:
     """Silverman's rule-of-thumb bandwidth (extension beyond the paper)."""
     points = check_points(points)
     n, d = points.shape
     factor = (4.0 / (d + 2)) ** (1.0 / (d + 4))
-    return factor * _average_std(points) * n ** (-1.0 / (d + 4))
+    return float(factor * _average_std(points) * n ** (-1.0 / (d + 4)))
 
 
-def scott_gamma(points, kernel="gaussian", *, rule=scott_bandwidth):
+def scott_gamma(
+    points: PointLike,
+    kernel: KernelLike = "gaussian",
+    *,
+    rule: Callable[[PointLike], float] = scott_bandwidth,
+) -> float:
     """The kernel parameter ``gamma`` implied by a bandwidth rule.
 
     Parameters
@@ -76,7 +92,7 @@ def scott_gamma(points, kernel="gaussian", *, rule=scott_bandwidth):
     return 1.0 / h
 
 
-def default_weight(n):
+def default_weight(n: int) -> float:
     """The uniform weight ``w = 1 / n`` making ``F_P`` a mean density."""
     if n <= 0:
         raise_from = None
@@ -86,7 +102,13 @@ def default_weight(n):
     return 1.0 / float(n)
 
 
-def cv_bandwidth(points, kernel="gaussian", candidates=None, max_points=2000, seed=0):
+def cv_bandwidth(
+    points: PointLike,
+    kernel: KernelLike = "gaussian",
+    candidates: Iterable[float] | None = None,
+    max_points: int = 2000,
+    seed: int = 0,
+) -> float:
     """Leave-one-out likelihood cross-validated bandwidth (extension).
 
     Scores each candidate ``h`` by the leave-one-out log likelihood
@@ -139,7 +161,7 @@ def cv_bandwidth(points, kernel="gaussian", candidates=None, max_points=2000, se
         from repro.errors import InvalidParameterError
 
         raise InvalidParameterError("candidates must be non-empty")
-    best_h = None
+    best_h = math.nan
     best_score = -math.inf
     tiny = np.finfo(np.float64).tiny
     for h in candidates:
@@ -159,7 +181,7 @@ def cv_bandwidth(points, kernel="gaussian", candidates=None, max_points=2000, se
     return best_h
 
 
-def gamma_for_radius(radius, kernel="gaussian"):
+def gamma_for_radius(radius: float, kernel: KernelLike = "gaussian") -> float:
     """``gamma`` giving a kernel support (or effective) radius ``radius``.
 
     For compact kernels the support edge sits exactly at ``radius``; for

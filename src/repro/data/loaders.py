@@ -8,16 +8,20 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.utils.validation import check_points
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
+
 __all__ = ["load_csv", "save_csv"]
 
 
-def _is_float(token):
+def _is_float(token: str) -> bool:
     try:
         float(token)
     except ValueError:
@@ -25,7 +29,12 @@ def _is_float(token):
     return True
 
 
-def load_csv(path, *, columns=None, delimiter=","):
+def load_csv(
+    path: str | Path,
+    *,
+    columns: Iterable[int] | None = None,
+    delimiter: str = ",",
+) -> FloatArray:
     """Load points from a CSV file.
 
     Parameters
@@ -44,7 +53,7 @@ def load_csv(path, *, columns=None, delimiter=","):
         Point array of shape ``(n, d)``.
     """
     path = Path(path)
-    rows = []
+    rows: list[list[float]] = []
     with path.open(newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         for index, row in enumerate(reader):
@@ -70,7 +79,13 @@ def load_csv(path, *, columns=None, delimiter=","):
     return check_points(array)
 
 
-def save_csv(path, points, *, header=None, delimiter=","):
+def save_csv(
+    path: str | Path,
+    points: PointLike,
+    *,
+    header: Sequence[str] | None = None,
+    delimiter: str = ",",
+) -> Path:
     """Write a point array to CSV (optionally with a header row)."""
     points = check_points(points)
     path = Path(path)

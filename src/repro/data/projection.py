@@ -7,15 +7,20 @@ This is a from-scratch implementation on the covariance eigendecomposition
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.utils.validation import check_points
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
+
 __all__ = ["pca_project"]
 
 
-def pca_project(points, dims):
+def pca_project(points: PointLike, dims: int) -> FloatArray:
     """Project points onto their top ``dims`` principal components.
 
     Parameters

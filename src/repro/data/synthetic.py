@@ -28,10 +28,15 @@ Figures 14-24 are sensitive to. See DESIGN.md section 4.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Callable
+
 import numpy as np
 
 from repro.errors import InvalidParameterError, UnknownNameError
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray
 
 __all__ = [
     "elnino_like",
@@ -44,18 +49,18 @@ __all__ = [
 ]
 
 
-def _rng(seed):
+def _rng(seed: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def _check_n(n):
+def _check_n(n: int) -> int:
     n = int(n)
     if n < 1:
         raise InvalidParameterError(f"n must be >= 1, got {n}")
     return n
 
 
-def elnino_like(n, seed=0):
+def elnino_like(n: int, seed: int = 0) -> FloatArray:
     """El-nino-like 2-D data: smooth anisotropic oceanographic ridges.
 
     Sea-surface temperature at two depths: strongly correlated with a
@@ -80,7 +85,7 @@ def elnino_like(n, seed=0):
     return points
 
 
-def crime_like(n, seed=0):
+def crime_like(n: int, seed: int = 0) -> FloatArray:
     """Crime-like 2-D data: many compact hotspots plus diffuse background.
 
     Models the Arlington/Atlanta vehicle-theft maps of the paper's
@@ -106,7 +111,7 @@ def crime_like(n, seed=0):
     return points
 
 
-def home_like(n, seed=0):
+def home_like(n: int, seed: int = 0) -> FloatArray:
     """Home-sensor-like 2-D data: temperature/humidity operating modes.
 
     A curved (banana-shaped) ridge of normal operation plus three dense
@@ -136,7 +141,7 @@ def home_like(n, seed=0):
     return points
 
 
-def hep_like(n, seed=0, dims=2):
+def hep_like(n: int, seed: int = 0, dims: int = 2) -> FloatArray:
     """HEP-like data: overlapping signal/background particle features.
 
     A mixture of elongated Gaussians in ``dims`` dimensions (default: the
@@ -163,7 +168,7 @@ def hep_like(n, seed=0, dims=2):
 
 
 #: Registry name -> (generator, paper_size, description).
-DATASET_REGISTRY = {
+DATASET_REGISTRY: dict[str, tuple[Callable[..., Any], int, str]] = {
     "elnino": (elnino_like, 178_080, "sea surface temperature (depth=0/500)"),
     "crime": (crime_like, 270_688, "latitude/longitude"),
     "home": (home_like, 919_438, "temperature/humidity"),
@@ -171,7 +176,7 @@ DATASET_REGISTRY = {
 }
 
 
-def load_dataset(name, n=10_000, seed=0, **kwargs):
+def load_dataset(name: str, n: int = 10_000, seed: int = 0, **kwargs: Any) -> FloatArray:
     """Generate ``n`` points of the named dataset analogue.
 
     Parameters
@@ -194,6 +199,6 @@ def load_dataset(name, n=10_000, seed=0, **kwargs):
     return generator(n, seed=seed, **kwargs)
 
 
-def available_datasets():
+def available_datasets() -> list[str]:
     """Sorted registry names."""
     return sorted(DATASET_REGISTRY)

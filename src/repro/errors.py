@@ -7,6 +7,16 @@ still distinguishing specific failure modes when needed.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "UnsupportedKernelError",
+    "UnsupportedOperationError",
+    "NotFittedError",
+    "UnknownNameError",
+    "InvariantViolation",
+]
+
 
 class ReproError(Exception):
     """Base class of every exception raised by this library."""
@@ -44,3 +54,44 @@ class NotFittedError(ReproError, RuntimeError):
 
 class UnknownNameError(ReproError, KeyError):
     """A registry lookup (kernel, method, dataset, experiment) failed."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A runtime soundness contract of the bound machinery failed.
+
+    Raised only when invariant checking is enabled (the
+    ``REPRO_CHECK_INVARIANTS`` environment toggle, see
+    :mod:`repro.contracts`). A violation means a bound evaluation broke
+    the correctness condition ``LB_R(q) <= F_R(q) <= UB_R(q)`` — the
+    silent failure mode that makes εKDV/τKDV return wrong pixels while
+    tests still pass — so it is never caught and repaired internally.
+
+    Attributes
+    ----------
+    invariant:
+        Short identifier of the violated contract (e.g.
+        ``"bound-order"``, ``"leaf-containment"``,
+        ``"monotone-tightening"``, ``"kernel-nonnegative"``,
+        ``"eps-agreement"``).
+    bound:
+        Name of the offending bound provider / kernel / method class.
+    node:
+        Index-node identifier involved, if any.
+    query:
+        Query coordinates involved, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "unspecified",
+        bound: str | None = None,
+        node: int | None = None,
+        query: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.bound = bound
+        self.node = node
+        self.query = query

@@ -14,6 +14,8 @@ measurement; each gets its own experiment here:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.bounds import make_bound_provider
@@ -28,7 +30,9 @@ from repro.visual.kdv import KDVRenderer
 __all__ = ["run_tangent", "run_ordering", "run_leaf_size", "run_tightness"]
 
 
-def run_tangent(scale="small", seed=0, dataset="home", eps=0.01):
+def run_tangent(
+    scale: str = "small", seed: int = 0, dataset: str = "home", eps: float = 0.01
+) -> ExperimentResult:
     """Mean versus midpoint tangent for the Gaussian lower bound."""
     scale = get_scale(scale)
     points = load_dataset(dataset, n=scale.n_points, seed=seed)
@@ -45,7 +49,9 @@ def run_tangent(scale="small", seed=0, dataset="home", eps=0.01):
     )
 
 
-def run_ordering(scale="small", seed=0, dataset="home", eps=0.01):
+def run_ordering(
+    scale: str = "small", seed: int = 0, dataset: str = "home", eps: float = 0.01
+) -> ExperimentResult:
     """Best-first (gap) versus FIFO refinement order."""
     scale = get_scale(scale)
     points = load_dataset(dataset, n=scale.n_points, seed=seed)
@@ -61,7 +67,13 @@ def run_ordering(scale="small", seed=0, dataset="home", eps=0.01):
     )
 
 
-def run_leaf_size(scale="small", seed=0, dataset="crime", eps=0.01, leaf_sizes=(16, 64, 256, 1024)):
+def run_leaf_size(
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "crime",
+    eps: float = 0.01,
+    leaf_sizes: Sequence[int] = (16, 64, 256, 1024),
+) -> ExperimentResult:
     """kd-tree leaf capacity sweep."""
     scale = get_scale(scale)
     rows = []
@@ -78,7 +90,13 @@ def run_leaf_size(scale="small", seed=0, dataset="crime", eps=0.01, leaf_sizes=(
     )
 
 
-def run_tightness(scale="small", seed=0, dataset="home", kernel="gaussian", samples=30):
+def run_tightness(
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "home",
+    kernel: str = "gaussian",
+    samples: int = 30,
+) -> ExperimentResult:
     """Per-node bound-gap ratios: quad vs linear vs baseline.
 
     Quantifies the theorem-level claims: gap(QUAD) <= gap(KARL) <=

@@ -13,8 +13,14 @@ import csv
 import json
 import time
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import UnknownNameError
+
+if TYPE_CHECKING:
+    import os
+
+    Row = dict[str, Any]
 
 __all__ = [
     "ScalePreset",
@@ -64,15 +70,15 @@ class ScalePreset:
 
     def __init__(
         self,
-        name,
-        n_points,
-        resolution,
-        eps_values,
-        tau_offsets,
-        size_sweep,
-        resolution_sweep,
-        dims_sweep,
-    ):
+        name: str,
+        n_points: int,
+        resolution: tuple[int, int],
+        eps_values: Sequence[float],
+        tau_offsets: Sequence[float],
+        size_sweep: Sequence[int],
+        resolution_sweep: Sequence[tuple[int, int]],
+        dims_sweep: Sequence[int],
+    ) -> None:
         self.name = name
         self.n_points = n_points
         self.resolution = resolution
@@ -82,7 +88,7 @@ class ScalePreset:
         self.resolution_sweep = list(resolution_sweep)
         self.dims_sweep = list(dims_sweep)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ScalePreset({self.name!r}, n={self.n_points}, res={self.resolution})"
 
 
@@ -92,7 +98,7 @@ _FULL_TAU = (-0.3, -0.2, -0.1, 0.0, 0.1, 0.2, 0.3)
 #: Presets: "smoke" keeps the full test suite fast; "small" is the
 #: default for the benchmark harness; "medium"/"large" approach paper
 #: shape at increasing cost.
-SCALE_PRESETS = {
+SCALE_PRESETS: dict[str, ScalePreset] = {
     "smoke": ScalePreset(
         name="smoke",
         n_points=1_500,
@@ -136,7 +142,7 @@ SCALE_PRESETS = {
 }
 
 
-def get_scale(scale):
+def get_scale(scale: str | ScalePreset) -> ScalePreset:
     """Resolve a preset name or instance to a :class:`ScalePreset`."""
     if isinstance(scale, ScalePreset):
         return scale
@@ -147,14 +153,16 @@ def get_scale(scale):
         raise UnknownNameError(f"unknown scale {scale!r}; available: {known}") from None
 
 
-def timed(callable_, *args, **kwargs):
+def timed(
+    callable_: Callable[..., Any], *args: Any, **kwargs: Any
+) -> tuple[Any, float]:
     """Run ``callable_`` and return ``(result, elapsed_seconds)``."""
     start = time.perf_counter()
     result = callable_(*args, **kwargs)
     return result, time.perf_counter() - start
 
 
-def format_table(rows, columns=None):
+def format_table(rows: Sequence[Row], columns: Sequence[str] | None = None) -> str:
     """Format dict-rows as an aligned text table.
 
     Heterogeneous rows are supported: the default column set is the
@@ -163,7 +171,7 @@ def format_table(rows, columns=None):
     if not rows:
         return "(no rows)"
     if columns is None:
-        columns = []
+        columns = []  # type: ignore[assignment]
         for row in rows:
             for key in row:
                 if key not in columns:
@@ -183,11 +191,11 @@ def format_table(rows, columns=None):
     return "\n".join([header, separator, *body])
 
 
-def _format_cell(value):
+def _format_cell(value: object) -> str:
     if value is None:
         return "-"
     if isinstance(value, float):
-        if value == 0.0:
+        if value == 0.0:  # lint: allow-float-eq -- display formatting only
             return "0"
         if abs(value) >= 1000 or abs(value) < 0.001:
             return f"{value:.3e}"
@@ -210,17 +218,23 @@ class ExperimentResult:
         Scale, seed, and any experiment-specific settings.
     """
 
-    def __init__(self, experiment, description, rows, metadata=None):
+    def __init__(
+        self,
+        experiment: str,
+        description: str,
+        rows: Sequence[Row],
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
         self.experiment = experiment
         self.description = description
         self.rows = list(rows)
         self.metadata = dict(metadata or {})
 
-    def to_table(self, columns=None):
+    def to_table(self, columns: Sequence[str] | None = None) -> str:
         """Aligned text table of the rows."""
         return format_table(self.rows, columns)
 
-    def save(self, out_dir):
+    def save(self, out_dir: str | os.PathLike[str]) -> tuple[Path, Path]:
         """Write ``<experiment>.csv`` and ``<experiment>.json`` under a dir."""
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -236,7 +250,7 @@ class ExperimentResult:
         if self.rows:
             # Rows may be heterogeneous (e.g. eps rows and tau rows in the
             # same experiment); the header is the union in first-seen order.
-            columns = []
+            columns: list[str] = []
             for row in self.rows:
                 for key in row:
                     if key not in columns:
@@ -247,7 +261,7 @@ class ExperimentResult:
                 writer.writerows(self.rows)
         return json_path, csv_path
 
-    def filter(self, **matches):
+    def filter(self, **matches: Any) -> list[Row]:
         """Rows whose columns equal every given value."""
         return [
             row
@@ -255,5 +269,5 @@ class ExperimentResult:
             if all(row.get(key) == value for key, value in matches.items())
         ]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ExperimentResult({self.experiment!r}, rows={len(self.rows)})"

@@ -18,7 +18,14 @@ from repro.visual.metrics import average_relative_error, threshold_confusion
 __all__ = ["run"]
 
 
-def run(scale="small", seed=0, dataset="crime", eps=0.01, tau_offset=0.1, image_dir=None):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "crime",
+    eps: float = 0.01,
+    tau_offset: float = 0.1,
+    image_dir: str | None = None,
+) -> ExperimentResult:
     """Render the three panels; one row per panel with its quality."""
     scale = get_scale(scale)
     renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)

@@ -8,6 +8,8 @@ counters) at a configurable scale.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import (
     DATASETS,
@@ -20,7 +22,12 @@ from repro.experiments.workload import (
 __all__ = ["run"]
 
 
-def run(scale="small", seed=0, datasets=DATASETS, methods=EPS_METHODS):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = DATASETS,
+    methods: Sequence[str] = EPS_METHODS,
+) -> ExperimentResult:
     """Run the ε sweep; one row per (dataset, method, eps)."""
     scale = get_scale(scale)
     rows = []

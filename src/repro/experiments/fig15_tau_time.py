@@ -7,6 +7,8 @@ at least an order of magnitude faster regardless of τ.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import (
     DATASETS,
@@ -19,7 +21,12 @@ from repro.experiments.workload import (
 __all__ = ["run"]
 
 
-def run(scale="small", seed=0, datasets=DATASETS, methods=TAU_METHODS):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = DATASETS,
+    methods: Sequence[str] = TAU_METHODS,
+) -> ExperimentResult:
     """Run the τ sweep; one row per (dataset, method, tau offset)."""
     scale = get_scale(scale)
     rows = []

@@ -7,6 +7,8 @@ down proportionally per preset.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import (
     DATASETS,
@@ -19,7 +21,13 @@ from repro.experiments.workload import (
 __all__ = ["run"]
 
 
-def run(scale="small", seed=0, datasets=DATASETS, methods=EPS_METHODS, eps=0.01):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = DATASETS,
+    methods: Sequence[str] = EPS_METHODS,
+    eps: float = 0.01,
+) -> ExperimentResult:
     """Run the resolution sweep; one row per (dataset, method, grid)."""
     scale = get_scale(scale)
     rows = []

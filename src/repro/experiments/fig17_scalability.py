@@ -21,7 +21,9 @@ from repro.experiments.workload import (
 __all__ = ["run"]
 
 
-def run(scale="small", seed=0, dataset="hep", eps=0.01):
+def run(
+    scale: str = "small", seed: int = 0, dataset: str = "hep", eps: float = 0.01
+) -> ExperimentResult:
     """Run both size sweeps; rows carry an ``operation`` column."""
     scale = get_scale(scale)
     rows = []

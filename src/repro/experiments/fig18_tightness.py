@@ -8,6 +8,8 @@ significantly earlier. Rows here are the per-iteration traces.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, get_scale
@@ -16,7 +18,13 @@ from repro.experiments.workload import make_renderer, strip_private
 __all__ = ["run"]
 
 
-def run(scale="small", seed=0, dataset="home", eps=0.01, methods=("karl", "quad")):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "home",
+    eps: float = 0.01,
+    methods: Sequence[str] = ("karl", "quad"),
+) -> ExperimentResult:
     """Trace the bound refinement on the hottest pixel."""
     scale = get_scale(scale)
     renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)

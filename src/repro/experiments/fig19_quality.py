@@ -8,6 +8,8 @@ map, plus optional rendered PNGs for eyeballing.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import eps_row, make_renderer, strip_private
 from repro.visual.metrics import average_relative_error, max_relative_error
@@ -17,7 +19,14 @@ __all__ = ["run"]
 _METHODS = ("exact", "akde", "zorder", "karl", "quad")
 
 
-def run(scale="small", seed=0, dataset="home", eps=0.01, image_dir=None, methods=_METHODS):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "home",
+    eps: float = 0.01,
+    image_dir: str | None = None,
+    methods: Sequence[str] = _METHODS,
+) -> ExperimentResult:
     """Measure per-method εKDV quality; optionally save the colour maps."""
     scale = get_scale(scale)
     renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)

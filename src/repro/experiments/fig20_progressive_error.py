@@ -11,6 +11,8 @@ the *ordering* of methods at equal budget is the reproduced claim).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import DEFAULT_LEAF_SIZE, make_renderer, strip_private
 from repro.visual.metrics import average_relative_error
@@ -24,13 +26,13 @@ _DEFAULT_BUDGETS = (0.01, 0.05, 0.25, 1.25)
 
 
 def run(
-    scale="small",
-    seed=0,
-    dataset="home",
-    eps=0.01,
-    budgets=_DEFAULT_BUDGETS,
-    methods=_METHODS,
-):
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "home",
+    eps: float = 0.01,
+    budgets: Sequence[float] = _DEFAULT_BUDGETS,
+    methods: Sequence[str] = _METHODS,
+) -> ExperimentResult:
     """One row per (method, time budget) with the achieved quality."""
     scale = get_scale(scale)
     renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)

@@ -9,6 +9,8 @@ save the PNGs.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import DEFAULT_LEAF_SIZE, make_renderer, strip_private
 from repro.visual.colormap import get_colormap
@@ -21,7 +23,14 @@ __all__ = ["run"]
 _DEFAULT_TIMES = (0.02, 0.05, 0.2, 0.5, 2.0)
 
 
-def run(scale="small", seed=0, dataset="home", eps=0.01, times=_DEFAULT_TIMES, image_dir=None):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    dataset: str = "home",
+    eps: float = 0.01,
+    times: Sequence[float] = _DEFAULT_TIMES,
+    image_dir: str | None = None,
+) -> ExperimentResult:
     """One row per snapshot time with quality against the exact map."""
     scale = get_scale(scale)
     renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)

@@ -8,6 +8,8 @@ least an order of magnitude ahead of aKDE in the paper.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import eps_row, make_renderer, strip_private
 
@@ -18,7 +20,13 @@ _KERNELS = ("triangular", "cosine")
 _DATASETS = ("crime", "hep")
 
 
-def run(scale="small", seed=0, datasets=_DATASETS, kernels=_KERNELS, methods=_METHODS):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = _DATASETS,
+    kernels: Sequence[str] = _KERNELS,
+    methods: Sequence[str] = _METHODS,
+) -> ExperimentResult:
     """One row per (dataset, kernel, method, eps)."""
     scale = get_scale(scale)
     rows = []

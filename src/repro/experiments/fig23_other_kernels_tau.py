@@ -6,6 +6,8 @@ QUAD's tighter distance-kernel bounds keep its order-of-magnitude lead.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import make_renderer, strip_private, tau_row
 
@@ -16,7 +18,13 @@ _KERNELS = ("triangular", "cosine")
 _DATASETS = ("crime", "hep")
 
 
-def run(scale="small", seed=0, datasets=_DATASETS, kernels=_KERNELS, methods=_METHODS):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = _DATASETS,
+    kernels: Sequence[str] = _KERNELS,
+    methods: Sequence[str] = _METHODS,
+) -> ExperimentResult:
     """One row per (dataset, kernel, method, tau offset)."""
     scale = get_scale(scale)
     rows = []

@@ -9,6 +9,8 @@ kernel (ε = 0.01). Bound-based throughput decays with dimensionality
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.data.projection import pca_project
@@ -45,7 +47,14 @@ def _source_points(dataset, n, dims, seed):
     return pca_project(raw, dims)
 
 
-def run(scale="small", seed=0, datasets=("home", "hep"), eps=0.01, queries=None, methods=_METHODS):
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = ("home", "hep"),
+    eps: float = 0.01,
+    queries: int | None = None,
+    methods: Sequence[str] = _METHODS,
+) -> ExperimentResult:
     """One row per (dataset, dims, method) with throughput in queries/s."""
     scale = get_scale(scale)
     if queries is None:

@@ -7,6 +7,8 @@ tKDC/QUAD for τ (tKDC times out entirely on hep in the paper).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import eps_row, make_renderer, strip_private, tau_row
 
@@ -17,7 +19,9 @@ _TAU_METHODS = ("tkdc", "quad")
 _DATASETS = ("crime", "hep")
 
 
-def run(scale="small", seed=0, datasets=_DATASETS):
+def run(
+    scale: str = "small", seed: int = 0, datasets: Sequence[str] = _DATASETS
+) -> ExperimentResult:
     """Both sweeps with kernel = exponential; ``operation`` column set."""
     scale = get_scale(scale)
     rows = []

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Callable
+
 from repro.errors import UnknownNameError
 from repro.experiments import ablations
 from repro.experiments import (
@@ -20,10 +22,15 @@ from repro.experiments import (
     fig27_exponential,
 )
 
+if TYPE_CHECKING:
+    import os
+
+    from repro.experiments.common import ExperimentResult
+
 __all__ = ["EXPERIMENT_REGISTRY", "available_experiments", "run_experiment"]
 
 #: Experiment id -> callable(scale=..., seed=..., **kwargs) -> ExperimentResult.
-EXPERIMENT_REGISTRY = {
+EXPERIMENT_REGISTRY: dict[str, Callable[..., Any]] = {
     "fig02": fig02_illustration.run,
     "fig14": fig14_eps_time.run,
     "fig15": fig15_tau_time.run,
@@ -44,12 +51,18 @@ EXPERIMENT_REGISTRY = {
 }
 
 
-def available_experiments():
+def available_experiments() -> list[str]:
     """Sorted experiment identifiers."""
     return sorted(EXPERIMENT_REGISTRY)
 
 
-def run_experiment(name, scale="small", seed=0, out_dir=None, **kwargs):
+def run_experiment(
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    out_dir: str | os.PathLike[str] | None = None,
+    **kwargs: Any,
+) -> ExperimentResult:
     """Run one experiment by id, optionally saving its result files."""
     try:
         runner = EXPERIMENT_REGISTRY[str(name).lower()]

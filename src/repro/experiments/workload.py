@@ -11,9 +11,16 @@ paper's C++ makes visible.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Sequence
+
 from repro.data.synthetic import load_dataset
 from repro.experiments.common import timed
 from repro.visual.kdv import KDVRenderer
+
+if TYPE_CHECKING:
+    from repro.methods.base import Method
+
+    Row = dict[str, Any]
 
 __all__ = [
     "make_renderer",
@@ -35,13 +42,20 @@ DATASETS = ("elnino", "crime", "home", "hep")
 DEFAULT_LEAF_SIZE = 256
 
 
-def make_renderer(dataset, n, resolution, kernel="gaussian", seed=0, leaf_size=DEFAULT_LEAF_SIZE):
+def make_renderer(
+    dataset: str,
+    n: int,
+    resolution: tuple[int, int],
+    kernel: str = "gaussian",
+    seed: int = 0,
+    leaf_size: int = DEFAULT_LEAF_SIZE,
+) -> KDVRenderer:
     """A :class:`KDVRenderer` over a synthetic dataset analogue."""
     points = load_dataset(dataset, n=n, seed=seed)
     return KDVRenderer(points, resolution=resolution, kernel=kernel, leaf_size=leaf_size)
 
 
-def _work_columns(method):
+def _work_columns(method: Method) -> Row:
     """Engine counters of an indexed method, or sampling cost for Z-order."""
     stats = getattr(method, "stats", None)
     if stats is not None:
@@ -53,7 +67,9 @@ def _work_columns(method):
     return {"iterations": None, "node_evaluations": None, "point_evaluations": None}
 
 
-def eps_row(renderer, method_name, eps, **extra):
+def eps_row(
+    renderer: KDVRenderer, method_name: str | Method, eps: float, **extra: Any
+) -> Row:
     """Render one εKDV colour map and return the measurement row.
 
     ``method_name`` may also be a pre-built
@@ -79,7 +95,13 @@ def eps_row(renderer, method_name, eps, **extra):
     return row
 
 
-def tau_row(renderer, method_name, tau, tau_label, **extra):
+def tau_row(
+    renderer: KDVRenderer,
+    method_name: str | Method,
+    tau: float,
+    tau_label: float,
+    **extra: Any,
+) -> Row:
     """Render one τKDV mask and return the measurement row."""
     method = renderer.get_method(method_name)
     stats = getattr(method, "stats", None)
@@ -97,7 +119,7 @@ def tau_row(renderer, method_name, tau, tau_label, **extra):
     return row
 
 
-def strip_private(rows):
+def strip_private(rows: Sequence[Row]) -> list[Row]:
     """Drop the in-memory image/mask columns before tabulating/saving."""
     cleaned = []
     for row in rows:

@@ -21,6 +21,7 @@ providers are duck-typed over the ``rect`` attribute's
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.core.aggregates import NodeAggregates
 from repro.errors import InvalidParameterError
 from repro.index.kdtree import DEFAULT_LEAF_SIZE, KDTreeNode
 from repro.utils.validation import check_points
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, IntArray, PointLike
 
 __all__ = ["Ball", "BallTree"]
 
@@ -42,7 +46,7 @@ class Ball:
 
     __slots__ = ("center", "radius", "_center_list", "dims")
 
-    def __init__(self, center, radius):
+    def __init__(self, center: PointLike, radius: float) -> None:
         center = np.asarray(center, dtype=np.float64).reshape(-1).copy()
         radius = float(radius)
         if radius < 0.0:
@@ -53,7 +57,7 @@ class Ball:
         self.dims = center.shape[0]
 
     @classmethod
-    def of_points(cls, points):
+    def of_points(cls, points: PointLike) -> Ball:
         """The centroid-centred enclosing ball of an ``(n, d)`` array."""
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[0] < 1:
@@ -62,12 +66,12 @@ class Ball:
         radius = float(np.sqrt(((points - center) ** 2).sum(axis=1).max()))
         return cls(center, radius)
 
-    def contains(self, point):
+    def contains(self, point: PointLike) -> bool:
         """Whether ``point`` lies inside (or on the surface of) the ball."""
         point = np.asarray(point, dtype=np.float64).reshape(-1)
         return float(((point - self.center) ** 2).sum()) <= self.radius**2 * (1 + 1e-12)
 
-    def _center_dist(self, query):
+    def _center_dist(self, query: Sequence[float]) -> float:
         center = self._center_list
         total = 0.0
         for j in range(self.dims):
@@ -75,24 +79,24 @@ class Ball:
             total += delta * delta
         return math.sqrt(total)
 
-    def min_sq_dist(self, query):
+    def min_sq_dist(self, query: Sequence[float]) -> float:
         """Minimum squared distance from ``query`` to the ball."""
         gap = self._center_dist(query) - self.radius
         if gap <= 0.0:
             return 0.0
         return gap * gap
 
-    def max_sq_dist(self, query):
+    def max_sq_dist(self, query: Sequence[float]) -> float:
         """Maximum squared distance from ``query`` to the ball."""
         reach = self._center_dist(query) + self.radius
         return reach * reach
 
-    def distance_interval(self, query):
+    def distance_interval(self, query: Sequence[float]) -> tuple[float, float]:
         """``(min_dist, max_dist)`` — plain (non-squared) distances."""
         center_dist = self._center_dist(query)
         return max(center_dist - self.radius, 0.0), center_dist + self.radius
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Ball(center={self.center.tolist()}, radius={self.radius})"
 
 
@@ -105,7 +109,12 @@ class BallTree:
     :class:`Ball` in the ``rect`` slot.
     """
 
-    def __init__(self, points, leaf_size=DEFAULT_LEAF_SIZE, weights=None):
+    def __init__(
+        self,
+        points: PointLike,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+        weights: PointLike | None = None,
+    ) -> None:
         points = check_points(points)
         leaf_size = int(leaf_size)
         if leaf_size < 1:
@@ -128,20 +137,22 @@ class BallTree:
         order = np.arange(self.n_points)
         self.root = self._build(order, depth=0)
 
-    def _next_id(self):
+    def _next_id(self) -> int:
         node_id = self._node_count
         self._node_count += 1
         return node_id
 
-    def _build(self, order, depth):
+    def _build(self, order: IntArray, depth: int) -> KDTreeNode:
         member_points = self.points[order]
         member_weights = None if self.weights is None else self.weights[order]
         ball = Ball.of_points(member_points)
         node = KDTreeNode(rect=ball, agg=None, depth=depth, node_id=self._next_id())
         extent = member_points.max(axis=0) - member_points.min(axis=0)
+        # lint: allow-float-eq -- exact sentinel: zero extent means all
+        # coordinates are identical, so no split can make progress.
         if order.shape[0] <= self.leaf_size or float(extent.max()) == 0.0:
             node.agg = NodeAggregates.from_points(member_points, member_weights)
-            node.points = np.ascontiguousarray(member_points)
+            node.points = np.ascontiguousarray(member_points, dtype=np.float64)
             node.sq_norms = np.einsum("ij,ij->i", node.points, node.points)
             node.indices = order.copy()
             node.weights = member_weights
@@ -157,16 +168,16 @@ class BallTree:
         return node
 
     @property
-    def num_nodes(self):
+    def num_nodes(self) -> int:
         """Total number of nodes (internal + leaves)."""
         return self._node_count
 
     @property
-    def num_leaves(self):
+    def num_leaves(self) -> int:
         """Number of leaf nodes."""
         return self._leaf_count
 
-    def nodes(self):
+    def nodes(self) -> Iterator[KDTreeNode]:
         """Yield every node in preorder."""
         stack = [self.root]
         while stack:
@@ -176,13 +187,13 @@ class BallTree:
                 stack.append(node.right)
                 stack.append(node.left)
 
-    def leaves(self):
+    def leaves(self) -> Iterator[KDTreeNode]:
         """Yield every leaf node in preorder."""
         for node in self.nodes():
             if node.is_leaf:
                 yield node
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"BallTree(n={self.n_points}, dims={self.dims}, "
             f"leaf_size={self.leaf_size}, nodes={self.num_nodes})"

@@ -18,12 +18,18 @@ Scikit-learn's εKDV also builds a kd-tree by default (the paper's footnote
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterator
+
 import numpy as np
 
 from repro.core.aggregates import NodeAggregates
 from repro.errors import InvalidParameterError
 from repro.index.rectangle import Rectangle
 from repro.utils.validation import check_points
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, IntArray, PointLike
+    from repro.index.balltree import Ball
 
 __all__ = ["KDTree", "KDTreeNode"]
 
@@ -74,29 +80,35 @@ class KDTreeNode:
         "node_id",
     )
 
-    def __init__(self, rect, agg, depth, node_id):
+    def __init__(
+        self,
+        rect: Rectangle | Ball,
+        agg: NodeAggregates | None,
+        depth: int,
+        node_id: int,
+    ) -> None:
         self.rect = rect
         self.agg = agg
-        self.left = None
-        self.right = None
-        self.points = None
-        self.sq_norms = None
-        self.indices = None
-        self.weights = None
+        self.left: KDTreeNode | None = None
+        self.right: KDTreeNode | None = None
+        self.points: FloatArray | None = None
+        self.sq_norms: FloatArray | None = None
+        self.indices: IntArray | None = None
+        self.weights: FloatArray | None = None
         self.depth = depth
         self.node_id = node_id
 
     @property
-    def is_leaf(self):
+    def is_leaf(self) -> bool:
         """Whether this node has no children."""
         return self.left is None
 
     @property
-    def size(self):
+    def size(self) -> int:
         """Number of points under the node."""
         return self.agg.n
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else "internal"
         return f"KDTreeNode(id={self.node_id}, {kind}, n={self.size}, depth={self.depth})"
 
@@ -125,7 +137,12 @@ class KDTree:
     centred on its own centroid at full precision.
     """
 
-    def __init__(self, points, leaf_size=DEFAULT_LEAF_SIZE, weights=None):
+    def __init__(
+        self,
+        points: PointLike,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+        weights: PointLike | None = None,
+    ) -> None:
         points = check_points(points)
         leaf_size = int(leaf_size)
         if leaf_size < 1:
@@ -148,23 +165,25 @@ class KDTree:
         order = np.arange(self.n_points)
         self.root = self._build(order, depth=0)
 
-    def _next_id(self):
+    def _next_id(self) -> int:
         node_id = self._node_count
         self._node_count += 1
         return node_id
 
-    def _build(self, order, depth):
+    def _build(self, order: IntArray, depth: int) -> KDTreeNode:
         """Recursively build the subtree over ``points[order]``."""
         member_points = self.points[order]
         member_weights = None if self.weights is None else self.weights[order]
         rect = Rectangle.of_points(member_points)
         node = KDTreeNode(rect=rect, agg=None, depth=depth, node_id=self._next_id())
         extent = rect.high - rect.low
+        # lint: allow-float-eq -- exact sentinel: a zero-extent rectangle
+        # means identical coordinates, which no split can separate.
         if order.shape[0] <= self.leaf_size or float(extent.max()) == 0.0:
             # Leaf: duplicate-heavy nodes with zero extent also stop here,
             # since no split can separate identical coordinates.
             node.agg = NodeAggregates.from_points(member_points, member_weights)
-            node.points = np.ascontiguousarray(member_points)
+            node.points = np.ascontiguousarray(member_points, dtype=np.float64)
             node.sq_norms = np.einsum("ij,ij->i", node.points, node.points)
             node.indices = order.copy()
             node.weights = member_weights
@@ -185,16 +204,16 @@ class KDTree:
         return node
 
     @property
-    def num_nodes(self):
+    def num_nodes(self) -> int:
         """Total number of nodes (internal + leaves)."""
         return self._node_count
 
     @property
-    def num_leaves(self):
+    def num_leaves(self) -> int:
         """Number of leaf nodes."""
         return self._leaf_count
 
-    def nodes(self):
+    def nodes(self) -> Iterator[KDTreeNode]:
         """Yield every node in preorder."""
         stack = [self.root]
         while stack:
@@ -204,17 +223,17 @@ class KDTree:
                 stack.append(node.right)
                 stack.append(node.left)
 
-    def leaves(self):
+    def leaves(self) -> Iterator[KDTreeNode]:
         """Yield every leaf node in preorder."""
         for node in self.nodes():
             if node.is_leaf:
                 yield node
 
-    def height(self):
+    def height(self) -> int:
         """Maximum node depth."""
         return max(node.depth for node in self.nodes())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"KDTree(n={self.n_points}, dims={self.dims}, "
             f"leaf_size={self.leaf_size}, nodes={self.num_nodes})"

@@ -11,10 +11,14 @@ endpoints come from the minimum and maximum Euclidean distance between
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro._types import PointLike
 
 __all__ = ["Rectangle"]
 
@@ -28,7 +32,7 @@ class Rectangle:
 
     __slots__ = ("low", "high", "_low_list", "_high_list", "dims")
 
-    def __init__(self, low, high):
+    def __init__(self, low: PointLike, high: PointLike) -> None:
         low = np.asarray(low, dtype=np.float64).reshape(-1).copy()
         high = np.asarray(high, dtype=np.float64).reshape(-1).copy()
         if low.shape != high.shape:
@@ -49,19 +53,19 @@ class Rectangle:
         self.dims = low.shape[0]
 
     @classmethod
-    def of_points(cls, points):
+    def of_points(cls, points: PointLike) -> Rectangle:
         """The minimum bounding rectangle of an ``(n, d)`` point array."""
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[0] < 1:
             raise InvalidParameterError("points must be a non-empty (n, d) array")
         return cls(points.min(axis=0), points.max(axis=0))
 
-    def contains(self, point):
+    def contains(self, point: PointLike) -> bool:
         """Whether ``point`` lies inside (or on the boundary of) the box."""
         point = np.asarray(point, dtype=np.float64).reshape(-1)
         return bool(np.all(point >= self.low) and np.all(point <= self.high))
 
-    def min_sq_dist(self, query):
+    def min_sq_dist(self, query: Sequence[float]) -> float:
         """Minimum squared Euclidean distance from ``query`` to the box.
 
         Zero when the query lies inside the rectangle. ``query`` must be a
@@ -99,7 +103,7 @@ class Rectangle:
             total += delta * delta
         return total
 
-    def max_sq_dist(self, query):
+    def max_sq_dist(self, query: Sequence[float]) -> float:
         """Maximum squared Euclidean distance from ``query`` to the box.
 
         Attained at the rectangle corner farthest from the query in every
@@ -141,13 +145,13 @@ class Rectangle:
             total += delta * delta
         return total
 
-    def distance_interval(self, query):
+    def distance_interval(self, query: Sequence[float]) -> tuple[float, float]:
         """Return ``(min_dist, max_dist)`` — plain (non-squared) distances."""
         return math.sqrt(self.min_sq_dist(query)), math.sqrt(self.max_sq_dist(query))
 
-    def widest_dimension(self):
+    def widest_dimension(self) -> int:
         """Index of the dimension with the largest extent (split heuristic)."""
         return int(np.argmax(self.high - self.low))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Rectangle(low={self.low.tolist()}, high={self.high.tolist()})"

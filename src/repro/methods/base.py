@@ -5,16 +5,23 @@ offline stage (index build / pre-sampling) followed by an online stage
 (per-pixel queries). Capability flags encode Table 6; asking a method
 for an operation or kernel it does not support raises immediately rather
 than silently falling back.
+
+With ``REPRO_CHECK_INVARIANTS=1`` (see :mod:`repro.contracts`) every
+εKDV batch of a method with :attr:`Method.deterministic_guarantee` is
+additionally cross-checked against the brute-force exact density — the
+end-to-end ``(1 ± eps)`` contract — at an extra O(n·m) cost per batch.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.contracts.runtime import check_eps_agreement, invariants_enabled
 from repro.core.engine import RefinementEngine
-from repro.core.kernels import get_kernel
+from repro.core.kernels import Kernel, get_kernel
 from repro.errors import (
     NotFittedError,
     UnsupportedKernelError,
@@ -22,6 +29,11 @@ from repro.errors import (
 )
 from repro.index.kdtree import DEFAULT_LEAF_SIZE, KDTree
 from repro.utils.validation import check_points, check_positive
+
+if TYPE_CHECKING:
+    from repro._types import BoolArray, FloatArray, KernelLike, PointLike
+    from repro.core.engine import BoundTrace, QueryStats
+    from repro.index.balltree import BallTree
 
 __all__ = ["Method", "IndexedMethod"]
 
@@ -41,22 +53,29 @@ class Method(ABC):
         ``False`` only for the sampling camp (Z-order).
     """
 
-    name = "abstract"
-    supports_eps = True
-    supports_tau = True
-    supported_kernels = None
-    deterministic_guarantee = True
+    name: str = "abstract"
+    supports_eps: bool = True
+    supports_tau: bool = True
+    supported_kernels: frozenset[str] | None = None
+    deterministic_guarantee: bool = True
 
-    def __init__(self):
-        self.points = None
-        self.kernel = None
-        self.gamma = None
-        self.weight = None
-        self.point_weights = None
+    def __init__(self) -> None:
+        self.points: FloatArray | None = None
+        self.kernel: Kernel | None = None
+        self.gamma: float | None = None
+        self.weight: float | None = None
+        self.point_weights: FloatArray | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
-    def fit(self, points, kernel="gaussian", gamma=1.0, weight=1.0, point_weights=None):
+    def fit(
+        self,
+        points: PointLike,
+        kernel: KernelLike = "gaussian",
+        gamma: float = 1.0,
+        weight: float = 1.0,
+        point_weights: PointLike | None = None,
+    ) -> Method:
         """Run the offline stage on a dataset.
 
         Parameters
@@ -80,34 +99,33 @@ class Method(ABC):
         Method
             ``self``, for chaining.
         """
-        kernel = get_kernel(kernel)
-        if self.supported_kernels is not None and kernel.name not in self.supported_kernels:
+        resolved = get_kernel(kernel)
+        if self.supported_kernels is not None and resolved.name not in self.supported_kernels:
             supported = ", ".join(sorted(self.supported_kernels))
             raise UnsupportedKernelError(
                 f"method {self.name!r} supports only [{supported}] kernels, "
-                f"got {kernel.name!r}"
+                f"got {resolved.name!r}"
             )
         self.points = check_points(points)
-        self.kernel = kernel
+        self.kernel = resolved
         self.gamma = check_positive(gamma, "gamma")
         self.weight = check_positive(weight, "weight")
         if point_weights is not None:
-            import numpy as np
-
-            point_weights = np.asarray(point_weights, dtype=np.float64).reshape(-1)
-        self.point_weights = point_weights
+            self.point_weights = np.asarray(point_weights, dtype=np.float64).reshape(-1)
+        else:
+            self.point_weights = None
         self._fit_impl()
         return self
 
     @abstractmethod
-    def _fit_impl(self):
+    def _fit_impl(self) -> None:
         """Method-specific offline work (index build, sampling, ...)."""
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self.points is None:
             raise NotFittedError(f"method {self.name!r} must be fitted before querying")
 
-    def _require(self, operation):
+    def _require(self, operation: str) -> None:
         self._require_fitted()
         supported = self.supports_eps if operation == "eps" else self.supports_tau
         if not supported:
@@ -118,35 +136,71 @@ class Method(ABC):
 
     # -- online queries ------------------------------------------------------
 
-    def batch_eps(self, queries, eps, *, atol=0.0):
+    def batch_eps(self, queries: PointLike, eps: float, *, atol: float = 0.0) -> FloatArray:
         """εKDV over many query points; returns densities ``(m,)``."""
         self._require("eps")
         queries = check_points(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
-        return self._batch_eps_impl(queries, eps, atol)
+        out = self._batch_eps_impl(queries, eps, atol)
+        if invariants_enabled() and self.deterministic_guarantee:
+            self._check_eps_agreement(queries, out, eps, atol)
+        return out
 
-    def batch_tau(self, queries, tau):
+    def batch_tau(self, queries: PointLike, tau: float) -> BoolArray:
         """τKDV over many query points; returns booleans ``(m,)``."""
         self._require("tau")
         queries = check_points(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
         return self._batch_tau_impl(queries, tau)
 
-    def query_eps(self, query, eps, *, atol=0.0):
+    def query_eps(self, query: PointLike, eps: float, *, atol: float = 0.0) -> float:
         """εKDV for a single point."""
         return float(self.batch_eps(np.atleast_2d(query), eps, atol=atol)[0])
 
-    def query_tau(self, query, tau):
+    def query_tau(self, query: PointLike, tau: float) -> bool:
         """τKDV for a single point."""
         return bool(self.batch_tau(np.atleast_2d(query), tau)[0])
 
     @abstractmethod
-    def _batch_eps_impl(self, queries, eps, atol):
+    def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
         """Answer validated εKDV batches."""
 
     @abstractmethod
-    def _batch_tau_impl(self, queries, tau):
+    def _batch_tau_impl(self, queries: FloatArray, tau: float) -> BoolArray:
         """Answer validated τKDV batches."""
 
-    def __repr__(self):
+    def _check_eps_agreement(
+        self, queries: FloatArray, returned: FloatArray, eps: float, atol: float
+    ) -> None:
+        """Cross-check a batch answer against the exact density.
+
+        Only runs under :func:`repro.contracts.invariants_enabled` for
+        methods advertising a deterministic guarantee — it costs a full
+        O(n·m) brute-force scan per batch.
+        """
+        from repro.core.exact import exact_density
+
+        assert self.points is not None and self.kernel is not None
+        assert self.gamma is not None and self.weight is not None
+        exact = np.atleast_1d(
+            exact_density(
+                self.points,
+                queries,
+                kernel=self.kernel,
+                gamma=self.gamma,
+                weight=self.weight,
+                point_weights=self.point_weights,
+            )
+        )
+        for index in range(queries.shape[0]):
+            check_eps_agreement(
+                float(returned[index]),
+                float(exact[index]),
+                eps,
+                atol,
+                method=self.name,
+                query=queries[index].tolist(),
+            )
+
+    def __repr__(self) -> str:
         fitted = "fitted" if self.points is not None else "unfitted"
         return f"{type(self).__name__}({fitted})"
 
@@ -160,9 +214,14 @@ class IndexedMethod(Method):
     "same framework, different bounds" experimental design.
     """
 
-    provider_name = "baseline"
+    provider_name: str = "baseline"
 
-    def __init__(self, leaf_size=DEFAULT_LEAF_SIZE, ordering="gap", index="kd"):
+    def __init__(
+        self,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+        ordering: str = "gap",
+        index: str = "kd",
+    ) -> None:
         super().__init__()
         if index not in ("kd", "ball"):
             from repro.errors import InvalidParameterError
@@ -171,11 +230,11 @@ class IndexedMethod(Method):
         self.leaf_size = leaf_size
         self.ordering = ordering
         self.index = index
-        self.provider_options = {}
-        self.tree = None
-        self.engine = None
+        self.provider_options: dict[str, Any] = {}
+        self.tree: KDTree | BallTree | None = None
+        self.engine: RefinementEngine | None = None
 
-    def _fit_impl(self):
+    def _fit_impl(self) -> None:
         from repro.core.bounds import make_bound_provider
 
         if self.index == "ball":
@@ -198,26 +257,31 @@ class IndexedMethod(Method):
         self.engine = RefinementEngine(self.tree, provider, ordering=self.ordering)
 
     @property
-    def stats(self):
+    def stats(self) -> QueryStats:
         """Engine counters (iterations, node/leaf evaluations)."""
         self._require_fitted()
+        assert self.engine is not None
         return self.engine.stats
 
-    def _batch_eps_impl(self, queries, eps, atol):
+    def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
         engine = self.engine
+        assert engine is not None
         out = np.empty(queries.shape[0], dtype=np.float64)
         for index in range(queries.shape[0]):
             out[index] = engine.query_eps(queries[index], eps, atol=atol)
         return out
 
-    def _batch_tau_impl(self, queries, tau):
+    def _batch_tau_impl(self, queries: FloatArray, tau: float) -> BoolArray:
         engine = self.engine
+        assert engine is not None
         out = np.empty(queries.shape[0], dtype=bool)
         for index in range(queries.shape[0]):
             out[index] = engine.query_tau(queries[index], tau)
         return out
 
-    def query_eps_traced(self, query, eps, *, atol=0.0):
+    def query_eps_traced(
+        self, query: PointLike, eps: float, *, atol: float = 0.0
+    ) -> tuple[float, BoundTrace]:
         """εKDV for one point, returning ``(value, BoundTrace)``.
 
         Instrumentation for the tightness case study (Figure 18).
@@ -225,6 +289,7 @@ class IndexedMethod(Method):
         from repro.core.engine import BoundTrace
 
         self._require("eps")
+        assert self.engine is not None
         trace = BoundTrace()
         value = self.engine.query_eps(
             np.asarray(query, dtype=np.float64), eps, atol=atol, trace=trace

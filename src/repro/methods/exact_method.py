@@ -8,8 +8,13 @@ ground truth for the quality experiments.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.exact import exact_density
 from repro.methods.base import Method
+
+if TYPE_CHECKING:
+    from repro._types import BoolArray, FloatArray, PointLike
 
 __all__ = ["ExactMethod"]
 
@@ -21,10 +26,10 @@ class ExactMethod(Method):
     supports_eps = True
     supports_tau = True
 
-    def _fit_impl(self):
+    def _fit_impl(self) -> None:
         pass  # no offline stage
 
-    def density(self, queries):
+    def density(self, queries: PointLike) -> FloatArray:
         """Exact densities for a batch of queries."""
         self._require_fitted()
         return exact_density(
@@ -36,10 +41,10 @@ class ExactMethod(Method):
             point_weights=self.point_weights,
         )
 
-    def _batch_eps_impl(self, queries, eps, atol):
+    def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
         # The exact value satisfies every eps trivially; the parameters
         # are accepted for interface compatibility.
         return self.density(queries)
 
-    def _batch_tau_impl(self, queries, tau):
+    def _batch_tau_impl(self, queries: FloatArray, tau: float) -> BoolArray:
         return self.density(queries) >= float(tau)

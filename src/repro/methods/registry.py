@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import inspect
+from typing import Any
 
 from repro.errors import UnknownNameError
 from repro.methods.akde import AKDEMethod
@@ -11,12 +12,13 @@ from repro.methods.karl import KARLMethod
 from repro.methods.quad import QUADMethod
 from repro.methods.scikit_like import ScikitLikeMethod
 from repro.methods.tkdc import TKDCMethod
+from repro.methods.base import Method
 from repro.methods.zorder import ZOrderMethod
 
 __all__ = ["METHOD_REGISTRY", "create_method", "available_methods", "capability_table"]
 
 #: Registry name -> method class (the paper's Table 6 column order).
-METHOD_REGISTRY = {
+METHOD_REGISTRY: dict[str, type[Method]] = {
     cls.name: cls
     for cls in (
         ExactMethod,
@@ -30,7 +32,7 @@ METHOD_REGISTRY = {
 }
 
 
-def create_method(name, **kwargs):
+def create_method(name: str, **kwargs: Any) -> Method:
     """Instantiate a method by registry name.
 
     Keyword arguments are forwarded to the method constructor (e.g.
@@ -49,7 +51,9 @@ def create_method(name, **kwargs):
     return cls(**applicable)
 
 
-def available_methods(*, operation=None, kernel=None):
+def available_methods(
+    *, operation: str | None = None, kernel: str | None = None
+) -> list[str]:
     """Registry names, optionally filtered by capability.
 
     Parameters
@@ -59,7 +63,7 @@ def available_methods(*, operation=None, kernel=None):
     kernel:
         Kernel name; filters out methods that cannot bound it.
     """
-    names = []
+    names: list[str] = []
     for name, cls in METHOD_REGISTRY.items():
         if operation == "eps" and not cls.supports_eps:
             continue
@@ -75,9 +79,9 @@ def available_methods(*, operation=None, kernel=None):
     return names
 
 
-def capability_table():
+def capability_table() -> dict[str, dict[str, Any]]:
     """Table 6 as a dict: name -> {eps, tau, deterministic, kernels}."""
-    table = {}
+    table: dict[str, dict[str, Any]] = {}
     for name, cls in METHOD_REGISTRY.items():
         kernels = (
             "all" if cls.supported_kernels is None else sorted(cls.supported_kernels)

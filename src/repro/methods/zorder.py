@@ -15,6 +15,8 @@ not known in advance).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.exact import exact_density
 from repro.methods.base import Method
 from repro.sampling.zorder_sample import (
@@ -23,6 +25,9 @@ from repro.sampling.zorder_sample import (
     zorder_sample,
 )
 from repro.utils.validation import check_probability_like
+
+if TYPE_CHECKING:
+    from repro._types import BoolArray, FloatArray
 
 __all__ = ["ZOrderMethod"]
 
@@ -46,14 +51,19 @@ class ZOrderMethod(Method):
     supports_tau = False
     deterministic_guarantee = False
 
-    def __init__(self, delta=0.1, size_constant=DEFAULT_SIZE_CONSTANT, bits=16):
+    def __init__(
+        self,
+        delta: float = 0.1,
+        size_constant: float = DEFAULT_SIZE_CONSTANT,
+        bits: int = 16,
+    ) -> None:
         super().__init__()
         self.delta = check_probability_like(delta, "delta")
         self.size_constant = float(size_constant)
         self.bits = int(bits)
-        self._samples = {}
+        self._samples: dict[float, tuple[FloatArray, float]] = {}
 
-    def _fit_impl(self):
+    def _fit_impl(self) -> None:
         if self.point_weights is not None:
             from repro.errors import UnsupportedOperationError
 
@@ -63,7 +73,7 @@ class ZOrderMethod(Method):
             )
         self._samples = {}
 
-    def sample_for(self, eps):
+    def sample_for(self, eps: float) -> tuple[FloatArray, float]:
         """The ``(sample, weight_multiplier)`` pair for a given ``eps``."""
         self._require_fitted()
         eps = check_probability_like(eps, "eps")
@@ -76,11 +86,11 @@ class ZOrderMethod(Method):
             self._samples[eps] = cached
         return cached
 
-    def _batch_eps_impl(self, queries, eps, atol):
+    def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
         sample, multiplier = self.sample_for(eps)
         return exact_density(
             sample, queries, self.kernel, self.gamma, self.weight * multiplier
         )
 
-    def _batch_tau_impl(self, queries, tau):  # pragma: no cover - guarded by base
+    def _batch_tau_impl(self, queries: FloatArray, tau: float) -> BoolArray:  # pragma: no cover - guarded by base
         raise AssertionError("unreachable: zorder does not support tau")

@@ -21,6 +21,7 @@ after scanning a small fraction of either class.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -31,6 +32,11 @@ from repro.errors import InvalidParameterError, NotFittedError
 from repro.index.kdtree import KDTree
 from repro.utils.validation import check_points, check_positive
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike, PointLike
+    from repro.core.bounds.base import BoundProvider
+    from repro.index.kdtree import KDTree as _KDTree, KDTreeNode
+
 __all__ = ["KernelClassifier"]
 
 
@@ -39,8 +45,8 @@ class _ClassState:
 
     __slots__ = ("heap", "lb", "ub", "exact", "counter")
 
-    def __init__(self):
-        self.heap = []
+    def __init__(self) -> None:
+        self.heap: list[tuple[float, int, KDTreeNode, float, float]] = []
         self.lb = 0.0
         self.ub = 0.0
         self.exact = False
@@ -68,19 +74,25 @@ class KernelClassifier:
     floating-point ties, resolved identically by both paths).
     """
 
-    def __init__(self, kernel="gaussian", gamma=None, leaf_size=64, provider="quad"):
+    def __init__(
+        self,
+        kernel: KernelLike = "gaussian",
+        gamma: float | None = None,
+        leaf_size: int = 64,
+        provider: str = "quad",
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.gamma = None if gamma is None else check_positive(gamma, "gamma")
         self.leaf_size = int(leaf_size)
         self.provider_name = provider
-        self.classes_ = None
-        self.gamma_ = None
-        self._trees = None
-        self._provider = None
+        self.classes_: np.ndarray | None = None
+        self.gamma_: float | None = None
+        self._trees: dict[Any, _KDTree] | None = None
+        self._provider: BoundProvider | None = None
         #: Points scanned by exact leaf evaluations (work counter).
         self.points_scanned = 0
 
-    def fit(self, points, labels):
+    def fit(self, points: PointLike, labels: PointLike) -> KernelClassifier:
         """Fit one index per class label."""
         points = check_points(points)
         labels = np.asarray(labels).reshape(-1)
@@ -99,13 +111,13 @@ class KernelClassifier:
             self._trees[label] = KDTree(members, leaf_size=self.leaf_size)
         return self
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self._trees is None:
             raise NotFittedError("KernelClassifier must be fitted before predicting")
 
     # -- exact reference ---------------------------------------------------
 
-    def class_densities(self, queries):
+    def class_densities(self, queries: PointLike) -> FloatArray:
         """Exact per-class kernel sums; shape ``(m, n_classes)``."""
         self._require_fitted()
         from repro.core.exact import exact_density
@@ -118,20 +130,20 @@ class KernelClassifier:
             )
         return out
 
-    def predict_exact(self, queries):
+    def predict_exact(self, queries: PointLike) -> np.ndarray:
         """Brute-force argmax predictions (ground truth)."""
         densities = self.class_densities(queries)
         return self.classes_[np.argmax(densities, axis=1)]
 
     # -- bounded argmax ------------------------------------------------------
 
-    def predict(self, queries):
+    def predict(self, queries: PointLike) -> np.ndarray:
         """Argmax-class predictions with bound-based early termination."""
         self._require_fitted()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         return self.classes_[[self._predict_one(q) for q in queries]]
 
-    def _predict_one(self, query):
+    def _predict_one(self, query: FloatArray) -> int:
         provider = self._provider
         q_list = query.tolist()
         q_sq = float(query @ query)
@@ -169,7 +181,14 @@ class KernelClassifier:
             target = max(candidates, key=lambda i: states[i].ub - states[i].lb)
             self._refine_step(states[target], provider, query, q_list, q_sq)
 
-    def _refine_step(self, state, provider, q_array, q_list, q_sq):
+    def _refine_step(
+        self,
+        state: _ClassState,
+        provider: BoundProvider,
+        q_array: FloatArray,
+        q_list: list[float],
+        q_sq: float,
+    ) -> None:
         __, __, node, node_lb, node_ub = heappop(state.heap)
         if node.is_leaf:
             exact = provider.leaf_exact(node, q_array, q_sq)
@@ -192,7 +211,7 @@ class KernelClassifier:
             mid = 0.5 * (state.lb + state.ub)
             state.lb = state.ub = mid
 
-    def predict_proba(self, queries, eps=0.01):
+    def predict_proba(self, queries: PointLike, eps: float = 0.01) -> FloatArray:
         """Per-class density shares within ``(1 ± eps)`` per class sum."""
         self._require_fitted()
         from repro.core.engine import RefinementEngine
@@ -204,10 +223,12 @@ class KernelClassifier:
             for row in range(queries.shape[0]):
                 sums[row, column] = engine.query_eps(queries[row], eps, atol=1e-12)
         totals = sums.sum(axis=1, keepdims=True)
+        # lint: allow-float-eq -- benign sentinel: a row summing to exact
+        # zero has zero in every class column, so any divisor keeps it zero.
         totals[totals == 0.0] = 1.0
         return sums / totals
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "fitted" if self._trees is not None else "unfitted"
         classes = 0 if self.classes_ is None else len(self.classes_)
         return f"KernelClassifier(kernel={self.kernel.name!r}, classes={classes}, {state})"

@@ -26,6 +26,7 @@ implied ratio interval is within the requested tolerance — giving a
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,10 +37,21 @@ from repro.errors import InvalidParameterError, NotFittedError
 from repro.index.kdtree import KDTree
 from repro.utils.validation import check_points, check_positive
 
+if TYPE_CHECKING:
+    from repro._types import BoundPair, FloatArray, KernelLike, PointLike
+    from repro.core.bounds.base import BoundProvider
+    from repro.index.kdtree import KDTreeNode
+
 __all__ = ["KernelRegressor"]
 
+#: Smallest normal float64; weight sums below this are treated as zero
+#: support instead of being used as a division denominator.
+_DENOMINATOR_FLOOR = float(np.finfo(np.float64).tiny)
 
-def _node_numerator_bounds(kernel_lb, kernel_ub, ymin, ymax):
+
+def _node_numerator_bounds(
+    kernel_lb: float, kernel_ub: float, ymin: float, ymax: float
+) -> BoundPair:
     """Bounds on ``sum_i y_i K_i`` from kernel-sum and label ranges.
 
     Each ``K_i`` is non-negative, so the numerator is bounded by pairing
@@ -51,7 +63,7 @@ def _node_numerator_bounds(kernel_lb, kernel_ub, ymin, ymax):
     return lower, upper
 
 
-def _ratio_interval(n_lb, n_ub, d_lb, d_ub):
+def _ratio_interval(n_lb: float, n_ub: float, d_lb: float, d_ub: float) -> BoundPair:
     """The interval of ``N / D`` over ``N in [n_lb, n_ub], D in [d_lb, d_ub]``.
 
     Requires ``d_lb > 0`` (the caller guarantees a positive denominator
@@ -87,24 +99,30 @@ class KernelRegressor:
     >>> prediction = model.predict([[0.5]], tol=0.01)
     """
 
-    def __init__(self, kernel="gaussian", gamma=None, leaf_size=64, provider="quad"):
+    def __init__(
+        self,
+        kernel: KernelLike = "gaussian",
+        gamma: float | None = None,
+        leaf_size: int = 64,
+        provider: str = "quad",
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.gamma = None if gamma is None else check_positive(gamma, "gamma")
         self.leaf_size = int(leaf_size)
         self.provider_name = provider
-        self.tree = None
-        self.labels = None
-        self.gamma_ = None
-        self._provider = None
-        self._label_ranges = None
-        self._leaf_labels = None
+        self.tree: KDTree | None = None
+        self.labels: FloatArray | None = None
+        self.gamma_: float | None = None
+        self._provider: BoundProvider | None = None
+        self._label_ranges: dict[int, BoundPair] | None = None
+        self._leaf_labels: dict[int, FloatArray] | None = None
         #: Points scanned by exact leaf evaluations since the last reset —
         #: the work measure showing how much of the dataset pruning skipped.
         self.points_scanned = 0
 
     # -- lifecycle ---------------------------------------------------------
 
-    def fit(self, points, labels):
+    def fit(self, points: PointLike, labels: PointLike) -> KernelRegressor:
         """Fit on ``(n, d)`` points with ``(n,)`` real labels."""
         points = check_points(points)
         labels = np.asarray(labels, dtype=np.float64).reshape(-1)
@@ -126,7 +144,7 @@ class KernelRegressor:
         self._collect_label_stats(self.tree.root)
         return self
 
-    def _collect_label_stats(self, node):
+    def _collect_label_stats(self, node: KDTreeNode) -> BoundPair:
         if node.is_leaf:
             leaf_labels = self.labels[node.indices]
             self._leaf_labels[node.node_id] = leaf_labels
@@ -138,13 +156,13 @@ class KernelRegressor:
         self._label_ranges[node.node_id] = stats
         return stats
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self.tree is None:
             raise NotFittedError("KernelRegressor must be fitted before predicting")
 
     # -- exact -----------------------------------------------------------
 
-    def predict_exact(self, queries):
+    def predict_exact(self, queries: PointLike) -> FloatArray:
         """Exact Nadaraya-Watson predictions (brute force, ground truth)."""
         self._require_fitted()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -156,7 +174,11 @@ class KernelRegressor:
             np.maximum(sq, 0.0, out=sq)
             weights = self.kernel.evaluate(sq, self.gamma_)
             denominator = float(weights.sum())
-            if denominator == 0.0:
+            # A subnormal weight mass carries no usable precision (the
+            # query is effectively outside every kernel's support), so
+            # treat anything below the smallest normal float64 as zero
+            # rather than dividing by it.
+            if denominator < _DENOMINATOR_FLOOR:
                 out[index] = float(self.labels.mean())
             else:
                 out[index] = float((weights * self.labels).sum()) / denominator
@@ -164,7 +186,12 @@ class KernelRegressor:
 
     # -- bounded refinement ----------------------------------------------
 
-    def predict(self, queries, tol=0.01, max_iterations=None):
+    def predict(
+        self,
+        queries: PointLike,
+        tol: float = 0.01,
+        max_iterations: int | None = None,
+    ) -> FloatArray:
         """Predictions within ``± tol * label_scale`` of the exact value.
 
         ``label_scale`` is ``max(|ymin|, |ymax|)`` of the training
@@ -192,7 +219,9 @@ class KernelRegressor:
             out[index] = self._predict_one(queries[index], tol * scale, max_iterations)
         return out
 
-    def _predict_one(self, query, tolerance, max_iterations):
+    def _predict_one(
+        self, query: FloatArray, tolerance: float, max_iterations: int | None
+    ) -> float:
         provider = self._provider
         q_list = query.tolist()
         q_sq = float(query @ query)
@@ -263,7 +292,7 @@ class KernelRegressor:
         denominator = max(0.5 * (d_lb + d_ub), np.finfo(np.float64).tiny)
         return 0.5 * (n_lb + n_ub) / denominator
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "fitted" if self.tree is not None else "unfitted"
         return (
             f"KernelRegressor(kernel={self.kernel.name!r}, "

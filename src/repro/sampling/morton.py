@@ -9,10 +9,15 @@ quantised coordinates, vectorised over numpy integer arrays.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.utils.validation import check_points
+
+if TYPE_CHECKING:
+    from repro._types import PointLike
 
 __all__ = ["interleave_bits", "morton_codes"]
 
@@ -20,7 +25,7 @@ __all__ = ["interleave_bits", "morton_codes"]
 DEFAULT_BITS = 16
 
 
-def interleave_bits(coords, bits=DEFAULT_BITS):
+def interleave_bits(coords: PointLike, bits: int = DEFAULT_BITS) -> np.ndarray:
     """Interleave the low ``bits`` of each column of an integer array.
 
     Parameters
@@ -56,7 +61,7 @@ def interleave_bits(coords, bits=DEFAULT_BITS):
     return codes
 
 
-def morton_codes(points, bits=DEFAULT_BITS):
+def morton_codes(points: PointLike, bits: int = DEFAULT_BITS) -> np.ndarray:
     """Z-order codes of real-valued points, quantised to a ``2**bits`` grid.
 
     Coordinates are min-max scaled per dimension into ``[0, 2**bits - 1]``
@@ -66,6 +71,8 @@ def morton_codes(points, bits=DEFAULT_BITS):
     low = points.min(axis=0)
     high = points.max(axis=0)
     extent = high - low
+    # lint: allow-float-eq -- exact sentinel: a degenerate axis (all equal
+    # coordinates) scales to cell 0 regardless of the divisor chosen.
     extent[extent == 0.0] = 1.0
     max_cell = float((1 << bits) - 1)
     scaled = (points - low) / extent * max_cell

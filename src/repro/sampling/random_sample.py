@@ -7,15 +7,20 @@ lower variance on spatially clustered data.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.utils.validation import check_points
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
+
 __all__ = ["random_sample"]
 
 
-def random_sample(points, m, seed=0):
+def random_sample(points: PointLike, m: int, seed: int = 0) -> tuple[FloatArray, float]:
     """Uniform sample of ``m`` points (without replacement).
 
     Returns

@@ -16,11 +16,15 @@ Z-order loses to QUAD at small ``eps``.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.sampling.morton import morton_codes
 from repro.utils.validation import check_points, check_probability_like
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
 
 __all__ = ["sample_size_for_eps", "zorder_sample"]
 
@@ -28,7 +32,9 @@ __all__ = ["sample_size_for_eps", "zorder_sample"]
 DEFAULT_SIZE_CONSTANT = 0.5
 
 
-def sample_size_for_eps(n, eps, delta=0.1, *, constant=DEFAULT_SIZE_CONSTANT):
+def sample_size_for_eps(
+    n: int, eps: float, delta: float = 0.1, *, constant: float = DEFAULT_SIZE_CONSTANT
+) -> int:
     """The sample size required for a ``(eps, delta)`` guarantee.
 
     ``min(n, ceil(constant / eps^2 * ln(1 / delta)))`` — never larger
@@ -40,7 +46,7 @@ def sample_size_for_eps(n, eps, delta=0.1, *, constant=DEFAULT_SIZE_CONSTANT):
     return max(1, min(int(n), size))
 
 
-def zorder_sample(points, m, *, bits=16):
+def zorder_sample(points: PointLike, m: int, *, bits: int = 16) -> tuple[FloatArray, float]:
     """Stratified sample of ``m`` points along the Z-order curve.
 
     Parameters

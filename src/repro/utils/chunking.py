@@ -7,13 +7,19 @@ library stays usable on million-point datasets without swapping.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.errors import InvalidParameterError
+
+__all__ = ["DEFAULT_CHUNK_ELEMENTS", "chunk_slices"]
 
 #: Default per-chunk element budget (~64 MB of float64 distances).
 DEFAULT_CHUNK_ELEMENTS = 8_000_000
 
 
-def chunk_slices(total, n_per_row, *, max_elements=DEFAULT_CHUNK_ELEMENTS):
+def chunk_slices(
+    total: int, n_per_row: int, *, max_elements: int = DEFAULT_CHUNK_ELEMENTS
+) -> Iterator[slice]:
     """Yield ``slice`` objects that partition ``range(total)``.
 
     Each slice spans at most ``max_elements // n_per_row`` rows (and at

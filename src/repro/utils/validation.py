@@ -8,13 +8,24 @@ early rather than producing silently wrong density values.
 from __future__ import annotations
 
 import numbers
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
 
-def check_positive(value, name):
+__all__ = [
+    "check_positive",
+    "check_probability_like",
+    "check_points",
+    "check_query",
+]
+
+
+def check_positive(value: float, name: str) -> float:
     """Validate that ``value`` is a finite real number greater than zero.
 
     Parameters
@@ -37,7 +48,7 @@ def check_positive(value, name):
     return value
 
 
-def check_probability_like(value, name, *, allow_zero=False):
+def check_probability_like(value: float, name: str, *, allow_zero: bool = False) -> float:
     """Validate a parameter expected to lie in ``(0, 1]`` (or ``[0, 1]``).
 
     Used for relative errors ``eps`` and sampling failure probabilities
@@ -53,7 +64,7 @@ def check_probability_like(value, name, *, allow_zero=False):
     return value
 
 
-def check_points(points, *, name="points", min_rows=1):
+def check_points(points: PointLike, *, name: str = "points", min_rows: int = 1) -> FloatArray:
     """Validate and normalise a point set into a 2-D float64 array.
 
     Accepts any array-like of shape ``(n, d)``. One-dimensional input of
@@ -82,7 +93,7 @@ def check_points(points, *, name="points", min_rows=1):
     return np.ascontiguousarray(array)
 
 
-def check_query(query, dims, *, name="query"):
+def check_query(query: PointLike, dims: int, *, name: str = "query") -> FloatArray:
     """Validate a single query point against the fitted dimensionality.
 
     Returns

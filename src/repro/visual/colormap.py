@@ -8,9 +8,16 @@ Figure 1; a two-colour map renders τKDV masks (its Figure 2c).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro.errors import InvalidParameterError, UnknownNameError
+
+if TYPE_CHECKING:
+    from repro._types import PointLike
+
+    AnchorSeq = Sequence[tuple[float, tuple[float, float, float]]]
 
 __all__ = ["Colormap", "get_colormap", "two_color_map", "COLORMAP_REGISTRY"]
 
@@ -27,11 +34,13 @@ class Colormap:
         Registry/display name.
     """
 
-    def __init__(self, anchors, name="custom"):
+    def __init__(self, anchors: AnchorSeq, name: str = "custom") -> None:
         if len(anchors) < 2:
             raise InvalidParameterError("a colormap needs at least two anchors")
         positions = np.array([anchor[0] for anchor in anchors], dtype=np.float64)
         colors = np.array([anchor[1] for anchor in anchors], dtype=np.float64)
+        # lint: allow-float-eq -- validating user-specified anchors, which
+        # must cover the unit interval with exact 0.0 / 1.0 endpoints.
         if positions[0] != 0.0 or positions[-1] != 1.0:
             raise InvalidParameterError("anchor positions must start at 0 and end at 1")
         if np.any(np.diff(positions) <= 0.0):
@@ -42,7 +51,14 @@ class Colormap:
         self.colors = colors
         self.name = name
 
-    def apply(self, values, vmin=None, vmax=None, *, log_scale=False):
+    def apply(
+        self,
+        values: PointLike,
+        vmin: float | None = None,
+        vmax: float | None = None,
+        *,
+        log_scale: bool = False,
+    ) -> np.ndarray:
         """Map an array of values to ``uint8`` RGB.
 
         Parameters
@@ -77,12 +93,12 @@ class Colormap:
             )
         return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Colormap(name={self.name!r}, anchors={len(self.positions)})"
 
 
 #: Built-in maps. "density" mimics the classic KDV hotspot ramp.
-COLORMAP_REGISTRY = {
+COLORMAP_REGISTRY: dict[str, Colormap] = {
     "density": Colormap(
         [
             (0.00, (13, 8, 135)),
@@ -106,7 +122,7 @@ COLORMAP_REGISTRY = {
 }
 
 
-def get_colormap(colormap):
+def get_colormap(colormap: str | Colormap) -> Colormap:
     """Resolve a name or instance to a :class:`Colormap`."""
     if isinstance(colormap, Colormap):
         return colormap
@@ -119,7 +135,11 @@ def get_colormap(colormap):
         ) from None
 
 
-def two_color_map(mask, hot=(220, 20, 20), cold=(235, 235, 235)):
+def two_color_map(
+    mask: PointLike,
+    hot: tuple[int, int, int] = (220, 20, 20),
+    cold: tuple[int, int, int] = (235, 235, 235),
+) -> np.ndarray:
     """Render a boolean τKDV mask as a two-colour RGB image.
 
     The paper's Figure 2c: one colour for pixels with ``F(q) >= tau``,

@@ -8,10 +8,15 @@ axis, column index ``ix`` along the first.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.utils.validation import check_points
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
 
 __all__ = ["PixelGrid"]
 
@@ -31,7 +36,13 @@ class PixelGrid:
         ``(x, y)``.
     """
 
-    def __init__(self, width, height, low, high):
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        low: PointLike,
+        high: PointLike,
+    ) -> None:
         width = int(width)
         height = int(height)
         if width < 1 or height < 1:
@@ -51,7 +62,14 @@ class PixelGrid:
         self._cell = (high - low) / np.array([width, height], dtype=np.float64)
 
     @classmethod
-    def fit(cls, points, width, height, *, margin=DEFAULT_MARGIN):
+    def fit(
+        cls,
+        points: PointLike,
+        width: int,
+        height: int,
+        *,
+        margin: float = DEFAULT_MARGIN,
+    ) -> PixelGrid:
         """A grid whose viewport covers ``points`` with a relative margin."""
         points = check_points(points)
         if points.shape[1] != 2:
@@ -61,21 +79,24 @@ class PixelGrid:
         low = points.min(axis=0)
         high = points.max(axis=0)
         extent = high - low
+        # lint: allow-float-eq -- exact sentinel: a degenerate axis (all
+        # points share the coordinate) gets unit extent so padding stays
+        # finite; any positive value centres the points identically.
         extent[extent == 0.0] = 1.0
         pad = margin * extent
         return cls(width, height, low - pad, high + pad)
 
     @property
-    def resolution(self):
+    def resolution(self) -> tuple[int, int]:
         """The ``(width, height)`` pair."""
         return self.width, self.height
 
     @property
-    def num_pixels(self):
+    def num_pixels(self) -> int:
         """Total pixel count."""
         return self.width * self.height
 
-    def pixel_center(self, ix, iy):
+    def pixel_center(self, ix: int, iy: int) -> FloatArray:
         """Data coordinates of the centre of pixel ``(ix, iy)``."""
         if not (0 <= ix < self.width and 0 <= iy < self.height):
             raise InvalidParameterError(
@@ -83,7 +104,7 @@ class PixelGrid:
             )
         return self.low + self._cell * (np.array([ix, iy], dtype=np.float64) + 0.5)
 
-    def centers(self):
+    def centers(self) -> FloatArray:
         """All pixel centres as an ``(height * width, 2)`` array.
 
         Row-major: index ``iy * width + ix`` corresponds to pixel
@@ -94,7 +115,7 @@ class PixelGrid:
         grid_x, grid_y = np.meshgrid(xs, ys)
         return np.column_stack([grid_x.ravel(), grid_y.ravel()])
 
-    def to_image(self, values):
+    def to_image(self, values: PointLike) -> np.ndarray:
         """Reshape a flat per-pixel array into ``(height, width)``."""
         values = np.asarray(values)
         if values.size != self.num_pixels:
@@ -103,13 +124,13 @@ class PixelGrid:
             )
         return values.reshape(self.height, self.width)
 
-    def scaled(self, factor):
+    def scaled(self, factor: float) -> PixelGrid:
         """A grid over the same viewport at ``factor`` times the resolution."""
         width = max(1, int(round(self.width * factor)))
         height = max(1, int(round(self.height * factor)))
         return PixelGrid(width, height, self.low, self.high)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"PixelGrid({self.width}x{self.height}, "
             f"low={self.low.tolist()}, high={self.high.tolist()})"

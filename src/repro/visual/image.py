@@ -10,15 +10,21 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 
+if TYPE_CHECKING:
+    import os
+
+    from repro._types import PointLike
+
 __all__ = ["write_png", "write_ppm"]
 
 
-def _as_rgb8(image):
+def _as_rgb8(image: PointLike) -> np.ndarray:
     image = np.asarray(image)
     if image.ndim != 3 or image.shape[2] != 3:
         raise InvalidParameterError(
@@ -29,12 +35,12 @@ def _as_rgb8(image):
     return image
 
 
-def _png_chunk(tag, payload):
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
     chunk = tag + payload
     return struct.pack(">I", len(payload)) + chunk + struct.pack(">I", zlib.crc32(chunk))
 
 
-def write_png(path, image):
+def write_png(path: str | os.PathLike[str], image: PointLike) -> Path:
     """Write an RGB image array to a PNG file.
 
     Parameters
@@ -68,7 +74,7 @@ def write_png(path, image):
     return path
 
 
-def write_ppm(path, image):
+def write_ppm(path: str | os.PathLike[str], image: PointLike) -> Path:
     """Write an RGB image array to a binary PPM (P6) file."""
     image = _as_rgb8(image)
     height, width = image.shape[:2]

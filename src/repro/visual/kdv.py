@@ -10,6 +10,8 @@ online stages.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Sequence
+
 import numpy as np
 
 from repro.core.exact import exact_density
@@ -22,6 +24,13 @@ from repro.utils.validation import check_points, check_positive
 from repro.visual.colormap import get_colormap, two_color_map
 from repro.visual.grid import PixelGrid
 from repro.visual.image import write_png
+
+if TYPE_CHECKING:
+    import os
+    from pathlib import Path
+
+    from repro._types import BoolArray, FloatArray, KernelLike, PointLike
+    from repro.visual.colormap import Colormap
 
 __all__ = ["KDVRenderer"]
 
@@ -54,14 +63,14 @@ class KDVRenderer:
 
     def __init__(
         self,
-        points,
-        resolution=(320, 240),
-        kernel="gaussian",
-        gamma=None,
-        weight=None,
-        grid=None,
-        **method_options,
-    ):
+        points: PointLike,
+        resolution: tuple[int, int] = (320, 240),
+        kernel: KernelLike = "gaussian",
+        gamma: float | None = None,
+        weight: float | None = None,
+        grid: PixelGrid | None = None,
+        **method_options: Any,
+    ) -> None:
         self.points = check_points(points)
         if self.points.shape[1] != 2:
             raise InvalidParameterError(
@@ -80,12 +89,12 @@ class KDVRenderer:
             grid = PixelGrid.fit(self.points, width, height)
         self.grid = grid
         self.method_options = method_options
-        self._methods = {}
-        self._exact_image = None
+        self._methods: dict[str, Method] = {}
+        self._exact_image: FloatArray | None = None
 
     # -- method management -------------------------------------------------
 
-    def get_method(self, method):
+    def get_method(self, method: str | Method) -> Method:
         """Return a fitted method instance (cached per name)."""
         if isinstance(method, Method):
             if method.points is None:
@@ -101,7 +110,7 @@ class KDVRenderer:
 
     # -- rendering ----------------------------------------------------------
 
-    def render_exact(self):
+    def render_exact(self) -> FloatArray:
         """The exact density image, shape ``(height, width)`` (cached)."""
         if self._exact_image is None:
             values = exact_density(
@@ -110,7 +119,13 @@ class KDVRenderer:
             self._exact_image = self.grid.to_image(values)
         return self._exact_image
 
-    def render_eps(self, eps=0.01, method="quad", *, atol=None):
+    def render_eps(
+        self,
+        eps: float = 0.01,
+        method: str | Method = "quad",
+        *,
+        atol: float | None = None,
+    ) -> FloatArray:
         """εKDV colour-map values, shape ``(height, width)``.
 
         ``atol`` defaults to a vanishing fraction of a single point's
@@ -126,7 +141,7 @@ class KDVRenderer:
         values = fitted.batch_eps(self.grid.centers(), eps, atol=atol)
         return self.grid.to_image(values)
 
-    def render_tau(self, tau, method="quad"):
+    def render_tau(self, tau: float, method: str | Method = "quad") -> BoolArray:
         """τKDV hotspot mask, boolean, shape ``(height, width)``."""
         fitted = self.get_method(method)
         mask = fitted.batch_tau(self.grid.centers(), tau)
@@ -134,7 +149,7 @@ class KDVRenderer:
 
     # -- interactive viewport operations ------------------------------------
 
-    def with_grid(self, grid):
+    def with_grid(self, grid: PixelGrid) -> KDVRenderer:
         """A renderer over a different viewport/resolution, sharing state.
 
         The fitted methods (kd-trees, samples) are viewport-independent,
@@ -153,7 +168,12 @@ class KDVRenderer:
         clone._exact_image = None
         return clone
 
-    def zoom(self, center, factor, resolution=None):
+    def zoom(
+        self,
+        center: PointLike,
+        factor: float,
+        resolution: tuple[int, int] | None = None,
+    ) -> KDVRenderer:
         """A renderer zoomed on ``center`` by ``factor`` (> 1 zooms in).
 
         Parameters
@@ -180,7 +200,7 @@ class KDVRenderer:
         grid = PixelGrid(resolution[0], resolution[1], low, high)
         return self.with_grid(grid)
 
-    def pan(self, delta):
+    def pan(self, delta: PointLike) -> KDVRenderer:
         """A renderer with the viewport shifted by ``delta`` (data units)."""
         delta = np.asarray(delta, dtype=np.float64).reshape(-1)
         if delta.shape != (2,):
@@ -195,7 +215,7 @@ class KDVRenderer:
 
     # -- thresholds -----------------------------------------------------------
 
-    def density_stats(self):
+    def density_stats(self) -> tuple[float, float]:
         """``(mu, sigma)`` of the exact per-pixel densities.
 
         The paper's τKDV experiments express thresholds as
@@ -204,7 +224,7 @@ class KDVRenderer:
         image = self.render_exact()
         return float(image.mean()), float(image.std())
 
-    def thresholds(self, offsets=DEFAULT_TAU_OFFSETS):
+    def thresholds(self, offsets: Sequence[float] = DEFAULT_TAU_OFFSETS) -> list[float]:
         """The paper's seven thresholds ``mu + k sigma`` (clamped > 0)."""
         mu, sigma = self.density_stats()
         floor = np.finfo(np.float64).tiny
@@ -212,16 +232,23 @@ class KDVRenderer:
 
     # -- saving -----------------------------------------------------------------
 
-    def save_density_png(self, image, path, colormap="density", *, log_scale=True):
+    def save_density_png(
+        self,
+        image: PointLike,
+        path: str | os.PathLike[str],
+        colormap: str | Colormap = "density",
+        *,
+        log_scale: bool = True,
+    ) -> Path:
         """Save a density image as a coloured PNG."""
         rgb = get_colormap(colormap).apply(np.asarray(image), log_scale=log_scale)
         return write_png(path, rgb)
 
-    def save_mask_png(self, mask, path):
+    def save_mask_png(self, mask: PointLike, path: str | os.PathLike[str]) -> Path:
         """Save a τKDV mask as a two-colour PNG (Figure 2c style)."""
         return write_png(path, two_color_map(mask))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"KDVRenderer(n={self.points.shape[0]}, kernel={self.kernel.name!r}, "
             f"grid={self.grid.width}x{self.grid.height})"

@@ -12,9 +12,14 @@ compared by their confusion counts against the exact mask.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, PointLike
 
 __all__ = [
     "average_relative_error",
@@ -23,7 +28,7 @@ __all__ = [
 ]
 
 
-def _relative_errors(returned, exact, floor):
+def _relative_errors(returned: PointLike, exact: PointLike, floor: float) -> FloatArray:
     returned = np.asarray(returned, dtype=np.float64).ravel()
     exact = np.asarray(exact, dtype=np.float64).ravel()
     if returned.shape != exact.shape:
@@ -45,7 +50,9 @@ def _relative_errors(returned, exact, floor):
     return out
 
 
-def average_relative_error(returned, exact, *, floor=0.0):
+def average_relative_error(
+    returned: PointLike, exact: PointLike, *, floor: float = 0.0
+) -> float:
     """Mean per-pixel relative error (the paper's Figure 20 metric).
 
     ``floor``: densities at or below this value contribute their absolute
@@ -54,7 +61,9 @@ def average_relative_error(returned, exact, *, floor=0.0):
     return float(_relative_errors(returned, exact, floor).mean())
 
 
-def max_relative_error(returned, exact, *, floor=0.0):
+def max_relative_error(
+    returned: PointLike, exact: PointLike, *, floor: float = 0.0
+) -> float:
     """Worst per-pixel relative error (checks the εKDV contract).
 
     Pass a small ``floor`` (e.g. ``1e-6 * exact.max()``) to exclude
@@ -65,7 +74,9 @@ def max_relative_error(returned, exact, *, floor=0.0):
     return float(_relative_errors(returned, exact, floor).max())
 
 
-def threshold_confusion(returned_mask, exact_mask):
+def threshold_confusion(
+    returned_mask: PointLike, exact_mask: PointLike
+) -> dict[str, float]:
     """Confusion counts of a τKDV mask versus the exact mask.
 
     Returns

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 import numpy as np
 
@@ -29,10 +30,15 @@ from repro.methods.registry import create_method
 from repro.utils.validation import check_points, check_positive, check_probability_like
 from repro.visual.grid import PixelGrid
 
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike, PointLike
+
+    Region = tuple[int, int, int, int]
+
 __all__ = ["quadtree_regions", "ProgressiveRenderer", "ProgressiveResult", "Snapshot"]
 
 
-def quadtree_regions(width, height):
+def quadtree_regions(width: int, height: int) -> Iterator[Region]:
     """Yield ``(x0, y0, w, h)`` regions in coarse-to-fine BFS order.
 
     The first region is the full grid; each region is later split into
@@ -58,7 +64,7 @@ def quadtree_regions(width, height):
                 queue.append((cx, cy, cw, ch))
 
 
-def region_representative(region):
+def region_representative(region: Region) -> tuple[int, int]:
     """The representative (centre) pixel of a region."""
     x0, y0, w, h = region
     return x0 + w // 2, y0 + h // 2
@@ -81,13 +87,19 @@ class Snapshot:
 
     __slots__ = ("label", "image", "pixels_evaluated", "elapsed")
 
-    def __init__(self, label, image, pixels_evaluated, elapsed):
+    def __init__(
+        self,
+        label: float,
+        image: FloatArray,
+        pixels_evaluated: int,
+        elapsed: float,
+    ) -> None:
         self.label = label
         self.image = image
         self.pixels_evaluated = pixels_evaluated
         self.elapsed = elapsed
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"Snapshot(label={self.label!r}, pixels={self.pixels_evaluated}, "
             f"elapsed={self.elapsed:.4f}s)"
@@ -113,7 +125,14 @@ class ProgressiveResult:
 
     __slots__ = ("image", "pixels_evaluated", "total_pixels", "elapsed", "snapshots")
 
-    def __init__(self, image, pixels_evaluated, total_pixels, elapsed, snapshots):
+    def __init__(
+        self,
+        image: FloatArray,
+        pixels_evaluated: int,
+        total_pixels: int,
+        elapsed: float,
+        snapshots: list[Snapshot],
+    ) -> None:
         self.image = image
         self.pixels_evaluated = pixels_evaluated
         self.total_pixels = total_pixels
@@ -121,11 +140,11 @@ class ProgressiveResult:
         self.snapshots = snapshots
 
     @property
-    def complete(self):
+    def complete(self) -> bool:
         """Whether every pixel was evaluated exactly."""
         return self.pixels_evaluated >= self.total_pixels
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"ProgressiveResult(pixels={self.pixels_evaluated}/{self.total_pixels}, "
             f"elapsed={self.elapsed:.4f}s, snapshots={len(self.snapshots)})"
@@ -154,16 +173,16 @@ class ProgressiveRenderer:
 
     def __init__(
         self,
-        points,
-        resolution=(320, 240),
-        kernel="gaussian",
-        gamma=None,
-        weight=None,
-        method="quad",
-        eps=0.01,
-        grid=None,
-        **method_options,
-    ):
+        points: PointLike,
+        resolution: tuple[int, int] = (320, 240),
+        kernel: KernelLike = "gaussian",
+        gamma: float | None = None,
+        weight: float | None = None,
+        method: str | Method = "quad",
+        eps: float = 0.01,
+        grid: PixelGrid | None = None,
+        **method_options: Any,
+    ) -> None:
         self.points = check_points(points)
         if self.points.shape[1] != 2:
             raise InvalidParameterError(
@@ -190,7 +209,7 @@ class ProgressiveRenderer:
             self.method.fit(self.points, self.kernel, self.gamma, self.weight)
         self._atol = 1e-9 * self.weight
 
-    def stream(self):
+    def stream(self) -> Iterator[tuple[Region, float, int]]:
         """Yield ``(region, value, pixels_evaluated)`` coarse-to-fine.
 
         ``value`` is the εKDV density of the region's representative
@@ -199,7 +218,7 @@ class ProgressiveRenderer:
         with the cached value (no new work), matching the paper's
         Figure 13 where already-evaluated (red) pixels are skipped.
         """
-        evaluated = {}
+        evaluated: dict[tuple[int, int], float] = {}
         single_point = self.method.query_eps
         for region in quadtree_regions(self.grid.width, self.grid.height):
             pixel = region_representative(region)
@@ -210,7 +229,13 @@ class ProgressiveRenderer:
                 evaluated[pixel] = value
             yield region, value, len(evaluated)
 
-    def run(self, time_budget=None, max_pixels=None, snapshot_times=(), snapshot_pixels=()):
+    def run(
+        self,
+        time_budget: float | None = None,
+        max_pixels: int | None = None,
+        snapshot_times: Sequence[float] = (),
+        snapshot_pixels: Sequence[int] = (),
+    ) -> ProgressiveResult:
         """Run the stream under a budget, capturing snapshots.
 
         Parameters
@@ -234,7 +259,7 @@ class ProgressiveRenderer:
         image = np.zeros((self.grid.height, self.grid.width), dtype=np.float64)
         pending_times = sorted(float(t) for t in snapshot_times)
         pending_pixels = sorted(int(p) for p in snapshot_pixels)
-        snapshots = []
+        snapshots: list[Snapshot] = []
         pixels_evaluated = 0
         start = time.perf_counter()
         elapsed = 0.0

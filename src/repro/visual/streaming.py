@@ -17,6 +17,8 @@ batch-built indexes.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.bounds import make_bound_provider
@@ -25,6 +27,10 @@ from repro.core.kernels import get_kernel
 from repro.errors import InvalidParameterError, NotFittedError
 from repro.index.kdtree import KDTree
 from repro.utils.validation import check_points, check_positive, check_probability_like
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, KernelLike, PointLike
+    from repro.core.bounds.base import BoundProvider
 
 __all__ = ["StreamingKDV"]
 
@@ -62,13 +68,13 @@ class StreamingKDV:
 
     def __init__(
         self,
-        kernel="gaussian",
-        gamma=1.0,
-        weight=1.0,
-        buffer_limit=DEFAULT_BUFFER_LIMIT,
-        provider="quad",
-        leaf_size=64,
-    ):
+        kernel: KernelLike = "gaussian",
+        gamma: float = 1.0,
+        weight: float = 1.0,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        provider: str = "quad",
+        leaf_size: int = 64,
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.gamma = check_positive(gamma, "gamma")
         self.weight = check_positive(weight, "weight")
@@ -79,17 +85,17 @@ class StreamingKDV:
             )
         self.provider_name = provider
         self.leaf_size = int(leaf_size)
-        self._indexed = None  # (n, d) array currently inside the tree
-        self._buffer = []  # list of (k, d) arrays awaiting a rebuild
+        self._indexed: FloatArray | None = None  # (n, d) array currently inside the tree
+        self._buffer: list[FloatArray] = []  # (k, d) arrays awaiting a rebuild
         self._buffer_count = 0
-        self._engine = None
-        self._provider = None
+        self._engine: RefinementEngine | None = None
+        self._provider: BoundProvider | None = None
         self.rebuilds = 0
-        self.dims = None
+        self.dims: int | None = None
 
     # -- ingestion -----------------------------------------------------------
 
-    def extend(self, points):
+    def extend(self, points: PointLike) -> StreamingKDV:
         """Ingest a batch of points; rebuilds the index when due."""
         points = check_points(points)
         if self.dims is None:
@@ -104,11 +110,11 @@ class StreamingKDV:
             self._rebuild()
         return self
 
-    def append(self, point):
+    def append(self, point: PointLike) -> StreamingKDV:
         """Ingest a single point."""
         return self.extend(np.atleast_2d(np.asarray(point, dtype=np.float64)))
 
-    def _rebuild(self):
+    def _rebuild(self) -> None:
         parts = ([] if self._indexed is None else [self._indexed]) + self._buffer
         self._indexed = np.vstack(parts)
         self._buffer = []
@@ -123,21 +129,21 @@ class StreamingKDV:
     # -- state ----------------------------------------------------------------
 
     @property
-    def total_points(self):
+    def total_points(self) -> int:
         """Points ingested so far (indexed + buffered)."""
         indexed = 0 if self._indexed is None else self._indexed.shape[0]
         return indexed + self._buffer_count
 
     @property
-    def buffered_points(self):
+    def buffered_points(self) -> int:
         """Points currently awaiting a rebuild."""
         return self._buffer_count
 
-    def _require_data(self):
+    def _require_data(self) -> None:
         if self.total_points == 0:
             raise NotFittedError("StreamingKDV has no data yet")
 
-    def _buffer_density(self, query):
+    def _buffer_density(self, query: FloatArray) -> float:
         """Exact buffer contribution at one query (vectorised scan)."""
         if self._buffer_count == 0:
             return 0.0
@@ -149,7 +155,7 @@ class StreamingKDV:
 
     # -- queries ---------------------------------------------------------------
 
-    def density_eps(self, query, eps=0.01, *, atol=0.0):
+    def density_eps(self, query: PointLike, eps: float = 0.01, *, atol: float = 0.0) -> float:
         """εKDV over everything ingested so far (deterministic guarantee)."""
         self._require_data()
         eps = check_probability_like(eps, "eps")
@@ -159,7 +165,7 @@ class StreamingKDV:
             return offset  # everything still lives in the buffer: exact
         return self._engine.query_eps(query, eps, atol=atol, offset=offset)
 
-    def density_exact(self, query):
+    def density_exact(self, query: PointLike) -> float:
         """Exact density over everything ingested (reference)."""
         self._require_data()
         from repro.core.exact import exact_density
@@ -174,7 +180,7 @@ class StreamingKDV:
             )
         return total
 
-    def above_threshold(self, query, tau):
+    def above_threshold(self, query: PointLike, tau: float) -> bool:
         """τKDV over everything ingested so far."""
         self._require_data()
         query = np.asarray(query, dtype=np.float64).reshape(-1)
@@ -183,7 +189,7 @@ class StreamingKDV:
             return offset >= float(tau)
         return self._engine.query_tau(query, tau, offset=offset)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"StreamingKDV(kernel={self.kernel.name!r}, total={self.total_points}, "
             f"buffered={self.buffered_points}, rebuilds={self.rebuilds})"

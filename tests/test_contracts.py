@@ -1,0 +1,378 @@
+"""Tests for the runtime soundness-contract layer (repro.contracts).
+
+Covers the toggle plumbing, every individual check function, the engine
+integration (all bound families and all registered methods run clean
+under checking), and — crucially — that a deliberately broken bound is
+*caught* and the raised :class:`InvariantViolation` names the offending
+bound class, node and query.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.contracts import (
+    ENV_VAR,
+    check_bound_pair,
+    check_eps_agreement,
+    check_kernel_values,
+    check_leaf_containment,
+    check_monotone_tightening,
+    checking,
+    invariants_enabled,
+    refresh_from_env,
+    set_invariants,
+    soundness_check,
+)
+from repro.core.bounds import make_bound_provider
+from repro.core.bounds.base import BoundProvider
+from repro.core.engine import RefinementEngine
+from repro.core.exact import exact_density
+from repro.core.kernels import get_kernel
+from repro.data.bandwidth import scott_gamma
+from repro.errors import InvariantViolation
+from repro.index.kdtree import KDTree
+from repro.methods.registry import available_methods, create_method
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- toggle plumbing ---------------------------------------------------------
+
+
+def test_checking_context_manager_restores_state():
+    before = invariants_enabled()
+    with checking():
+        assert invariants_enabled()
+        with checking(False):
+            assert not invariants_enabled()
+        assert invariants_enabled()
+    assert invariants_enabled() == before
+
+
+def test_set_invariants_overrides_and_follows_env(monkeypatch):
+    try:
+        set_invariants(True)
+        assert invariants_enabled()
+        set_invariants(False)
+        assert not invariants_enabled()
+        monkeypatch.setenv(ENV_VAR, "1")
+        set_invariants(None)  # back to following the env var
+        assert invariants_enabled()
+        monkeypatch.setenv(ENV_VAR, "off")
+        assert refresh_from_env() is False
+    finally:
+        set_invariants(None)
+        refresh_from_env()
+
+
+@pytest.mark.parametrize("value", ["1", "true", "ON", "Yes"])
+def test_env_truthy_values(monkeypatch, value):
+    monkeypatch.setenv(ENV_VAR, value)
+    try:
+        assert refresh_from_env() is True
+    finally:
+        monkeypatch.delenv(ENV_VAR)
+        refresh_from_env()
+
+
+# -- individual checks -------------------------------------------------------
+
+
+def test_check_bound_pair_accepts_valid_and_rounding_slack():
+    check_bound_pair(0.0, 1.0, bound="B")
+    check_bound_pair(1.0, 1.0 - 1e-13, bound="B")  # within relative slack
+
+
+def test_check_bound_pair_rejects_inverted_interval():
+    with pytest.raises(InvariantViolation) as info:
+        check_bound_pair(2.0, 1.0, bound="MyBound", node=7, query=[0.5, 0.5])
+    err = info.value
+    assert err.invariant == "bound-order"
+    assert err.bound == "MyBound"
+    assert err.node == 7
+    assert err.query == [0.5, 0.5]
+    assert "MyBound" in str(err)
+
+
+@pytest.mark.parametrize("pair", [(float("nan"), 1.0), (0.0, float("inf")), (-2.0, -1.0)])
+def test_check_bound_pair_rejects_nonfinite_and_negative_upper(pair):
+    with pytest.raises(InvariantViolation):
+        check_bound_pair(pair[0], pair[1], bound="B")
+
+
+def test_check_leaf_containment():
+    check_leaf_containment(0.5, 0.0, 1.0, bound="B", node=1)
+    with pytest.raises(InvariantViolation) as info:
+        check_leaf_containment(2.0, 0.0, 1.0, bound="B", node=1, query=[1.0])
+    assert info.value.invariant == "leaf-containment"
+
+
+def test_check_monotone_tightening():
+    check_monotone_tightening(0.0, 2.0, 0.5, 1.5, bound="B")
+    with pytest.raises(InvariantViolation) as info:
+        check_monotone_tightening(0.0, 2.0, 0.0, 2.5, bound="B", node=3)
+    assert info.value.invariant == "monotone-tightening"
+
+
+def test_check_kernel_values():
+    check_kernel_values(np.array([0.0, 0.5, 1.0]), kernel="gaussian")
+    with pytest.raises(InvariantViolation) as info:
+        check_kernel_values(np.array([0.1, -0.2]), kernel="bad")
+    assert info.value.invariant == "kernel-nonnegative"
+    with pytest.raises(InvariantViolation):
+        check_kernel_values(np.array([np.nan]), kernel="bad")
+
+
+def test_check_eps_agreement():
+    check_eps_agreement(1.009, 1.0, 0.01, 0.0, method="quad")
+    with pytest.raises(InvariantViolation) as info:
+        check_eps_agreement(1.5, 1.0, 0.01, 0.0, method="m", query=[2.0])
+    assert info.value.invariant == "eps-agreement"
+    assert info.value.bound == "m"
+
+
+def test_soundness_check_decorator_validates_return():
+    class Fake:
+        @soundness_check
+        def node_bounds(self, node, q, q_sq):
+            return (5.0, 1.0)
+
+    class Node:
+        node_id = 42
+
+    with checking(False):
+        assert Fake().node_bounds(Node(), [0.0], 0.0) == (5.0, 1.0)
+    with checking():
+        with pytest.raises(InvariantViolation) as info:
+            Fake().node_bounds(Node(), [0.0], 0.0)
+    assert info.value.bound == "Fake"
+    assert info.value.node == 42
+
+
+# -- engine integration: clean runs ------------------------------------------
+
+
+PROVIDER_CASES = [
+    ("baseline", "gaussian"),
+    ("baseline", "epanechnikov"),
+    ("linear", "gaussian"),
+    ("quad", "gaussian"),  # QuadraticBoundProvider (O(d^2))
+    ("quad", "epanechnikov"),  # DistanceQuadraticBoundProvider (O(d))
+]
+
+
+@pytest.mark.parametrize("provider_name,kernel_name", PROVIDER_CASES)
+def test_engine_clean_under_checking(small_points, provider_name, kernel_name):
+    kernel = get_kernel(kernel_name)
+    gamma = scott_gamma(small_points, kernel)
+    tree = KDTree(small_points, leaf_size=16)
+    provider = make_bound_provider(provider_name, kernel, gamma, 1.0 / small_points.shape[0])
+    engine = RefinementEngine(tree, provider)
+    queries = small_points[::97] + 0.1
+    with checking():
+        for q in queries:
+            value = engine.query_eps(q, 0.02, atol=1e-12)
+            exact = float(
+                exact_density(small_points, q, kernel, gamma, 1.0 / small_points.shape[0])
+            )
+            assert value == pytest.approx(exact, rel=0.03, abs=1e-9)
+            engine.query_tau(q, max(exact, 1e-12))
+
+
+@pytest.mark.parametrize("method_name", available_methods())
+def test_all_methods_clean_under_checking(small_points, method_name):
+    method = create_method(method_name)
+    gamma = scott_gamma(small_points, "gaussian")
+    method.fit(small_points, "gaussian", gamma, 1.0 / small_points.shape[0])
+    queries = small_points[::149] + 0.05
+    exact = exact_density(
+        small_points, queries, "gaussian", gamma, 1.0 / small_points.shape[0]
+    )
+    tau = float(np.median(exact))
+    with checking():
+        if method.supports_eps:
+            method.batch_eps(queries, 0.05, atol=1e-12)
+        if method.supports_tau:
+            method.batch_tau(queries, tau)
+
+
+# -- engine integration: broken bounds are caught ----------------------------
+
+
+class BrokenOrderBounds(BoundProvider):
+    """Deliberately inverted interval: triggers bound-order at the root."""
+
+    name = "broken-order"
+
+    def node_bounds(self, node, q, q_sq):
+        return (2.0, 1.0)
+
+
+class TooTightBounds(BoundProvider):
+    """Ordered but unsound interval: excludes the true leaf kernel sum."""
+
+    name = "broken-tight"
+
+    def node_bounds(self, node, q, q_sq):
+        return (0.0, 1e-300)
+
+
+def test_broken_bound_order_is_caught_and_named(small_points):
+    tree = KDTree(small_points, leaf_size=32)
+    provider = BrokenOrderBounds("gaussian", 1.0, 1.0)
+    engine = RefinementEngine(tree, provider)
+    with checking():
+        with pytest.raises(InvariantViolation) as info:
+            engine.query_eps(small_points[0], 0.01)
+    err = info.value
+    assert err.invariant == "bound-order"
+    assert err.bound == "BrokenOrderBounds"
+    assert err.node is not None
+    assert "BrokenOrderBounds" in str(err)
+
+
+def test_unsound_leaf_bounds_are_caught(small_points):
+    tree = KDTree(small_points, leaf_size=32)
+    gamma = scott_gamma(small_points, "gaussian")
+    provider = TooTightBounds("gaussian", gamma, 1.0)
+    engine = RefinementEngine(tree, provider)
+    with checking():
+        with pytest.raises(InvariantViolation) as info:
+            engine.query_eps(small_points[0], 0.01)
+    assert info.value.invariant in ("leaf-containment", "monotone-tightening")
+    assert info.value.bound == "TooTightBounds"
+
+
+def test_broken_bounds_pass_silently_when_disabled(small_points):
+    """Flag off: the engine must not pay for (or perform) any checking."""
+    tree = KDTree(small_points[:64], leaf_size=64)
+    provider = BrokenOrderBounds("gaussian", 1.0, 1.0)
+    engine = RefinementEngine(tree, provider)
+    with checking(False):
+        engine.query_tau(small_points[0], 1e6)  # no raise
+
+
+def test_eps_agreement_catches_lying_method(small_points):
+    method = create_method("quad")
+    gamma = scott_gamma(small_points, "gaussian")
+    method.fit(small_points, "gaussian", gamma, 1.0 / small_points.shape[0])
+    queries = small_points[:3]
+
+    original = method._batch_eps_impl
+
+    def lying_impl(queries, eps, atol):
+        return original(queries, eps, atol) * 3.0
+
+    method._batch_eps_impl = lying_impl
+    with checking():
+        with pytest.raises(InvariantViolation) as info:
+            method.batch_eps(queries, 0.01, atol=1e-12)
+    assert info.value.invariant == "eps-agreement"
+    assert info.value.bound == "quad"
+
+
+def test_env_var_enables_checks_in_subprocess(small_points):
+    """End-to-end: REPRO_CHECK_INVARIANTS=1 catches a broken bound."""
+    code = (
+        "import numpy as np\n"
+        "from repro.core.bounds.base import BoundProvider\n"
+        "from repro.core.engine import RefinementEngine\n"
+        "from repro.errors import InvariantViolation\n"
+        "from repro.index.kdtree import KDTree\n"
+        "class Broken(BoundProvider):\n"
+        "    name = 'broken'\n"
+        "    def node_bounds(self, node, q, q_sq):\n"
+        "        return (2.0, 1.0)\n"
+        "tree = KDTree(np.random.default_rng(0).normal(size=(50, 2)))\n"
+        "engine = RefinementEngine(tree, Broken('gaussian', 1.0, 1.0))\n"
+        "try:\n"
+        "    engine.query_eps(np.zeros(2), 0.01)\n"
+        "except InvariantViolation as err:\n"
+        "    assert err.bound == 'Broken', err\n"
+        "    print('CAUGHT')\n"
+    )
+    env = {"REPRO_CHECK_INVARIANTS": "1", "PYTHONPATH": str(REPO_ROOT / "src")}
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={**env, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert "CAUGHT" in result.stdout
+
+
+# -- custom linter -----------------------------------------------------------
+
+
+def _lint(tmp_path, source):
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import lint_invariants
+    finally:
+        sys.path.pop(0)
+    target = tmp_path / "sample.py"
+    target.write_text(source)
+    return lint_invariants.lint_file(target)
+
+
+def test_linter_flags_float_eq(tmp_path):
+    violations = _lint(tmp_path, "def f(x):\n    return x == 0.0\n")
+    assert any(v.rule == "float-eq" for v in violations)
+
+
+def test_linter_allowlist_marker_suppresses(tmp_path):
+    source = "def f(x):\n    return x == 0.0  # lint: allow-float-eq -- sentinel\n"
+    violations = _lint(tmp_path, source)
+    assert not [v for v in violations if v.rule == "float-eq"]
+
+
+def test_linter_flags_mutable_default(tmp_path):
+    violations = _lint(tmp_path, "def f(x=[]):\n    return x\n")
+    assert any(v.rule == "mutable-default" for v in violations)
+
+
+def test_linter_flags_silent_except(tmp_path):
+    source = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+    violations = _lint(tmp_path, source)
+    assert any(v.rule == "silent-except" for v in violations)
+
+
+def test_linter_flags_missing_return_annotation(tmp_path):
+    violations = _lint(tmp_path, "def public(x: int):\n    return x\n")
+    assert any(v.rule == "return-annotation" for v in violations)
+
+
+def test_linter_accepts_annotated_public_def(tmp_path):
+    source = '__all__ = ["public"]\n\n\ndef public(x: int) -> int:\n    return x\n'
+    violations = _lint(tmp_path, source)
+    assert not violations
+
+
+def test_linter_clean_on_repository_source():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import lint_invariants
+    finally:
+        sys.path.pop(0)
+    violations = lint_invariants.lint_paths([REPO_ROOT / "src"])
+    assert violations == []
+
+
+def test_contracts_module_reexports():
+    for name in (
+        "ENV_VAR",
+        "invariants_enabled",
+        "set_invariants",
+        "checking",
+        "soundness_check",
+        "check_bound_pair",
+    ):
+        assert hasattr(contracts, name)
