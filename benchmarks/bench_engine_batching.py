@@ -1,0 +1,63 @@
+"""Engine batching — scalar per-pixel loop versus batched frontier.
+
+Not a paper figure: this is the standing regression benchmark for the
+:class:`~repro.core.batch_engine.BatchRefinementEngine`. Same tree, same
+bounds, same ``(1 ± eps)`` contract — only the refinement schedule
+differs — so any timing gap is pure engine overhead. The batched path
+should stay several times faster than scalar; ``tools/bench_report.py``
+records the canonical numbers in ``BENCH_engine.json``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_renderer, prepare
+
+DATASETS = ("crime", "home")
+EPS = 0.01
+MODES = ("scalar", "tiled", "tiled-workers")
+
+
+def _render_kwargs(mode):
+    if mode == "scalar":
+        return {}
+    if mode == "tiled":
+        return {"tile_size": 64}
+    return {"tile_size": 64, "workers": 4}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("mode", MODES)
+def test_eps_engine_batching(benchmark, dataset, mode):
+    renderer = get_renderer(dataset)
+    prepare(renderer, "quad")
+    benchmark.group = f"engine batching eps {dataset} eps={EPS}"
+    image = benchmark.pedantic(
+        renderer.render_eps,
+        args=(EPS, "quad"),
+        kwargs=_render_kwargs(mode),
+        rounds=2,
+        iterations=1,
+    )
+    assert image.shape == (renderer.grid.height, renderer.grid.width)
+    assert np.all(np.isfinite(image)) and np.all(image >= 0.0)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("mode", MODES)
+def test_tau_engine_batching(benchmark, dataset, mode):
+    renderer = get_renderer(dataset)
+    prepare(renderer, "quad")
+    mu, sigma = renderer.density_stats()
+    tau = max(mu + 0.1 * sigma, np.finfo(np.float64).tiny)
+    benchmark.group = f"engine batching tau {dataset}"
+    mask = benchmark.pedantic(
+        renderer.render_tau,
+        args=(tau, "quad"),
+        kwargs=_render_kwargs(mode),
+        rounds=2,
+        iterations=1,
+    )
+    # The threshold decision is schedule-independent: every mode must
+    # reproduce the exact-density mask pixel for pixel.
+    assert np.array_equal(mask, renderer.render_exact() >= tau)

@@ -58,6 +58,14 @@ class BoundingRegion(Protocol):
         """Maximum squared distance from ``query`` to the region."""
         ...
 
+    def min_sq_dist_batch(self, queries: FloatArray) -> FloatArray:
+        """Vectorised ``min_sq_dist`` for an ``(m, d)`` query batch."""
+        ...
+
+    def max_sq_dist_batch(self, queries: FloatArray) -> FloatArray:
+        """Vectorised ``max_sq_dist`` for an ``(m, d)`` query batch."""
+        ...
+
     def distance_interval(self, query: Sequence[float]) -> tuple[float, float]:
         """``(min_dist, max_dist)`` plain (non-squared) distances."""
         ...

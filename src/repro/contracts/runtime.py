@@ -33,9 +33,12 @@ from __future__ import annotations
 import math
 import os
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import InvariantViolation
+
+if TYPE_CHECKING:
+    from repro._types import PointLike
 
 __all__ = [
     "ENV_VAR",
@@ -116,7 +119,7 @@ def checking(enabled: bool = True) -> Iterator[None]:
         _state.enabled = previous_enabled
 
 
-def _describe_query(query: Sequence[float] | None) -> object:
+def _describe_query(query: PointLike | None) -> object:
     if query is None:
         return None
     return [float(value) for value in query]
@@ -128,7 +131,7 @@ def check_bound_pair(
     *,
     bound: str,
     node: int | None = None,
-    query: Sequence[float] | None = None,
+    query: PointLike | None = None,
 ) -> None:
     """Validate one ``(LB, UB)`` bound evaluation.
 
@@ -165,7 +168,7 @@ def check_leaf_containment(
     *,
     bound: str,
     node: int | None = None,
-    query: Sequence[float] | None = None,
+    query: PointLike | None = None,
 ) -> None:
     """Validate ``LB <= F <= UB`` on an exactly evaluated leaf.
 
@@ -194,7 +197,7 @@ def check_monotone_tightening(
     *,
     bound: str,
     node: int | None = None,
-    query: Sequence[float] | None = None,
+    query: PointLike | None = None,
 ) -> None:
     """Validate that a refinement step only tightened the global interval.
 
@@ -238,7 +241,7 @@ def check_eps_agreement(
     atol: float,
     *,
     method: str,
-    query: Sequence[float] | None = None,
+    query: PointLike | None = None,
 ) -> None:
     """Validate the εKDV contract of a deterministic method's answer.
 

@@ -45,7 +45,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 
 if TYPE_CHECKING:
-    from repro._types import PointLike
+    from repro._types import FloatArray, PointLike
 
 __all__ = ["NodeAggregates"]
 
@@ -83,7 +83,18 @@ class NodeAggregates:
         Dimensionality ``d``.
     """
 
-    __slots__ = ("n", "total_weight", "center", "a", "b", "v", "h", "c", "dims")
+    __slots__ = (
+        "n",
+        "total_weight",
+        "center",
+        "a",
+        "b",
+        "v",
+        "h",
+        "c",
+        "dims",
+        "_arrays",
+    )
 
     def __init__(
         self,
@@ -106,6 +117,9 @@ class NodeAggregates:
         self.h = float(h)
         self.c = list(c)
         self.dims = int(dims)
+        # Lazy numpy copies of the moments, built on the first batched
+        # evaluation (the scalar fast paths keep using the plain lists).
+        self._arrays: tuple[FloatArray, FloatArray, FloatArray, FloatArray] | None = None
 
     @classmethod
     def from_points(
@@ -267,9 +281,11 @@ class NodeAggregates:
         center = self.center
         if self.dims == 2:
             # Unrolled 2-D fast path: KDV queries are overwhelmingly 2-D
-            # and this method sits on the per-pixel hot loop.
-            q0 = q[0] - center[0]
-            q1 = q[1] - center[1]
+            # and this method sits on the per-pixel hot loop. Coordinates
+            # are coerced to plain floats once so numpy scalars handed in
+            # by the engine never degrade the arithmetic below.
+            q0 = float(q[0]) - center[0]
+            q1 = float(q[1]) - center[1]
             value = (
                 self.total_weight * (q0 * q0 + q1 * q1)
                 - 2.0 * (q0 * a[0] + q1 * a[1])
@@ -279,13 +295,49 @@ class NodeAggregates:
         q_sq = 0.0
         dot_qa = 0.0
         for j in range(self.dims):
-            qj = q[j] - center[j]
+            qj = float(q[j]) - center[j]
             q_sq += qj * qj
             dot_qa += qj * a[j]
         value = self.total_weight * q_sq - 2.0 * dot_qa + self.b
         # The true value is non-negative; rounding can leave a tiny
         # negative residue when every point coincides with q.
         return value if value > 0.0 else 0.0
+
+    def _moment_arrays(self) -> tuple[FloatArray, FloatArray, FloatArray, FloatArray]:
+        arrays = self._arrays
+        if arrays is None:
+            arrays = (
+                np.asarray(self.center, dtype=np.float64),
+                np.asarray(self.a, dtype=np.float64),
+                np.asarray(self.v, dtype=np.float64),
+                np.asarray(self.c, dtype=np.float64).reshape(self.dims, self.dims),
+            )
+            self._arrays = arrays
+        return arrays
+
+    def sum_sq_dists_batch(self, queries: FloatArray) -> FloatArray:
+        """Vectorised :meth:`sum_sq_dists` for an ``(m, d)`` query batch."""
+        center, a, __, __ = self._moment_arrays()
+        shifted = queries - center
+        q_sq = np.einsum("ij,ij->i", shifted, shifted)
+        value = self.total_weight * q_sq - 2.0 * (shifted @ a) + self.b
+        return np.maximum(value, 0.0, out=value)
+
+    def sum_quartic_dists_batch(self, queries: FloatArray) -> FloatArray:
+        """Vectorised :meth:`sum_quartic_dists` for an ``(m, d)`` batch."""
+        center, a, v, c = self._moment_arrays()
+        shifted = queries - center
+        q_sq = np.einsum("ij,ij->i", shifted, shifted)
+        quad_form = np.einsum("ij,jk,ik->i", shifted, c, shifted)
+        value = (
+            self.total_weight * q_sq * q_sq
+            - 4.0 * q_sq * (shifted @ a)
+            - 4.0 * (shifted @ v)
+            + 2.0 * q_sq * self.b
+            + self.h
+            + 4.0 * quad_form
+        )
+        return np.maximum(value, 0.0, out=value)
 
     def sum_quartic_dists(self, q: Sequence[float]) -> float:
         """``sum_i w_i dist(q, p_i)^4`` in O(d^2) time (Lemma 3)."""
@@ -296,8 +348,8 @@ class NodeAggregates:
         center = self.center
         if dims == 2:
             # Unrolled 2-D fast path (see sum_sq_dists).
-            q0 = q[0] - center[0]
-            q1 = q[1] - center[1]
+            q0 = float(q[0]) - center[0]
+            q1 = float(q[1]) - center[1]
             q_sq = q0 * q0 + q1 * q1
             value = (
                 self.total_weight * q_sq * q_sq
@@ -313,7 +365,7 @@ class NodeAggregates:
         dot_qa = 0.0
         dot_qv = 0.0
         for j in range(dims):
-            qj = q[j] - center[j]
+            qj = float(q[j]) - center[j]
             shifted[j] = qj
             q_sq += qj * qj
             dot_qa += qj * a[j]

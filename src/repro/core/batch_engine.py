@@ -1,0 +1,361 @@
+"""Batched frontier refinement: one priority loop, many pixels at once.
+
+The scalar :class:`~repro.core.engine.RefinementEngine` answers one pixel
+per Table-3 loop, paying Python interpreter overhead for every node pop
+and bound evaluation. Rendering a colour map asks the *same* tree the
+*same* kind of question for tens of thousands of adjacent pixels, whose
+refinement frontiers overlap heavily — so this engine refines a whole
+pixel batch against one shared frontier instead:
+
+* the frontier is a priority queue of index nodes, ordered by the node's
+  bound gap **summed over the still-active pixels** (the batch analogue
+  of the paper's decreasing-gap rule);
+* popping a node evaluates its two children against *all* active pixels
+  in one vectorised :meth:`~repro.core.bounds.base.BoundProvider.node_bounds_batch`
+  call (leaves use :meth:`~repro.core.bounds.base.BoundProvider.leaf_exact_batch`),
+  amortising the per-node Python cost over the batch width;
+* pixels whose ε/τ stopping test fires **retire** from the active set
+  immediately, so converged pixels stop paying for the stragglers'
+  refinement.
+
+Priorities are kept *lazily*: a stored priority is the gap sum at push
+time, an upper bound on the true gap sum because per-pixel gaps are
+non-negative and the active set only shrinks. Popping therefore
+re-scores the candidate against the current active set and re-inserts it
+if it no longer beats the runner-up — the standard stale-priority trick,
+with correctness guaranteed by the stored value never underestimating.
+
+Accumulators mirror the scalar engine exactly — per-pixel Kahan
+compensation on the exact sum and both heap sums, interval intersection,
+midpoint collapse — so every soundness contract of
+:mod:`repro.contracts` holds per pixel, and ``REPRO_CHECK_INVARIANTS=1``
+routes through the checked batch bound variants plus per-row
+containment/tightening validation.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.contracts.runtime import (
+    check_leaf_containment,
+    check_monotone_tightening,
+    invariants_enabled,
+)
+from repro.core.engine import QueryStats
+from repro.errors import InvalidParameterError
+from repro.utils.validation import check_probability_like
+
+if TYPE_CHECKING:
+    from repro._types import BoolArray, FloatArray, IntArray
+    from repro.core.bounds.base import BoundProvider
+    from repro.index.kdtree import KDTree, KDTreeNode
+
+__all__ = ["BatchRefinementEngine"]
+
+
+class BatchRefinementEngine:
+    """Level-synchronous bound refinement over a pixel batch.
+
+    Parameters
+    ----------
+    tree:
+        A fitted :class:`~repro.index.kdtree.KDTree` (or
+        :class:`~repro.index.balltree.BallTree`).
+    provider:
+        The :class:`~repro.core.bounds.base.BoundProvider` supplying
+        per-node bounds; only the scalar interface is required — the
+        default :meth:`~repro.core.bounds.base.BoundProvider.node_bounds_batch`
+        loop fallback keeps third-party providers working, just without
+        the vectorisation win.
+    ordering:
+        ``"gap"`` (split the node with the largest active-summed bound
+        gap first) or ``"fifo"`` (breadth-first; ablation).
+    stats:
+        Optional :class:`~repro.core.engine.QueryStats` to accumulate
+        into — pass the scalar engine's stats object to keep one unified
+        work ledger, or leave ``None`` for a private one (used by the
+        tiled renderer's per-worker engines, merged afterwards).
+    """
+
+    def __init__(
+        self,
+        tree: KDTree,
+        provider: BoundProvider,
+        ordering: str = "gap",
+        stats: QueryStats | None = None,
+    ) -> None:
+        if ordering not in ("gap", "fifo"):
+            raise InvalidParameterError(
+                f"ordering must be 'gap' or 'fifo', got {ordering!r}"
+            )
+        self.tree = tree
+        self.provider = provider
+        self.ordering = ordering
+        self.stats = stats if stats is not None else QueryStats()
+
+    # -- shared batched refinement loop -----------------------------------
+
+    def _refine_batch(
+        self,
+        queries: FloatArray,
+        stop_rows: Callable[[FloatArray, FloatArray], BoolArray],
+    ) -> tuple[FloatArray, FloatArray]:
+        """Refine until every pixel's ``stop_rows(lb, ub)`` test fires.
+
+        ``stop_rows`` maps equal-length ``(lb, ub)`` row vectors to a
+        boolean row vector; it is evaluated only on still-active rows.
+        Returns the full-batch ``(lb, ub)`` arrays.
+        """
+        provider = self.provider
+        stats = self.stats
+        batch = np.ascontiguousarray(queries, dtype=np.float64)
+        if batch.ndim != 2:
+            raise InvalidParameterError(
+                f"queries must be an (m, d) array, got shape {batch.shape}"
+            )
+        m = batch.shape[0]
+        stats.queries += m
+        batch_sq = np.einsum("ij,ij->i", batch, batch)
+
+        # Like the scalar engine, the checking branch is chosen once per
+        # batch; the hot path calls the unchecked batch bound variants.
+        check = invariants_enabled()
+        node_bounds = (
+            provider.checked_node_bounds_batch if check else provider.node_bounds_batch
+        )
+        leaf_exact = (
+            provider.checked_leaf_exact_batch if check else provider.leaf_exact_batch
+        )
+        bound_name = type(provider).__name__
+
+        root = self.tree.root
+        root_lb, root_ub = node_bounds(root, batch, batch_sq)
+        stats.node_evaluations += m
+
+        # Per-pixel accumulators, Kahan-compensated exactly as in the
+        # scalar engine (see RefinementEngine._refine for why plain +=
+        # breaks the relative-error contract on low-density pixels).
+        exact_acc = np.zeros(m, dtype=np.float64)
+        exact_comp = np.zeros(m, dtype=np.float64)
+        heap_lb = root_lb.copy()
+        heap_lb_comp = np.zeros(m, dtype=np.float64)
+        heap_ub = root_ub.copy()
+        heap_ub_comp = np.zeros(m, dtype=np.float64)
+        lb = root_lb.copy()
+        ub = root_ub.copy()
+
+        active: IntArray = np.flatnonzero(~stop_rows(lb, ub))
+        gap_ordered = self.ordering == "gap"
+        counter = 0
+        heap: list[tuple[float, int, KDTreeNode, FloatArray, FloatArray]] = []
+        if active.size:
+            priority = (
+                -float((root_ub[active] - root_lb[active]).sum())
+                if gap_ordered
+                else 0.0
+            )
+            heap.append((priority, counter, root, root_lb, root_ub))
+
+        while heap and active.size:
+            if gap_ordered:
+                # Lazy priorities: stored gap sums were computed over a
+                # superset of the current active set, so they never
+                # underestimate. Re-score the popped candidate and push
+                # it back if it no longer beats the runner-up.
+                entry = heappop(heap)
+                while heap:
+                    node_lb, node_ub = entry[3], entry[4]
+                    fresh = -float((node_ub[active] - node_lb[active]).sum())
+                    if fresh <= heap[0][0]:
+                        break
+                    heappush(heap, (fresh, entry[1], entry[2], node_lb, node_ub))
+                    entry = heappop(heap)
+                __, __, node, node_lb, node_ub = entry
+            else:
+                __, __, node, node_lb, node_ub = heappop(heap)
+
+            n_active = int(active.size)
+            stats.iterations += n_active
+            active_q = batch[active]
+            active_sq = batch_sq[active]
+            if node.is_leaf:
+                exact = leaf_exact(node, active_q, active_sq)
+                stats.leaf_evaluations += n_active
+                stats.point_evaluations += node.agg.n * n_active
+                if check:
+                    for row in range(n_active):
+                        i = int(active[row])
+                        check_leaf_containment(
+                            float(exact[row]),
+                            float(node_lb[i]),
+                            float(node_ub[i]),
+                            bound=bound_name,
+                            node=node.node_id,
+                            query=batch[i],
+                        )
+                # exact_acc[active] += exact (masked Kahan).
+                acc = exact_acc[active]
+                y = exact - exact_comp[active]
+                t = acc + y
+                exact_comp[active] = (t - acc) - y
+                exact_acc[active] = t
+                delta_lb = -node_lb[active]
+                delta_ub = -node_ub[active]
+            else:
+                left = node.left
+                right = node.right
+                left_lb_a, left_ub_a = node_bounds(left, active_q, active_sq)
+                right_lb_a, right_ub_a = node_bounds(right, active_q, active_sq)
+                stats.node_evaluations += 2 * n_active
+                # Frontier entries carry full-width arrays; rows outside
+                # the evaluation-time active set stay zero and are never
+                # read, because the active set only shrinks.
+                left_lb = np.zeros(m, dtype=np.float64)
+                left_ub = np.zeros(m, dtype=np.float64)
+                right_lb = np.zeros(m, dtype=np.float64)
+                right_ub = np.zeros(m, dtype=np.float64)
+                left_lb[active] = left_lb_a
+                left_ub[active] = left_ub_a
+                right_lb[active] = right_lb_a
+                right_ub[active] = right_ub_a
+                counter += 1
+                priority = (
+                    -float((left_ub_a - left_lb_a).sum())
+                    if gap_ordered
+                    else float(counter)
+                )
+                heappush(heap, (priority, counter, left, left_lb, left_ub))
+                counter += 1
+                priority = (
+                    -float((right_ub_a - right_lb_a).sum())
+                    if gap_ordered
+                    else float(counter)
+                )
+                heappush(heap, (priority, counter, right, right_lb, right_ub))
+                delta_lb = left_lb_a + right_lb_a - node_lb[active]
+                delta_ub = left_ub_a + right_ub_a - node_ub[active]
+
+            # heap_lb[active] += delta_lb; heap_ub[active] += delta_ub
+            # (masked Kahan).
+            acc = heap_lb[active]
+            y = delta_lb - heap_lb_comp[active]
+            t = acc + y
+            heap_lb_comp[active] = (t - acc) - y
+            heap_lb[active] = t
+            acc = heap_ub[active]
+            y = delta_ub - heap_ub_comp[active]
+            t = acc + y
+            heap_ub_comp[active] = (t - acc) - y
+            heap_ub[active] = t
+
+            # Intersect the fresh enclosure with the previous one (both
+            # valid — see the scalar engine), then collapse any interval
+            # that rounding pushed inside-out.
+            new_lb = exact_acc[active] + heap_lb[active]
+            new_ub = exact_acc[active] + heap_ub[active]
+            cur_lb = lb[active]
+            cur_ub = ub[active]
+            if check:
+                prev_lb = cur_lb.copy()
+                prev_ub = cur_ub.copy()
+            cur_lb = np.maximum(cur_lb, new_lb)
+            cur_ub = np.minimum(cur_ub, new_ub)
+            crossed = cur_ub < cur_lb
+            if crossed.any():
+                mid = 0.5 * (cur_lb[crossed] + cur_ub[crossed])
+                cur_lb[crossed] = mid
+                cur_ub[crossed] = mid
+            lb[active] = cur_lb
+            ub[active] = cur_ub
+            if check:
+                for row in range(n_active):
+                    i = int(active[row])
+                    check_monotone_tightening(
+                        float(prev_lb[row]),
+                        float(prev_ub[row]),
+                        float(cur_lb[row]),
+                        float(cur_ub[row]),
+                        bound=bound_name,
+                        node=node.node_id,
+                        query=batch[i],
+                    )
+
+            stopped = stop_rows(cur_lb, cur_ub)
+            if stopped.any():
+                active = active[~stopped]
+
+        if active.size:
+            # Frontier drained with pixels still active: they are fully
+            # refined, so the density is the exact leaf sum; drop the
+            # (tiny) residual left in the drained heap accumulators.
+            lb[active] = exact_acc[active]
+            ub[active] = exact_acc[active]
+        return lb, ub
+
+    # -- eps queries ------------------------------------------------------
+
+    def query_eps_batch(
+        self,
+        queries: FloatArray,
+        eps: float,
+        *,
+        atol: float = 0.0,
+        offset: float = 0.0,
+    ) -> FloatArray:
+        """εKDV for a pixel batch: values within ``(1 ± eps)`` of truth.
+
+        Semantics per pixel are identical to
+        :meth:`~repro.core.engine.RefinementEngine.query_eps` (same
+        stopping rule, same midpoint answer, same ``atol`` floor and
+        ``offset`` handling) — only the refinement schedule differs, and
+        the ``(1 ± eps)`` contract is schedule-independent.
+        """
+        eps = check_probability_like(eps, "eps")
+        if atol < 0.0:
+            raise InvalidParameterError(f"atol must be >= 0, got {atol!r}")
+        offset = float(offset)
+        if offset < 0.0:
+            raise InvalidParameterError(f"offset must be >= 0, got {offset!r}")
+        one_plus_eps = 1.0 + eps
+
+        def stop_rows(lb: FloatArray, ub: FloatArray) -> BoolArray:
+            result: BoolArray = (ub + offset <= one_plus_eps * (lb + offset)) | (
+                ub - lb <= atol
+            )
+            return result
+
+        lb, ub = self._refine_batch(queries, stop_rows)
+        result: FloatArray = offset + 0.5 * (lb + ub)
+        return result
+
+    # -- tau queries ------------------------------------------------------
+
+    def query_tau_batch(
+        self,
+        queries: FloatArray,
+        tau: float,
+        *,
+        offset: float = 0.0,
+    ) -> BoolArray:
+        """τKDV for a pixel batch: whether ``offset + F_P(q) >= tau``.
+
+        Pixel-for-pixel the same decision rule as
+        :meth:`~repro.core.engine.RefinementEngine.query_tau`: stop the
+        moment the threshold separates a pixel's bounds, count a
+        fully-refined tie as hot.
+        """
+        shifted = float(tau) - float(offset)
+        if not np.isfinite(shifted):
+            raise InvalidParameterError(f"tau must be finite, got {shifted!r}")
+
+        def stop_rows(lb: FloatArray, ub: FloatArray) -> BoolArray:
+            result: BoolArray = (lb >= shifted) | (ub <= shifted)
+            return result
+
+        lb, __ = self._refine_batch(queries, stop_rows)
+        result: BoolArray = lb >= shifted
+        return result

@@ -23,21 +23,27 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.contracts.decorators import soundness_check
-from repro.contracts.runtime import check_kernel_values
+from repro.contracts.runtime import check_bound_pair, check_kernel_values
 from repro.core.kernels import Kernel, get_kernel
 from repro.errors import UnsupportedKernelError
 from repro.utils.validation import check_positive
 
 if TYPE_CHECKING:
-    from repro._types import BoundPair, FloatArray, KernelLike
+    from repro._types import BoundPair, FloatArray, KernelLike, PointLike
     from repro.index.kdtree import KDTreeNode
 
 __all__ = ["BoundProvider", "make_bound_provider"]
+
+#: Largest magnitude fed to ``np.exp(-x)`` by the vectorised bound
+#: implementations; mirrors the clamp in :mod:`repro.core.kernels`
+#: (``exp(-708)`` is still a normal float64, larger arguments underflow
+#: and trip warning-clean runs).
+EXP_NEG_XMAX = 708.0
 
 
 class BoundProvider(ABC):
@@ -75,9 +81,7 @@ class BoundProvider(ABC):
             )
 
     @abstractmethod
-    def node_bounds(
-        self, node: KDTreeNode, q: Sequence[float], q_sq: float
-    ) -> BoundPair:
+    def node_bounds(self, node: KDTreeNode, q: PointLike, q_sq: float) -> BoundPair:
         """Return ``(lb, ub)`` bounding the node's weighted kernel sum.
 
         Parameters
@@ -85,14 +89,14 @@ class BoundProvider(ABC):
         node:
             A :class:`~repro.index.kdtree.KDTreeNode`.
         q:
-            Query coordinates as a plain list of floats (hot path).
+            Query coordinates (sequence or 1-D array; hot path).
         q_sq:
             Precomputed squared norm ``||q||^2``.
         """
 
     @soundness_check
     def checked_node_bounds(
-        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+        self, node: KDTreeNode, q: PointLike, q_sq: float
     ) -> BoundPair:
         """:meth:`node_bounds` with the bound-order contract validated.
 
@@ -141,7 +145,79 @@ class BoundProvider(ABC):
             return self.weight * float(np.dot(values, node.weights))
         return self.weight * float(values.sum())
 
-    def x_interval(self, node: KDTreeNode, q: Sequence[float]) -> tuple[float, float]:
+    def node_bounds_batch(
+        self, node: KDTreeNode, queries: FloatArray, queries_sq: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Return ``(LB[m], UB[m])`` for an ``(m, d)`` query batch.
+
+        The default implementation loops over :meth:`node_bounds`, so any
+        third-party provider that only implements the scalar interface
+        keeps working with the batched refinement engine. Built-in
+        providers override this with fully vectorised versions.
+        """
+        m = queries.shape[0]
+        lowers = np.empty(m, dtype=np.float64)
+        uppers = np.empty(m, dtype=np.float64)
+        for i in range(m):
+            lowers[i], uppers[i] = self.node_bounds(
+                node, queries[i], float(queries_sq[i])
+            )
+        return lowers, uppers
+
+    def checked_node_bounds_batch(
+        self, node: KDTreeNode, queries: FloatArray, queries_sq: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """:meth:`node_bounds_batch` with every pair contract-validated.
+
+        The batched engine routes through this variant when invariant
+        checking is enabled, mirroring :meth:`checked_node_bounds`.
+        """
+        lowers, uppers = self.node_bounds_batch(node, queries, queries_sq)
+        bound = type(self).__name__
+        node_id = node.node_id
+        for i in range(queries.shape[0]):
+            check_bound_pair(
+                float(lowers[i]),
+                float(uppers[i]),
+                bound=bound,
+                node=node_id,
+                query=queries[i].tolist(),
+            )
+        return lowers, uppers
+
+    def leaf_exact_batch(self, node: KDTreeNode, queries: FloatArray,
+                         queries_sq: FloatArray) -> FloatArray:
+        """Exact weighted kernel sums of a leaf for an ``(m, d)`` batch.
+
+        Vectorised over both queries and leaf points: one ``(m, n)``
+        distance matrix per leaf visit.
+        """
+        sq_dists = (
+            queries_sq[:, None] - 2.0 * (queries @ node.points.T) + node.sq_norms
+        )
+        np.maximum(sq_dists, 0.0, out=sq_dists)
+        values = self.kernel.evaluate(sq_dists, self.gamma)
+        if node.weights is not None:
+            return self.weight * (values @ node.weights)
+        result: FloatArray = self.weight * values.sum(axis=1)
+        return result
+
+    def checked_leaf_exact_batch(
+        self, node: KDTreeNode, queries: FloatArray, queries_sq: FloatArray
+    ) -> FloatArray:
+        """:meth:`leaf_exact_batch` with the kernel-value contract validated."""
+        sq_dists = (
+            queries_sq[:, None] - 2.0 * (queries @ node.points.T) + node.sq_norms
+        )
+        np.maximum(sq_dists, 0.0, out=sq_dists)
+        values = self.kernel.evaluate(sq_dists, self.gamma)
+        check_kernel_values(values, kernel=self.kernel.name)
+        if node.weights is not None:
+            return self.weight * (values @ node.weights)
+        result: FloatArray = self.weight * values.sum(axis=1)
+        return result
+
+    def x_interval(self, node: KDTreeNode, q: PointLike) -> tuple[float, float]:
         """The scaled-distance interval ``[xmin, xmax]`` of a node.
 
         Derived from the min/max distance between ``q`` and the node's
@@ -153,6 +229,16 @@ class BoundProvider(ABC):
         if self.kernel.uses_squared_distance:
             return self.gamma * min_sq, self.gamma * max_sq
         return self.gamma * math.sqrt(min_sq), self.gamma * math.sqrt(max_sq)
+
+    def x_interval_batch(
+        self, node: KDTreeNode, queries: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Vectorised :meth:`x_interval` for an ``(m, d)`` query batch."""
+        min_sq = node.rect.min_sq_dist_batch(queries)
+        max_sq = node.rect.max_sq_dist_batch(queries)
+        if self.kernel.uses_squared_distance:
+            return self.gamma * min_sq, self.gamma * max_sq
+        return self.gamma * np.sqrt(min_sq), self.gamma * np.sqrt(max_sq)
 
     def __repr__(self) -> str:
         return (

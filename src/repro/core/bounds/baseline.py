@@ -16,12 +16,14 @@ is exactly the weakness QUAD's quadratic bounds attack.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.bounds.base import BoundProvider
 
 if TYPE_CHECKING:
-    from repro._types import BoundPair
+    from repro._types import BoundPair, FloatArray, PointLike
     from repro.index.kdtree import KDTreeNode
 
 __all__ = ["BaselineBoundProvider"]
@@ -37,12 +39,25 @@ class BaselineBoundProvider(BoundProvider):
     name = "baseline"
     supported_kernels = None
 
-    def node_bounds(
-        self, node: KDTreeNode, q: Sequence[float], q_sq: float
-    ) -> BoundPair:
+    def node_bounds(self, node: KDTreeNode, q: PointLike, q_sq: float) -> BoundPair:
         xmin, xmax = self.x_interval(node, q)
         scale = self.weight * node.agg.total_weight
         if scale <= 0.0:
             return 0.0, 0.0
         profile = self.kernel.profile_scalar
+        return scale * profile(xmax), scale * profile(xmin)
+
+    def node_bounds_batch(
+        self, node: KDTreeNode, queries: FloatArray, queries_sq: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Vectorised :meth:`node_bounds` over an ``(m, d)`` query batch."""
+        scale = self.weight * node.agg.total_weight
+        if scale <= 0.0:
+            m = queries.shape[0]
+            return (
+                np.zeros(m, dtype=np.float64),
+                np.zeros(m, dtype=np.float64),
+            )
+        xmin, xmax = self.x_interval_batch(node, queries)
+        profile = self.kernel.profile
         return scale * profile(xmax), scale * profile(xmin)

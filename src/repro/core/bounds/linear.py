@@ -22,12 +22,14 @@ O(d) aggregate — so this provider rejects them.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
-from repro.core.bounds.base import BoundProvider
+import numpy as np
+
+from repro.core.bounds.base import BoundProvider, EXP_NEG_XMAX
 
 if TYPE_CHECKING:
-    from repro._types import BoundPair
+    from repro._types import BoundPair, FloatArray, PointLike
     from repro.index.kdtree import KDTreeNode
 
 __all__ = ["LinearBoundProvider"]
@@ -42,9 +44,7 @@ class LinearBoundProvider(BoundProvider):
     name = "linear"
     supported_kernels = frozenset({"gaussian"})
 
-    def node_bounds(
-        self, node: KDTreeNode, q: Sequence[float], q_sq: float
-    ) -> BoundPair:
+    def node_bounds(self, node: KDTreeNode, q: PointLike, q_sq: float) -> BoundPair:
         agg = node.agg
         n = agg.total_weight  # sum of point weights (= count unweighted)
         scale = self.weight * n
@@ -80,4 +80,42 @@ class LinearBoundProvider(BoundProvider):
             upper = baseline_upper
         if lower > upper:
             lower = upper
+        return lower, upper
+
+    def node_bounds_batch(
+        self, node: KDTreeNode, queries: FloatArray, queries_sq: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Vectorised :meth:`node_bounds` over an ``(m, d)`` query batch.
+
+        Row-wise identical formulas to the scalar path, with the
+        degenerate-interval case handled by a mask and ``exp`` arguments
+        clamped at :data:`~repro.core.bounds.base.EXP_NEG_XMAX`.
+        """
+        agg = node.agg
+        n = agg.total_weight
+        m = queries.shape[0]
+        if n <= 0.0:
+            return (
+                np.zeros(m, dtype=np.float64),
+                np.zeros(m, dtype=np.float64),
+            )
+        scale = self.weight * n
+        xmin, xmax = self.x_interval_batch(node, queries)
+        exp_xmin = np.exp(-np.minimum(xmin, EXP_NEG_XMAX))
+        exp_xmax = np.exp(-np.minimum(xmax, EXP_NEG_XMAX))
+        width = xmax - xmin
+        degenerate = width <= _DEGENERATE_WIDTH
+        safe_width = np.where(degenerate, 1.0, width)
+        x_sum = self.gamma * agg.sum_sq_dists_batch(queries)
+        t = np.clip(x_sum / n, xmin, xmax)
+        exp_t = np.exp(-np.minimum(t, EXP_NEG_XMAX))
+        lower = self.weight * exp_t * ((1.0 + t) * n - x_sum)
+        mu = (exp_xmax - exp_xmin) / safe_width
+        ku = exp_xmin - mu * xmin
+        upper = self.weight * (mu * x_sum + ku * n)
+        baseline_upper = scale * exp_xmin
+        np.minimum(upper, baseline_upper, out=upper)
+        np.minimum(lower, upper, out=lower)
+        lower = np.where(degenerate, scale * exp_xmax, lower)
+        upper = np.where(degenerate, baseline_upper, upper)
         return lower, upper

@@ -45,12 +45,12 @@ Extension kernels (beyond the paper, see DESIGN.md):
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.bounds.base import BoundProvider
 
 if TYPE_CHECKING:
-    from repro._types import BoundPair, KernelLike
+    from repro._types import BoundPair, KernelLike, PointLike
     from repro.index.kdtree import KDTreeNode
 
 __all__ = ["DistanceQuadraticBoundProvider"]
@@ -80,7 +80,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
         self._kernel_bounds = bounds_by_kernel[self.kernel.name]
 
     def node_bounds(
-        self, node: KDTreeNode, q: Sequence[float], q_sq: float
+        self, node: KDTreeNode, q: PointLike, q_sq: float
     ) -> BoundPair:
         gamma = self.gamma
         xmin = gamma * math.sqrt(node.rect.min_sq_dist(q))
@@ -100,7 +100,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
     def _triangular_bounds(
         self,
         node: KDTreeNode,
-        q: Sequence[float],
+        q: PointLike,
         q_sq: float,
         n: float,
         xmin: float,
@@ -136,7 +136,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
     def _cosine_bounds(
         self,
         node: KDTreeNode,
-        q: Sequence[float],
+        q: PointLike,
         q_sq: float,
         n: float,
         xmin: float,
@@ -183,7 +183,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
     def _exponential_bounds(
         self,
         node: KDTreeNode,
-        q: Sequence[float],
+        q: PointLike,
         q_sq: float,
         n: float,
         xmin: float,
@@ -227,7 +227,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
     def _epanechnikov_bounds(
         self,
         node: KDTreeNode,
-        q: Sequence[float],
+        q: PointLike,
         q_sq: float,
         n: float,
         xmin: float,
@@ -264,7 +264,7 @@ class DistanceQuadraticBoundProvider(BoundProvider):
     def _quartic_bounds(
         self,
         node: KDTreeNode,
-        q: Sequence[float],
+        q: PointLike,
         q_sq: float,
         n: float,
         xmin: float,

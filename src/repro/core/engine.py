@@ -88,6 +88,21 @@ class QueryStats:
         self.leaf_evaluations = 0
         self.point_evaluations = 0
 
+    def merge(self, other: QueryStats) -> QueryStats:
+        """Add another stats object's counters into this one.
+
+        Concurrency-safe aggregation pattern: every worker/tile engine
+        accumulates into its own ``QueryStats`` and the owner merges
+        the per-worker objects afterwards, instead of sharing a single
+        mutable counter object across threads. Returns ``self``.
+        """
+        self.queries += other.queries
+        self.iterations += other.iterations
+        self.node_evaluations += other.node_evaluations
+        self.leaf_evaluations += other.leaf_evaluations
+        self.point_evaluations += other.point_evaluations
+        return self
+
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dictionary."""
         return {
@@ -175,10 +190,8 @@ class RefinementEngine:
         stats = self.stats
         stats.queries += 1
         q_array: FloatArray = np.asarray(query, dtype=np.float64)
-        q = q_array.tolist()
-        q_sq = 0.0
-        for value in q:
-            q_sq += value * value
+        q = q_array
+        q_sq = float(q_array @ q_array)
 
         # Invariant checking is resolved once per query: the hot path
         # reads a cached boolean and calls the undecorated node_bounds,

@@ -27,12 +27,19 @@ def run(
     seed: int = 0,
     datasets: Sequence[str] = DATASETS,
     methods: Sequence[str] = EPS_METHODS,
+    engine: str = "scalar",
 ) -> ExperimentResult:
-    """Run the ε sweep; one row per (dataset, method, eps)."""
+    """Run the ε sweep; one row per (dataset, method, eps).
+
+    ``engine`` selects the refinement schedule of the index-based
+    methods (``"scalar"`` or ``"batch"``).
+    """
     scale = get_scale(scale)
     rows = []
     for dataset in datasets:
-        renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)
+        renderer = make_renderer(
+            dataset, scale.n_points, scale.resolution, seed=seed, engine=engine
+        )
         for eps in scale.eps_values:
             for method in methods:
                 rows.append(eps_row(renderer, method, eps, dataset=dataset))
@@ -46,5 +53,6 @@ def run(
             "n": scale.n_points,
             "resolution": list(scale.resolution),
             "kernel": "gaussian",
+            "engine": engine,
         },
     )

@@ -26,12 +26,19 @@ def run(
     seed: int = 0,
     datasets: Sequence[str] = DATASETS,
     methods: Sequence[str] = TAU_METHODS,
+    engine: str = "scalar",
 ) -> ExperimentResult:
-    """Run the τ sweep; one row per (dataset, method, tau offset)."""
+    """Run the τ sweep; one row per (dataset, method, tau offset).
+
+    ``engine`` selects the refinement schedule of the index-based
+    methods (``"scalar"`` or ``"batch"``).
+    """
     scale = get_scale(scale)
     rows = []
     for dataset in datasets:
-        renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)
+        renderer = make_renderer(
+            dataset, scale.n_points, scale.resolution, seed=seed, engine=engine
+        )
         mu, sigma = renderer.density_stats()
         for offset in scale.tau_offsets:
             tau = max(mu + offset * sigma, 1e-300)
@@ -48,5 +55,6 @@ def run(
             "n": scale.n_points,
             "resolution": list(scale.resolution),
             "kernel": "gaussian",
+            "engine": engine,
         },
     )

@@ -27,13 +27,20 @@ def run(
     datasets: Sequence[str] = DATASETS,
     methods: Sequence[str] = EPS_METHODS,
     eps: float = 0.01,
+    engine: str = "scalar",
 ) -> ExperimentResult:
-    """Run the resolution sweep; one row per (dataset, method, grid)."""
+    """Run the resolution sweep; one row per (dataset, method, grid).
+
+    ``engine`` selects the refinement schedule of the index-based
+    methods (``"scalar"`` or ``"batch"``).
+    """
     scale = get_scale(scale)
     rows = []
     for dataset in datasets:
         for resolution in scale.resolution_sweep:
-            renderer = make_renderer(dataset, scale.n_points, resolution, seed=seed)
+            renderer = make_renderer(
+                dataset, scale.n_points, resolution, seed=seed, engine=engine
+            )
             label = f"{resolution[0]}x{resolution[1]}"
             for method in methods:
                 rows.append(
@@ -49,5 +56,6 @@ def run(
             "n": scale.n_points,
             "eps": eps,
             "kernel": "gaussian",
+            "engine": engine,
         },
     )

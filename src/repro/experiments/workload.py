@@ -49,10 +49,22 @@ def make_renderer(
     kernel: str = "gaussian",
     seed: int = 0,
     leaf_size: int = DEFAULT_LEAF_SIZE,
+    engine: str = "scalar",
 ) -> KDVRenderer:
-    """A :class:`KDVRenderer` over a synthetic dataset analogue."""
+    """A :class:`KDVRenderer` over a synthetic dataset analogue.
+
+    ``engine`` selects the refinement schedule of index-based methods:
+    ``"scalar"`` (the paper's per-pixel loop) or ``"batch"`` (the
+    batched frontier engine); sampling methods ignore it.
+    """
     points = load_dataset(dataset, n=n, seed=seed)
-    return KDVRenderer(points, resolution=resolution, kernel=kernel, leaf_size=leaf_size)
+    return KDVRenderer(
+        points,
+        resolution=resolution,
+        kernel=kernel,
+        leaf_size=leaf_size,
+        engine=engine,
+    )
 
 
 def _work_columns(method: Method) -> Row:

@@ -75,9 +75,13 @@ class Ball:
         center = self._center_list
         total = 0.0
         for j in range(self.dims):
-            delta = query[j] - center[j]
+            delta = float(query[j]) - center[j]
             total += delta * delta
         return math.sqrt(total)
+
+    def _center_dist_batch(self, queries: FloatArray) -> FloatArray:
+        shifted = queries - self.center
+        return np.sqrt(np.einsum("ij,ij->i", shifted, shifted))
 
     def min_sq_dist(self, query: Sequence[float]) -> float:
         """Minimum squared distance from ``query`` to the ball."""
@@ -89,6 +93,16 @@ class Ball:
     def max_sq_dist(self, query: Sequence[float]) -> float:
         """Maximum squared distance from ``query`` to the ball."""
         reach = self._center_dist(query) + self.radius
+        return reach * reach
+
+    def min_sq_dist_batch(self, queries: FloatArray) -> FloatArray:
+        """Vectorised :meth:`min_sq_dist` for an ``(m, d)`` query batch."""
+        gap = np.maximum(self._center_dist_batch(queries) - self.radius, 0.0)
+        return gap * gap
+
+    def max_sq_dist_batch(self, queries: FloatArray) -> FloatArray:
+        """Vectorised :meth:`max_sq_dist` for an ``(m, d)`` query batch."""
+        reach = self._center_dist_batch(queries) + self.radius
         return reach * reach
 
     def distance_interval(self, query: Sequence[float]) -> tuple[float, float]:

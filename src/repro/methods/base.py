@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.contracts.runtime import check_eps_agreement, invariants_enabled
+from repro.core.batch_engine import BatchRefinementEngine
 from repro.core.engine import RefinementEngine
 from repro.core.kernels import Kernel, get_kernel
 from repro.errors import (
@@ -221,18 +222,25 @@ class IndexedMethod(Method):
         leaf_size: int = DEFAULT_LEAF_SIZE,
         ordering: str = "gap",
         index: str = "kd",
+        engine: str = "scalar",
     ) -> None:
         super().__init__()
-        if index not in ("kd", "ball"):
-            from repro.errors import InvalidParameterError
+        from repro.errors import InvalidParameterError
 
+        if index not in ("kd", "ball"):
             raise InvalidParameterError(f"index must be 'kd' or 'ball', got {index!r}")
+        if engine not in ("scalar", "batch"):
+            raise InvalidParameterError(
+                f"engine must be 'scalar' or 'batch', got {engine!r}"
+            )
         self.leaf_size = leaf_size
         self.ordering = ordering
         self.index = index
+        self.engine_mode = engine
         self.provider_options: dict[str, Any] = {}
         self.tree: KDTree | BallTree | None = None
         self.engine: RefinementEngine | None = None
+        self.batch_engine: BatchRefinementEngine | None = None
 
     def _fit_impl(self) -> None:
         from repro.core.bounds import make_bound_provider
@@ -255,6 +263,12 @@ class IndexedMethod(Method):
             **self.provider_options,
         )
         self.engine = RefinementEngine(self.tree, provider, ordering=self.ordering)
+        # The batched engine shares the scalar engine's stats object, so
+        # ``method.stats`` is one unified work ledger regardless of which
+        # refinement schedule answered a query.
+        self.batch_engine = BatchRefinementEngine(
+            self.tree, provider, ordering=self.ordering, stats=self.engine.stats
+        )
 
     @property
     def stats(self) -> QueryStats:
@@ -263,7 +277,26 @@ class IndexedMethod(Method):
         assert self.engine is not None
         return self.engine.stats
 
+    def make_batch_engine(self, stats: QueryStats | None = None) -> BatchRefinementEngine:
+        """A fresh batched engine over this method's tree and bounds.
+
+        Each call returns an independent engine accumulating into its
+        own ``stats`` (or the one given) — the building block for
+        tile-parallel rendering, where every worker refines with a
+        private engine and the owner merges the per-worker stats.
+        """
+        self._require_fitted()
+        engine = self.engine
+        assert engine is not None
+        return BatchRefinementEngine(
+            engine.tree, engine.provider, ordering=self.ordering, stats=stats
+        )
+
     def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
+        if self.engine_mode == "batch":
+            batch_engine = self.batch_engine
+            assert batch_engine is not None
+            return batch_engine.query_eps_batch(queries, eps, atol=atol)
         engine = self.engine
         assert engine is not None
         out = np.empty(queries.shape[0], dtype=np.float64)
@@ -272,6 +305,10 @@ class IndexedMethod(Method):
         return out
 
     def _batch_tau_impl(self, queries: FloatArray, tau: float) -> BoolArray:
+        if self.engine_mode == "batch":
+            batch_engine = self.batch_engine
+            assert batch_engine is not None
+            return batch_engine.query_tau_batch(queries, tau)
         engine = self.engine
         assert engine is not None
         out = np.empty(queries.shape[0], dtype=bool)

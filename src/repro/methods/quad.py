@@ -40,13 +40,17 @@ class QUADMethod(IndexedMethod):
         {"gaussian", "triangular", "cosine", "exponential", "epanechnikov", "quartic"}
     )
 
-    def __init__(self, leaf_size=None, ordering="gap", tangent="mean", index="kd"):
+    def __init__(
+        self, leaf_size=None, ordering="gap", tangent="mean", index="kd",
+        engine="scalar",
+    ):
         from repro.index.kdtree import DEFAULT_LEAF_SIZE
 
         super().__init__(
             leaf_size=DEFAULT_LEAF_SIZE if leaf_size is None else leaf_size,
             ordering=ordering,
             index=index,
+            engine=engine,
         )
         self.tangent = tangent
 

@@ -8,7 +8,7 @@ axis, column index ``ix`` along the first.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -16,7 +16,7 @@ from repro.errors import InvalidParameterError
 from repro.utils.validation import check_points
 
 if TYPE_CHECKING:
-    from repro._types import FloatArray, PointLike
+    from repro._types import FloatArray, IntArray, PointLike
 
 __all__ = ["PixelGrid"]
 
@@ -123,6 +123,28 @@ class PixelGrid:
                 f"expected {self.num_pixels} values, got {values.size}"
             )
         return values.reshape(self.height, self.width)
+
+    def tiles(self, tile_size: int | tuple[int, int]) -> Iterator[IntArray]:
+        """Yield flat pixel-index arrays of rectangular tiles, row-major.
+
+        ``tile_size`` is the tile edge in pixels (or ``(tile_width,
+        tile_height)``); edge tiles are clipped to the grid. Every pixel
+        appears in exactly one tile, and each yielded array indexes into
+        :meth:`centers` / the flat value vector of :meth:`to_image`.
+        """
+        if isinstance(tile_size, tuple):
+            tile_width, tile_height = int(tile_size[0]), int(tile_size[1])
+        else:
+            tile_width = tile_height = int(tile_size)
+        if tile_width < 1 or tile_height < 1:
+            raise InvalidParameterError(
+                f"tile_size must be >= 1, got {tile_width}x{tile_height}"
+            )
+        for y0 in range(0, self.height, tile_height):
+            rows = np.arange(y0, min(y0 + tile_height, self.height), dtype=np.int64)
+            for x0 in range(0, self.width, tile_width):
+                cols = np.arange(x0, min(x0 + tile_width, self.width), dtype=np.int64)
+                yield (rows[:, None] * self.width + cols[None, :]).ravel()
 
     def scaled(self, factor: float) -> PixelGrid:
         """A grid over the same viewport at ``factor`` times the resolution."""

@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Standing engine benchmark: scalar versus batched refinement.
+
+Runs the canonical εKDV/τKDV rendering workload (Gaussian kernel on a
+synthetic dataset analogue) through both refinement schedules of the
+same method — the per-pixel scalar loop of
+:class:`repro.core.engine.RefinementEngine` and the batched frontier of
+:class:`repro.core.batch_engine.BatchRefinementEngine` — and writes the
+results to ``BENCH_engine.json`` at the repository root.
+
+Besides timing, the report validates the contracts that make the
+comparison meaningful:
+
+* every εKDV density (both schedules) lies within ``(1 ± eps)`` of the
+  brute-force exact density (up to the renderer's default ``atol``);
+* the τKDV masks of both schedules are identical, pixel for pixel.
+
+The script exits non-zero if any validation fails, so CI can run it as
+a smoke job (``--smoke`` shrinks the workload to seconds).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py            # full workload
+    PYTHONPATH=src python tools/bench_report.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # pragma: no cover - import shim for running without PYTHONPATH
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+__all__ = ["run_benchmark", "main"]
+
+#: The acceptance workload: Gaussian εKDV at 320 x 240 (paper Figure 16's
+#: smallest resolution) over a synthetic dataset analogue.
+FULL_WORKLOAD = {"n": 8000, "resolution": (320, 240)}
+#: CI-sized workload: same shape, seconds instead of minutes.
+SMOKE_WORKLOAD = {"n": 1500, "resolution": (80, 60)}
+
+
+def _timed_best(fn: Callable[[], Any], repeats: int) -> tuple[Any, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, best seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def run_benchmark(
+    n: int,
+    resolution: tuple[int, int],
+    eps: float = 0.01,
+    dataset: str = "crime",
+    seed: int = 0,
+    leaf_size: int = 256,
+    tile_size: int = 64,
+    workers: int = 4,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Run the scalar/batched comparison; return the report dictionary."""
+    import numpy as np
+
+    from repro.data.synthetic import load_dataset
+    from repro.visual.kdv import KDVRenderer
+
+    points = load_dataset(dataset, n=n, seed=seed)
+    renderer = KDVRenderer(
+        points, resolution=resolution, kernel="gaussian", leaf_size=leaf_size
+    )
+    method = renderer.get_method("quad")  # offline stage, outside timing
+    atol = 1e-9 * renderer.weight
+
+    def measure(label: str, fn: Callable[[], Any]) -> tuple[Any, dict[str, Any]]:
+        method.stats.reset()
+        result, seconds = _timed_best(fn, repeats)
+        report = {"seconds": round(seconds, 6), "stats": method.stats.as_dict()}
+        print(f"  {label:<16s} {seconds:8.3f}s")
+        return result, report
+
+    print(f"workload: {dataset} n={n} {resolution[0]}x{resolution[1]} eps={eps}")
+    scalar_img, scalar_rep = measure(
+        "eps scalar", lambda: renderer.render_eps(eps, "quad")
+    )
+    batch_img, batch_rep = measure(
+        "eps batched", lambda: renderer.render_eps(eps, "quad", tile_size=tile_size)
+    )
+    workers_img, workers_rep = measure(
+        f"eps workers={workers}",
+        lambda: renderer.render_eps(eps, "quad", tile_size=tile_size, workers=workers),
+    )
+    batch_rep["speedup_vs_scalar"] = round(
+        scalar_rep["seconds"] / batch_rep["seconds"], 3
+    )
+    workers_rep["speedup_vs_scalar"] = round(
+        scalar_rep["seconds"] / workers_rep["seconds"], 3
+    )
+
+    exact = renderer.render_exact()
+    envelope = {}
+    for label, image in (("scalar", scalar_img), ("batch", batch_img),
+                         ("workers", workers_img)):
+        error = np.abs(image - exact)
+        allowed = eps * exact + atol
+        envelope[label] = {
+            "within_envelope": bool(np.all(error <= allowed)),
+            "max_rel_error": float(
+                np.max(error / np.maximum(exact, np.finfo(np.float64).tiny))
+            ),
+        }
+
+    tau = max(float(np.median(exact)), float(np.finfo(np.float64).tiny))
+    scalar_mask, tau_scalar_rep = measure(
+        "tau scalar", lambda: renderer.render_tau(tau, "quad")
+    )
+    batch_mask, tau_batch_rep = measure(
+        "tau batched", lambda: renderer.render_tau(tau, "quad", tile_size=tile_size)
+    )
+    tau_batch_rep["speedup_vs_scalar"] = round(
+        tau_scalar_rep["seconds"] / tau_batch_rep["seconds"], 3
+    )
+    masks_identical = bool(np.array_equal(scalar_mask, batch_mask))
+
+    return {
+        "benchmark": "engine_batching",
+        "generated_by": "tools/bench_report.py",
+        "workload": {
+            "dataset": dataset,
+            "kernel": "gaussian",
+            "n": n,
+            "resolution": list(resolution),
+            "eps": eps,
+            "atol": atol,
+            "leaf_size": leaf_size,
+            "tile_size": tile_size,
+            "workers": workers,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "eps_render": {
+            "scalar": scalar_rep,
+            "batch": batch_rep,
+            "batch_workers": workers_rep,
+        },
+        "tau_render": {
+            "tau": tau,
+            "scalar": tau_scalar_rep,
+            "batch": tau_batch_rep,
+            "masks_identical": masks_identical,
+        },
+        "validation": {"eps_envelope": envelope, "tau_masks_identical": masks_identical},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized workload (seconds); skips writing BENCH_engine.json "
+        "unless --output is given",
+    )
+    parser.add_argument("--dataset", default="crime")
+    parser.add_argument("--eps", type=float, default=0.01)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--tile-size", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="report path (default: BENCH_engine.json at the repo root; "
+        "omitted entirely for --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    workload = SMOKE_WORKLOAD if args.smoke else FULL_WORKLOAD
+    report = run_benchmark(
+        n=workload["n"],
+        resolution=workload["resolution"],
+        eps=args.eps,
+        dataset=args.dataset,
+        tile_size=args.tile_size,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    report["smoke"] = args.smoke
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_engine.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    failures = []
+    for label, entry in report["validation"]["eps_envelope"].items():
+        if not entry["within_envelope"]:
+            failures.append(f"eps envelope violated by the {label} schedule")
+    if not report["validation"]["tau_masks_identical"]:
+        failures.append("tau masks differ between scalar and batched schedules")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    speedup = report["eps_render"]["batch"]["speedup_vs_scalar"]
+    print(f"batched eps speedup vs scalar: {speedup}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
