@@ -4,27 +4,66 @@ Subcommands
 -----------
 ``render``
     Render an εKDV or τKDV colour map of a synthetic dataset (or a CSV
-    file) to PNG.
+    file) to PNG. ``--trace-out trace.jsonl`` additionally records a
+    structured trace of the render (see :mod:`repro.obs`) and prints the
+    per-method refinement summary.
 ``experiment``
     Run one of the paper's experiments and print its result table.
 ``list``
     Show the registered kernels, methods, datasets and experiments.
+
+Invalid numeric inputs (``--eps <= 0``, non-finite ``--tau-offset``,
+non-positive ``--width``/``--height``/``--n``) are rejected at parse
+time with a clear message and exit code 2; domain errors raised deeper
+in the library (:class:`~repro.errors.ReproError`) exit with code 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
 from repro.core.kernels import available_kernels
-from repro.data.loaders import load_csv
-from repro.data.synthetic import available_datasets, load_dataset
+from repro.errors import ReproError
 from repro.experiments.runner import available_experiments, run_experiment
 from repro.methods.registry import available_methods
-from repro.visual.kdv import KDVRenderer
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a finite float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not math.isfinite(value) or value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be a positive finite number, got {value!r}")
+    return value
+
+
+def _finite_float(text: str) -> float:
+    """Argparse type: any finite float (rejects nan/inf)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not math.isfinite(value):
+        raise argparse.ArgumentTypeError(f"must be finite, got {value!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,21 +78,37 @@ def build_parser() -> argparse.ArgumentParser:
     source = render.add_mutually_exclusive_group()
     source.add_argument("--dataset", default="crime", help="synthetic dataset name")
     source.add_argument("--csv", help="CSV file with one point per row")
-    render.add_argument("--n", type=int, default=10_000, help="synthetic dataset size")
+    render.add_argument(
+        "--n", type=_positive_int, default=10_000, help="synthetic dataset size"
+    )
     render.add_argument("--seed", type=int, default=0)
     render.add_argument("--kernel", default="gaussian", choices=available_kernels())
     render.add_argument("--method", default="quad", choices=available_methods())
-    render.add_argument("--width", type=int, default=320)
-    render.add_argument("--height", type=int, default=240)
-    render.add_argument("--eps", type=float, default=0.01, help="relative error (eKDV)")
+    render.add_argument("--width", type=_positive_int, default=320)
+    render.add_argument("--height", type=_positive_int, default=240)
+    render.add_argument(
+        "--eps", type=_positive_float, default=0.01, help="relative error (eKDV)"
+    )
     render.add_argument(
         "--tau-offset",
-        type=float,
+        type=_finite_float,
         default=None,
         help="render a tKDV mask at tau = mu + OFFSET * sigma instead of eKDV",
     )
     render.add_argument("--out", default="kdv.png", help="output PNG path")
     render.add_argument("--colormap", default="density")
+    render.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="JSONL",
+        help="write a structured render trace (repro.obs) to this JSONL file "
+        "and print the refinement summary",
+    )
+    render.add_argument(
+        "--trace-steps",
+        action="store_true",
+        help="with --trace-out: also record per-refinement-step events (voluminous)",
+    )
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -70,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_render(args: argparse.Namespace) -> int:
+    from repro.data.loaders import load_csv
+    from repro.data.synthetic import load_dataset
+    from repro.visual.kdv import KDVRenderer
+
+    from contextlib import nullcontext
+
+    from repro.obs.runtime import trace_to
+
     if args.csv:
         points = load_csv(args.csv)
     else:
@@ -77,15 +140,29 @@ def _command_render(args: argparse.Namespace) -> int:
     renderer = KDVRenderer(
         points, resolution=(args.width, args.height), kernel=args.kernel
     )
-    if args.tau_offset is None:
-        image = renderer.render_eps(args.eps, args.method)
-        path = renderer.save_density_png(image, args.out, colormap=args.colormap)
-    else:
-        mu, sigma = renderer.density_stats()
-        tau = mu + args.tau_offset * sigma
-        mask = renderer.render_tau(tau, args.method)
-        path = renderer.save_mask_png(mask, args.out)
+    scope = (
+        trace_to(args.trace_out, steps=args.trace_steps)
+        if args.trace_out
+        else nullcontext()
+    )
+    with scope:
+        if args.tau_offset is None:
+            image = renderer.render_eps(args.eps, args.method)
+            path = renderer.save_density_png(image, args.out, colormap=args.colormap)
+        else:
+            mu, sigma = renderer.density_stats()
+            tau = mu + args.tau_offset * sigma
+            if not math.isfinite(tau):
+                print(f"error: computed tau {tau!r} is not finite", file=sys.stderr)
+                return 2
+            mask = renderer.render_tau(tau, args.method)
+            path = renderer.save_mask_png(mask, args.out)
     print(f"wrote {path}")
+    if args.trace_out:
+        from repro.obs.report import format_summary, summarize_jsonl
+
+        print(f"trace written to {args.trace_out}")
+        print(format_summary(summarize_jsonl(args.trace_out)))
     return 0
 
 
@@ -97,6 +174,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
         print(f"# {result.experiment}: {result.description}")
         for key, value in result.metadata.items():
+            if key == "trace":
+                print("#   trace = (attached; see saved JSON)")
+                continue
             print(f"#   {key} = {value}")
         print(result.to_table())
         if args.out_dir:
@@ -106,6 +186,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_list(args: argparse.Namespace) -> int:
+    from repro.data.synthetic import available_datasets
+
     print("kernels:    ", ", ".join(available_kernels()))
     print("methods:    ", ", ".join(available_methods()))
     print("datasets:   ", ", ".join(available_datasets()))
@@ -122,7 +204,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "list": _command_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -45,14 +45,19 @@ from repro.contracts.runtime import (
     check_monotone_tightening,
     invariants_enabled,
 )
-from repro.core.engine import QueryStats
+from repro.core import stopping
+from repro.core.engine import QueryStats, exhausted_exact
 from repro.errors import InvalidParameterError
+from repro.obs.runtime import current_tracer
 from repro.utils.validation import check_probability_like
 
 if TYPE_CHECKING:
+    from typing import Any
+
     from repro._types import BoolArray, FloatArray, IntArray
     from repro.core.bounds.base import BoundProvider
     from repro.index.kdtree import KDTree, KDTreeNode
+    from repro.obs.trace import Tracer
 
 __all__ = ["BatchRefinementEngine"]
 
@@ -103,12 +108,16 @@ class BatchRefinementEngine:
         self,
         queries: FloatArray,
         stop_rows: Callable[[FloatArray, FloatArray], BoolArray],
-    ) -> tuple[FloatArray, FloatArray]:
+        tracer: Tracer | None = None,
+    ) -> tuple[FloatArray, FloatArray, dict[str, Any] | None]:
         """Refine until every pixel's ``stop_rows(lb, ub)`` test fires.
 
         ``stop_rows`` maps equal-length ``(lb, ub)`` row vectors to a
         boolean row vector; it is evaluated only on still-active rows.
-        Returns the full-batch ``(lb, ub)`` arrays.
+        Returns the full-batch ``(lb, ub)`` arrays plus, when a tracer
+        is active, an observation dict (per-pixel refinement depths,
+        frontier pop count, mean root gap) the caller folds into its
+        ``batch_query`` trace event; ``None`` otherwise, at no cost.
         """
         provider = self.provider
         stats = self.stats
@@ -148,6 +157,16 @@ class BatchRefinementEngine:
         lb = root_lb.copy()
         ub = root_ub.copy()
 
+        # Observability state: allocated only when a tracer is active,
+        # so the untraced hot path carries no extra arrays or branches
+        # beyond one None test per frontier pop.
+        depth: IntArray | None = None
+        pops = 0
+        steps = False
+        if tracer is not None:
+            depth = np.zeros(m, dtype=np.int64)
+            steps = tracer.steps
+
         active: IntArray = np.flatnonzero(~stop_rows(lb, ub))
         gap_ordered = self.ordering == "gap"
         counter = 0
@@ -180,6 +199,19 @@ class BatchRefinementEngine:
 
             n_active = int(active.size)
             stats.iterations += n_active
+            if tracer is not None:
+                assert depth is not None
+                depth[active] += 1
+                pops += 1
+                tracer.frontier(n_active)
+                if steps:
+                    gap_sum = float((node_ub[active] - node_lb[active]).sum())
+                    tracer.batch_step(
+                        node=node.node_id,
+                        leaf=node.is_leaf,
+                        n_active=n_active,
+                        gap_sum=gap_sum,
+                    )
             active_q = batch[active]
             active_sq = batch_sq[active]
             if node.is_leaf:
@@ -292,9 +324,19 @@ class BatchRefinementEngine:
             # Frontier drained with pixels still active: they are fully
             # refined, so the density is the exact leaf sum; drop the
             # (tiny) residual left in the drained heap accumulators.
+            # (Boundary-tight τ decisions are canonicalised by
+            # query_tau_batch via exhausted_exact, not here, so εKDV
+            # batches never pay an extra full pass.)
             lb[active] = exact_acc[active]
             ub[active] = exact_acc[active]
-        return lb, ub
+        if tracer is None:
+            return lb, ub, None
+        observation: dict[str, Any] = {
+            "depth": depth,
+            "pops": pops,
+            "root_gap_mean": float((root_ub - root_lb).mean()) if m else 0.0,
+        }
+        return lb, ub, observation
 
     # -- eps queries ------------------------------------------------------
 
@@ -323,12 +365,30 @@ class BatchRefinementEngine:
         one_plus_eps = 1.0 + eps
 
         def stop_rows(lb: FloatArray, ub: FloatArray) -> BoolArray:
-            result: BoolArray = (ub + offset <= one_plus_eps * (lb + offset)) | (
-                ub - lb <= atol
-            )
-            return result
+            return stopping.eps_stop_mask(lb, ub, one_plus_eps, offset, atol)
 
-        lb, ub = self._refine_batch(queries, stop_rows)
+        tracer = current_tracer()
+        lb, ub, observation = self._refine_batch(queries, stop_rows, tracer=tracer)
+        if tracer is not None and observation is not None:
+            relative = ub + offset <= one_plus_eps * (lb + offset)
+            absolute = (ub - lb <= atol) & ~relative
+            rows = int(lb.shape[0])
+            rules = {
+                stopping.RULE_EPS_RELATIVE: int(relative.sum()),
+                stopping.RULE_EPS_ATOL: int(absolute.sum()),
+            }
+            rules[stopping.RULE_EXHAUSTED] = rows - sum(rules.values())
+            tracer.batch_query(
+                engine="batch",
+                op="eps",
+                bound=type(self.provider).__name__,
+                rows=rows,
+                pops=observation["pops"],
+                depths=observation["depth"],
+                rules=rules,
+                root_gap_mean=observation["root_gap_mean"],
+                final_gap_mean=float((ub - lb).mean()) if rows else 0.0,
+            )
         result: FloatArray = offset + 0.5 * (lb + ub)
         return result
 
@@ -344,18 +404,61 @@ class BatchRefinementEngine:
         """τKDV for a pixel batch: whether ``offset + F_P(q) >= tau``.
 
         Pixel-for-pixel the same decision rule as
-        :meth:`~repro.core.engine.RefinementEngine.query_tau`: stop the
-        moment the threshold separates a pixel's bounds, count a
-        fully-refined tie as hot.
+        :meth:`~repro.core.engine.RefinementEngine.query_tau`, via the
+        shared canonical semantics of :mod:`repro.core.stopping`: stop
+        only once a pixel's decision is certain (``lb >= tau`` hot,
+        ``ub < tau`` cold — strict, so an upper bound landing exactly on
+        ``tau`` keeps refining), and classify boundary pixels
+        (``F == tau``) as hot on every path. Rows that decided within
+        :data:`~repro.core.stopping.TAU_TIE_GUARD` of ``tau`` are
+        re-decided from the canonical exhausted sum, exactly like the
+        scalar engine, so both τ masks agree bit-for-bit at the
+        boundary.
         """
         shifted = float(tau) - float(offset)
         if not np.isfinite(shifted):
             raise InvalidParameterError(f"tau must be finite, got {shifted!r}")
 
         def stop_rows(lb: FloatArray, ub: FloatArray) -> BoolArray:
-            result: BoolArray = (lb >= shifted) | (ub <= shifted)
-            return result
+            return stopping.tau_stop_mask(lb, ub, shifted)
 
-        lb, __ = self._refine_batch(queries, stop_rows)
-        result: BoolArray = lb >= shifted
+        tracer = current_tracer()
+        lb, ub, observation = self._refine_batch(queries, stop_rows, tracer=tracer)
+        tight = stopping.tau_tight_mask(lb, ub, shifted)
+        if tight.any():
+            batch = np.ascontiguousarray(queries, dtype=np.float64)
+            leaf_exact = (
+                self.provider.checked_leaf_exact
+                if invariants_enabled()
+                else self.provider.leaf_exact
+            )
+            for index in np.flatnonzero(tight):
+                row = int(index)
+                q_row = batch[row]
+                value = exhausted_exact(
+                    self.tree, leaf_exact, q_row, float(q_row @ q_row)
+                )
+                lb[row] = value
+                ub[row] = value
+        result: BoolArray = stopping.tau_hot_mask(lb, shifted)
+        if tracer is not None and observation is not None:
+            rows = int(lb.shape[0])
+            hot = int(result.sum())
+            cold = int((ub < shifted).sum())
+            rules = {
+                stopping.RULE_TAU_HOT: hot,
+                stopping.RULE_TAU_COLD: cold,
+                stopping.RULE_EXHAUSTED: max(rows - hot - cold, 0),
+            }
+            tracer.batch_query(
+                engine="batch",
+                op="tau",
+                bound=type(self.provider).__name__,
+                rows=rows,
+                pops=observation["pops"],
+                depths=observation["depth"],
+                rules=rules,
+                root_gap_mean=observation["root_gap_mean"],
+                final_gap_mean=float((ub - lb).mean()) if rows else 0.0,
+            )
         return result

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.contracts.decorators import soundness_check
 from repro.contracts.runtime import check_bound_pair, check_kernel_values
+from repro.core.distances import sq_dists_to_batch, sq_dists_to_point
 from repro.core.kernels import Kernel, get_kernel
 from repro.errors import UnsupportedKernelError
 from repro.utils.validation import check_positive
@@ -112,6 +113,16 @@ class BoundProvider(ABC):
     def leaf_exact(self, node: KDTreeNode, q_array: FloatArray, q_sq: float) -> float:
         """Exact weighted kernel sum over a leaf node, vectorised.
 
+        Unsquared-distance kernels (triangular, cosine, exponential)
+        use the direct distance form of :mod:`repro.core.distances`: the
+        expanded ``||p||^2 - 2 p.q + ||q||^2`` form cancels
+        catastrophically near ``d = 0``, and the square root amplifies
+        the residual into ``sqrt(ulp)``-scale distance noise (~1e-8
+        kernel error at a query sitting on a data point — enough to
+        flip a τ classification). Squared-distance kernels keep the
+        BLAS-friendly expanded form: without the square root the noise
+        stays ~``ulp(||q||^2)`` absolute, far inside the τ tie guard.
+
         Parameters
         ----------
         node:
@@ -119,10 +130,13 @@ class BoundProvider(ABC):
         q_array:
             Query as a 1-D numpy array.
         q_sq:
-            Precomputed ``||q||^2``.
+            Precomputed ``||q||^2`` (used by the expanded form only).
         """
-        sq_dists = node.sq_norms - 2.0 * (node.points @ q_array) + q_sq
-        np.maximum(sq_dists, 0.0, out=sq_dists)
+        if self.kernel.uses_squared_distance:
+            sq_dists = node.sq_norms - 2.0 * (node.points @ q_array) + q_sq
+            np.maximum(sq_dists, 0.0, out=sq_dists)
+        else:
+            sq_dists = sq_dists_to_point(node.points, q_array)
         values = self.kernel.evaluate(sq_dists, self.gamma)
         if node.weights is not None:
             return self.weight * float(np.dot(values, node.weights))
@@ -137,8 +151,11 @@ class BoundProvider(ABC):
         whenever invariant checking is enabled, keeping the unchecked
         leaf evaluation free of even a flag test.
         """
-        sq_dists = node.sq_norms - 2.0 * (node.points @ q_array) + q_sq
-        np.maximum(sq_dists, 0.0, out=sq_dists)
+        if self.kernel.uses_squared_distance:
+            sq_dists = node.sq_norms - 2.0 * (node.points @ q_array) + q_sq
+            np.maximum(sq_dists, 0.0, out=sq_dists)
+        else:
+            sq_dists = sq_dists_to_point(node.points, q_array)
         values = self.kernel.evaluate(sq_dists, self.gamma)
         check_kernel_values(values, kernel=self.kernel.name)
         if node.weights is not None:
@@ -190,12 +207,20 @@ class BoundProvider(ABC):
         """Exact weighted kernel sums of a leaf for an ``(m, d)`` batch.
 
         Vectorised over both queries and leaf points: one ``(m, n)``
-        distance matrix per leaf visit.
+        distance matrix per leaf visit. The distance form mirrors
+        :meth:`leaf_exact` kernel for kernel — for unsquared-distance
+        kernels the direct form makes each entry bit-identical to the
+        scalar evaluation of the same pair (see
+        :mod:`repro.core.distances`); squared-distance kernels keep the
+        BLAS expanded form, whose noise the τ tie guard absorbs.
         """
-        sq_dists = (
-            queries_sq[:, None] - 2.0 * (queries @ node.points.T) + node.sq_norms
-        )
-        np.maximum(sq_dists, 0.0, out=sq_dists)
+        if self.kernel.uses_squared_distance:
+            sq_dists = (
+                queries_sq[:, None] - 2.0 * (queries @ node.points.T) + node.sq_norms
+            )
+            np.maximum(sq_dists, 0.0, out=sq_dists)
+        else:
+            sq_dists = sq_dists_to_batch(queries, node.points)
         values = self.kernel.evaluate(sq_dists, self.gamma)
         if node.weights is not None:
             return self.weight * (values @ node.weights)
@@ -206,10 +231,13 @@ class BoundProvider(ABC):
         self, node: KDTreeNode, queries: FloatArray, queries_sq: FloatArray
     ) -> FloatArray:
         """:meth:`leaf_exact_batch` with the kernel-value contract validated."""
-        sq_dists = (
-            queries_sq[:, None] - 2.0 * (queries @ node.points.T) + node.sq_norms
-        )
-        np.maximum(sq_dists, 0.0, out=sq_dists)
+        if self.kernel.uses_squared_distance:
+            sq_dists = (
+                queries_sq[:, None] - 2.0 * (queries @ node.points.T) + node.sq_norms
+            )
+            np.maximum(sq_dists, 0.0, out=sq_dists)
+        else:
+            sq_dists = sq_dists_to_batch(queries, node.points)
         values = self.kernel.evaluate(sq_dists, self.gamma)
         check_kernel_values(values, kernel=self.kernel.name)
         if node.weights is not None:

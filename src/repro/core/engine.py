@@ -11,8 +11,16 @@ soon as the operation-specific test fires:
   tolerance for all-zero regions, mirroring Scikit-learn's ``atol``);
   the returned midpoint ``(lb + ub) / 2`` then satisfies the
   ``(1 ± eps)`` relative-error contract;
-* **τKDV** — ``lb >= tau`` (pixel is hot) or ``ub <= tau`` (pixel is
-  cold).
+* **τKDV** — ``lb >= tau`` (pixel is hot) or ``ub < tau`` (pixel is
+  cold; strict, so an upper bound landing exactly on ``tau`` keeps
+  refining — see :mod:`repro.core.stopping`, the single definition of
+  both rules shared with the batched engine).
+
+With ``REPRO_TRACE=1`` (see :mod:`repro.obs`) every query additionally
+emits structured trace events — per-step bound gaps, which stopping rule
+fired, refinement depth — through the active
+:class:`~repro.obs.trace.Tracer`; like the contracts flag, tracing is
+resolved once per query and costs nothing when off.
 
 The engine is method-agnostic: plugging in a different
 :class:`~repro.core.bounds.base.BoundProvider` yields a different
@@ -36,19 +44,71 @@ from repro.contracts.runtime import (
     check_monotone_tightening,
     invariants_enabled,
 )
+from repro.core import stopping
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import CounterGroup
+from repro.obs.runtime import current_tracer
 from repro.utils.validation import check_probability_like
 
 if TYPE_CHECKING:
     from repro._types import FloatArray, PointLike
     from repro.core.bounds.base import BoundProvider
     from repro.index.kdtree import KDTree
+    from repro.obs.trace import Tracer
 
-__all__ = ["RefinementEngine", "QueryStats", "BoundTrace"]
+__all__ = ["RefinementEngine", "QueryStats", "BoundTrace", "exhausted_exact"]
 
 
-class QueryStats:
+def exhausted_exact(
+    tree: KDTree,
+    leaf_exact: Callable[..., float],
+    q: FloatArray,
+    q_sq: float,
+) -> float:
+    """Canonical fully-refined density: leaf contributions in tree order.
+
+    Kahan-sums ``leaf_exact`` over the tree's leaves in a fixed
+    depth-first (left-first) order — a value independent of any
+    refinement schedule. Both engines re-decide τ queries from this sum
+    whenever the stop decision landed within
+    :data:`~repro.core.stopping.TAU_TIE_GUARD` of the threshold, so the
+    scalar and batched τ masks agree **bit for bit** at exact-boundary
+    inputs even though their mid-flight accumulation orders differ. The
+    re-evaluation is not counted in :class:`QueryStats`: it is a
+    tie-break detail, not refinement work, and only boundary-tight
+    decisions pay it.
+    """
+    acc = 0.0
+    comp = 0.0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            # acc += leaf_exact(...) (Kahan).
+            y = leaf_exact(node, q, q_sq) - comp
+            t = acc + y
+            comp = (t - acc) - y
+            acc = t
+        else:
+            stack.append(node.right)
+            stack.append(node.left)
+    return acc
+
+
+class QueryStats(CounterGroup):
     """Counters accumulated across queries (used by the experiments).
+
+    A named :class:`~repro.obs.metrics.CounterGroup`: the fields below
+    are plain ``__slots__`` integers (the engines' hot loops pay one
+    slot store per increment), while ``reset`` / ``merge`` / ``as_dict``
+    come from the shared metrics machinery, making ``QueryStats`` a thin
+    view over :mod:`repro.obs.metrics`. The merge-based aggregation
+    pattern is concurrency-safe: every worker/tile engine accumulates
+    into its own ``QueryStats`` and the owner merges the per-worker
+    objects afterwards, instead of sharing one mutable counter object
+    across threads. A stats block can be folded into a
+    :class:`~repro.obs.metrics.MetricsRegistry` with
+    ``registry.absorb_group("engine", stats)``.
 
     Attributes
     ----------
@@ -65,6 +125,12 @@ class QueryStats:
         hardware-neutral "kernel evaluations" work measure.
     """
 
+    queries: int
+    iterations: int
+    node_evaluations: int
+    leaf_evaluations: int
+    point_evaluations: int
+
     __slots__ = (
         "queries",
         "iterations",
@@ -73,49 +139,7 @@ class QueryStats:
         "point_evaluations",
     )
 
-    def __init__(self) -> None:
-        self.queries = 0
-        self.iterations = 0
-        self.node_evaluations = 0
-        self.leaf_evaluations = 0
-        self.point_evaluations = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.queries = 0
-        self.iterations = 0
-        self.node_evaluations = 0
-        self.leaf_evaluations = 0
-        self.point_evaluations = 0
-
-    def merge(self, other: QueryStats) -> QueryStats:
-        """Add another stats object's counters into this one.
-
-        Concurrency-safe aggregation pattern: every worker/tile engine
-        accumulates into its own ``QueryStats`` and the owner merges
-        the per-worker objects afterwards, instead of sharing a single
-        mutable counter object across threads. Returns ``self``.
-        """
-        self.queries += other.queries
-        self.iterations += other.iterations
-        self.node_evaluations += other.node_evaluations
-        self.leaf_evaluations += other.leaf_evaluations
-        self.point_evaluations += other.point_evaluations
-        return self
-
-    def as_dict(self) -> dict[str, int]:
-        """Counters as a plain dictionary."""
-        return {
-            "queries": self.queries,
-            "iterations": self.iterations,
-            "node_evaluations": self.node_evaluations,
-            "leaf_evaluations": self.leaf_evaluations,
-            "point_evaluations": self.point_evaluations,
-        }
-
-    def __repr__(self) -> str:
-        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
-        return f"QueryStats({parts})"
+    _fields = __slots__
 
 
 class BoundTrace:
@@ -180,11 +204,14 @@ class RefinementEngine:
         query: PointLike,
         should_stop: Callable[[float, float], bool],
         trace: BoundTrace | None = None,
+        step_hook: Callable[..., None] | None = None,
     ) -> tuple[float, float]:
         """Run the Table-3 loop until ``should_stop(lb, ub)`` is true.
 
         Returns the final ``(lb, ub)`` pair. ``query`` is a 1-D float
-        array.
+        array. ``step_hook`` (the tracer's per-step callback, only bound
+        at trace level ``steps``) receives the popped node, its leaf
+        flag and bound gap, and the updated global interval.
         """
         provider = self.provider
         stats = self.stats
@@ -303,12 +330,70 @@ class RefinementEngine:
                 )
             if trace is not None:
                 trace.record(lb, ub)
+            if step_hook is not None:
+                step_hook(
+                    node=node.node_id,
+                    leaf=node.is_leaf,
+                    gap=node_ub - node_lb,
+                    lb=lb,
+                    ub=ub,
+                )
         if not heap:
             # Fully refined: the density is the exact leaf sum; drop the
             # (tiny) residual left in the drained heap accumulators.
+            # (The value is this schedule's accumulation order — τ
+            # decisions that land within the tie guard of the threshold
+            # are re-taken canonically by query_tau, not here, so εKDV
+            # renders never pay the extra exhausted_exact pass.)
             lb = ub = exact_acc
             if trace is not None:
                 trace.record(lb, ub)
+        return lb, ub
+
+    def _traced_refine(
+        self,
+        query: PointLike,
+        should_stop: Callable[[float, float], bool],
+        trace: BoundTrace | None,
+        tracer: Tracer,
+        *,
+        op: str,
+        rule_of: Callable[[float, float], str],
+    ) -> tuple[float, float]:
+        """:meth:`_refine` plus one structured trace event per query.
+
+        Captures the per-query stats delta, the root bound gap (via a
+        :class:`BoundTrace`, reusing the Figure-18 instrumentation) and
+        the stopping rule that fired, and forwards them to the tracer.
+        Only reached when a tracer is active, so the untraced hot path
+        stays byte-identical.
+        """
+        stats = self.stats
+        before_iterations = stats.iterations
+        before_nodes = stats.node_evaluations
+        before_leaves = stats.leaf_evaluations
+        before_points = stats.point_evaluations
+        bound_trace = trace if trace is not None else BoundTrace()
+        step_hook = tracer.step if tracer.steps else None
+        lb, ub = self._refine(query, should_stop, trace=bound_trace, step_hook=step_hook)
+        root_gap = (
+            bound_trace.uppers[0] - bound_trace.lowers[0]
+            if bound_trace.iterations
+            else 0.0
+        )
+        tracer.query(
+            engine="scalar",
+            op=op,
+            bound=type(self.provider).__name__,
+            rule=rule_of(lb, ub),
+            iterations=stats.iterations - before_iterations,
+            node_evaluations=stats.node_evaluations - before_nodes,
+            leaf_evaluations=stats.leaf_evaluations - before_leaves,
+            point_evaluations=stats.point_evaluations - before_points,
+            root_gap=root_gap,
+            lb=lb,
+            ub=ub,
+        )
         return lb, ub
 
     # -- eps queries ------------------------------------------------------
@@ -353,9 +438,22 @@ class RefinementEngine:
         one_plus_eps = 1.0 + eps
 
         def should_stop(lb: float, ub: float) -> bool:
-            return ub + offset <= one_plus_eps * (lb + offset) or ub - lb <= atol
+            return stopping.eps_should_stop(lb, ub, one_plus_eps, offset, atol)
 
-        lb, ub = self._refine(query, should_stop, trace=trace)
+        tracer = current_tracer()
+        if tracer is None:
+            lb, ub = self._refine(query, should_stop, trace=trace)
+        else:
+            lb, ub = self._traced_refine(
+                query,
+                should_stop,
+                trace,
+                tracer,
+                op="eps",
+                rule_of=lambda lb, ub: stopping.eps_stop_rule(
+                    lb, ub, one_plus_eps, offset, atol
+                ),
+            )
         return offset + 0.5 * (lb + ub)
 
     # -- tau queries ------------------------------------------------------
@@ -370,20 +468,52 @@ class RefinementEngine:
     ) -> bool:
         """τKDV for one pixel: whether ``offset + F_P(q) >= tau``.
 
-        Refinement stops the moment the threshold separates the global
-        bounds; a fully-refined tie (``lb == ub == tau``) counts as hot.
-        ``offset`` is an exactly-known additive contribution (see
-        :meth:`query_eps`).
+        The stop rule and the hot/cold classification are the canonical
+        ones of :mod:`repro.core.stopping`, shared bit-for-bit with the
+        batched engine: refinement stops once ``lb >= tau`` (hot) or
+        ``ub < tau`` (cold), so a boundary pixel (``F == tau`` exactly,
+        including a fully-refined tie ``lb == ub == tau``) counts as
+        hot on every path. ``offset`` is an exactly-known additive
+        contribution (see :meth:`query_eps`). Decisions landing within
+        :data:`~repro.core.stopping.TAU_TIE_GUARD` of ``tau`` are
+        re-taken from the canonical fully-refined sum
+        (:func:`exhausted_exact`), so boundary-tight pixels classify
+        identically in both engines regardless of refinement schedule.
         """
         tau = float(tau) - float(offset)
         if not np.isfinite(tau):
             raise InvalidParameterError(f"tau must be finite, got {tau!r}")
 
         def should_stop(lb: float, ub: float) -> bool:
-            return lb >= tau or ub <= tau
+            return stopping.tau_should_stop(lb, ub, tau)
 
-        lb, ub = self._refine(query, should_stop, trace=trace)
-        return lb >= tau
+        tracer = current_tracer()
+        if tracer is None:
+            lb, ub = self._refine(query, should_stop, trace=trace)
+        else:
+            lb, ub = self._traced_refine(
+                query,
+                should_stop,
+                trace,
+                tracer,
+                op="tau",
+                rule_of=lambda lb, ub: stopping.tau_stop_rule(lb, ub, tau),
+            )
+        if stopping.tau_decision_is_tight(lb, ub, tau):
+            # Tie: the margin is inside one schedule's rounding noise.
+            # Decide from the canonical exhausted sum instead, shared
+            # bit-for-bit with the batched engine.
+            q_array: FloatArray = np.asarray(query, dtype=np.float64)
+            leaf_exact = (
+                self.provider.checked_leaf_exact
+                if invariants_enabled()
+                else self.provider.leaf_exact
+            )
+            value = exhausted_exact(
+                self.tree, leaf_exact, q_array, float(q_array @ q_array)
+            )
+            return stopping.tau_is_hot(value, tau)
+        return stopping.tau_is_hot(lb, tau)
 
     # -- exact (full refinement) -------------------------------------------
 

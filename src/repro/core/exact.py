@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.distances import sq_dists_to_batch
 from repro.core.kernels import get_kernel
 from repro.utils.chunking import DEFAULT_CHUNK_ELEMENTS, chunk_slices
 from repro.utils.validation import check_points, check_positive
@@ -84,13 +85,13 @@ def exact_density(
         raise InvalidParameterError(
             f"queries have {queries.shape[1]} dims but points have {points.shape[1]}"
         )
-    point_sq = np.einsum("ij,ij->i", points, points)
     out = np.empty(queries.shape[0], dtype=np.float64)
-    for rows in chunk_slices(queries.shape[0], points.shape[0], max_elements=max_elements):
+    # Direct-form distances (see repro.core.distances) hold one extra
+    # (chunk, n) temporary per dimension; shrink the chunk accordingly.
+    budget = max(1, max_elements // (points.shape[1] + 1))
+    for rows in chunk_slices(queries.shape[0], points.shape[0], max_elements=budget):
         block = queries[rows]
-        query_sq = np.einsum("ij,ij->i", block, block)
-        sq_dists = query_sq[:, None] - 2.0 * (block @ points.T) + point_sq[None, :]
-        np.maximum(sq_dists, 0.0, out=sq_dists)
+        sq_dists = sq_dists_to_batch(block, points)
         values = kernel.evaluate(sq_dists, gamma)
         if point_weights is None:
             out[rows] = weight * values.sum(axis=1)

@@ -29,6 +29,7 @@ __all__ = [
     "ExperimentResult",
     "timed",
     "format_table",
+    "trace_metadata",
 ]
 
 
@@ -160,6 +161,24 @@ def timed(
     start = time.perf_counter()
     result = callable_(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def trace_metadata() -> dict[str, Any] | None:
+    """Aggregates of the active tracer, or ``None`` when tracing is off.
+
+    A JSON-ready snapshot of the tracer's metric registry (stop-rule
+    counters, refinement-depth / frontier-size / tile-latency histogram
+    summaries) that experiment runs attach to their
+    :attr:`ExperimentResult.metadata` under ``"trace"`` — so a
+    ``REPRO_TRACE=1`` experiment run documents its own engine behaviour.
+    Aggregates are cumulative over the tracer's lifetime.
+    """
+    from repro.obs.runtime import current_tracer
+
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    return tracer.summary()
 
 
 def format_table(rows: Sequence[Row], columns: Sequence[str] | None = None) -> str:

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import UnknownNameError
 from repro.experiments import ablations
+from repro.experiments.common import trace_metadata
 from repro.experiments import (
     fig02_illustration,
     fig14_eps_time,
@@ -70,6 +71,9 @@ def run_experiment(
         known = ", ".join(available_experiments())
         raise UnknownNameError(f"unknown experiment {name!r}; available: {known}") from None
     result = runner(scale=scale, seed=seed, **kwargs)
+    trace = trace_metadata()
+    if trace is not None:
+        result.metadata.setdefault("trace", trace)
     if out_dir is not None:
         result.save(out_dir)
     return result

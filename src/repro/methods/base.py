@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.contracts.runtime import check_eps_agreement, invariants_enabled
 from repro.core.batch_engine import BatchRefinementEngine
+from repro.obs.runtime import current_tracer
 from repro.core.engine import RefinementEngine
 from repro.core.kernels import Kernel, get_kernel
 from repro.errors import (
@@ -141,7 +142,12 @@ class Method(ABC):
         """εKDV over many query points; returns densities ``(m,)``."""
         self._require("eps")
         queries = check_points(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
-        out = self._batch_eps_impl(queries, eps, atol)
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.method_scope(self.name):
+                out = self._batch_eps_impl(queries, eps, atol)
+        else:
+            out = self._batch_eps_impl(queries, eps, atol)
         if invariants_enabled() and self.deterministic_guarantee:
             self._check_eps_agreement(queries, out, eps, atol)
         return out
@@ -150,6 +156,10 @@ class Method(ABC):
         """τKDV over many query points; returns booleans ``(m,)``."""
         self._require("tau")
         queries = check_points(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.method_scope(self.name):
+                return self._batch_tau_impl(queries, tau)
         return self._batch_tau_impl(queries, tau)
 
     def query_eps(self, query: PointLike, eps: float, *, atol: float = 0.0) -> float:

@@ -15,6 +15,7 @@ not known in advance).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.core.exact import exact_density
@@ -30,6 +31,23 @@ if TYPE_CHECKING:
     from repro._types import BoolArray, FloatArray
 
 __all__ = ["ZOrderMethod"]
+
+#: Distinct eps values whose samples are kept; sweeping more than this
+#: evicts the least recently used sample (each can be several MB).
+SAMPLE_CACHE_SIZE = 8
+
+
+def _canonical_eps(eps: float) -> float:
+    """Collapse float-noise eps keys (e.g. ``0.1 + 0.2`` vs ``0.3``).
+
+    The sample size depends on ``eps`` only through
+    :func:`~repro.sampling.zorder_sample.sample_size_for_eps`, which is
+    insensitive to sub-ppb wiggle — but a raw-float dict key treats
+    ``0.30000000000000004`` and ``0.3`` as different entries and builds
+    (and keeps) two full samples. Rounding to 12 significant digits
+    makes such keys collide while keeping genuinely different eps apart.
+    """
+    return float(f"{float(eps):.12g}")
 
 
 class ZOrderMethod(Method):
@@ -61,7 +79,7 @@ class ZOrderMethod(Method):
         self.delta = check_probability_like(delta, "delta")
         self.size_constant = float(size_constant)
         self.bits = int(bits)
-        self._samples: dict[float, tuple[FloatArray, float]] = {}
+        self._samples: OrderedDict[float, tuple[FloatArray, float]] = OrderedDict()
 
     def _fit_impl(self) -> None:
         if self.point_weights is not None:
@@ -71,12 +89,16 @@ class ZOrderMethod(Method):
                 "zorder pre-sampling does not support per-point input weights; "
                 "weight the sample it produces instead"
             )
-        self._samples = {}
+        self._samples = OrderedDict()
 
     def sample_for(self, eps: float) -> tuple[FloatArray, float]:
-        """The ``(sample, weight_multiplier)`` pair for a given ``eps``."""
+        """The ``(sample, weight_multiplier)`` pair for a given ``eps``.
+
+        Cached per canonicalised ``eps`` (12 significant digits), LRU,
+        at most :data:`SAMPLE_CACHE_SIZE` entries.
+        """
         self._require_fitted()
-        eps = check_probability_like(eps, "eps")
+        eps = _canonical_eps(check_probability_like(eps, "eps"))
         cached = self._samples.get(eps)
         if cached is None:
             m = sample_size_for_eps(
@@ -84,6 +106,10 @@ class ZOrderMethod(Method):
             )
             cached = zorder_sample(self.points, m, bits=self.bits)
             self._samples[eps] = cached
+            while len(self._samples) > SAMPLE_CACHE_SIZE:
+                self._samples.popitem(last=False)
+        else:
+            self._samples.move_to_end(eps)
         return cached
 
     def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:

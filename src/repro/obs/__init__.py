@@ -1,0 +1,75 @@
+"""``repro.obs`` — observability: tracing, metrics, profiling hooks.
+
+A zero-overhead-when-off instrumentation layer over the refinement
+engines, the tiled renderer and the progressive framework, following the
+same flag-resolution pattern as :mod:`repro.contracts`:
+
+* **Trace events** (:mod:`repro.obs.events`) — structured per-query /
+  per-tile records (node pops, bound gap per refinement step, which
+  ε/τ stopping rule fired, leaf vs internal evaluations) emitted through
+  a pluggable sink (:mod:`repro.obs.sinks`): in-memory ring buffer,
+  JSONL file, or callback.
+* **Metrics** (:mod:`repro.obs.metrics`) — counters and histograms
+  (refinement depth, frontier size, tile latency, worker utilisation);
+  :class:`~repro.core.engine.QueryStats` is a thin
+  :class:`~repro.obs.metrics.CounterGroup` view over this machinery.
+* **Profiling hooks** (:mod:`repro.obs.runtime`) — ``REPRO_TRACE=1``
+  (and ``REPRO_TRACE_OUT=trace.jsonl``) for ambient tracing,
+  ``KDVRenderer.render_*(trace=...)`` and the CLI's ``--trace-out`` for
+  scoped traces, :func:`trace_to` for programmatic scoping.
+* **Reports** (:mod:`repro.obs.report`) — per-method refinement-depth
+  and bound-tightness summaries; ``tools/trace_report.py`` is the CLI.
+
+See ``docs/observability.md`` for the event schema and overhead numbers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EVENT_KINDS, make_event
+from repro.obs.metrics import Counter, CounterGroup, Histogram, MetricsRegistry
+from repro.obs.report import format_summary, read_jsonl, summarize_events, summarize_jsonl
+from repro.obs.runtime import (
+    ENV_VAR,
+    OUT_ENV_VAR,
+    current_tracer,
+    refresh_from_env,
+    set_tracer,
+    trace_to,
+    tracing_enabled,
+)
+from repro.obs.sinks import (
+    CallbackSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceSink,
+    resolve_sink,
+)
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ENV_VAR",
+    "OUT_ENV_VAR",
+    "EVENT_KINDS",
+    "make_event",
+    "Counter",
+    "CounterGroup",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceSink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "CallbackSink",
+    "resolve_sink",
+    "Tracer",
+    "tracing_enabled",
+    "current_tracer",
+    "set_tracer",
+    "refresh_from_env",
+    "trace_to",
+    "format_summary",
+    "read_jsonl",
+    "summarize_events",
+    "summarize_jsonl",
+]

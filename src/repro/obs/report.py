@@ -1,0 +1,287 @@
+"""Trace summarisation: events -> per-method refinement tables.
+
+Consumes the event stream produced by :class:`~repro.obs.trace.Tracer`
+(a list of dicts, or a JSONL file written by
+:class:`~repro.obs.sinks.JsonlSink`) and aggregates it into the numbers
+the paper's Sections 4-6 argue about: how deep refinement goes per
+pixel, how quickly the bound gap collapses, which stopping rule fires,
+and where render wall-clock goes (tiles, workers).
+
+``tools/trace_report.py`` is a thin CLI over this module, and
+``tools/bench_report.py`` embeds :func:`summarize_events` output in
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
+
+__all__ = [
+    "read_jsonl",
+    "summarize_events",
+    "summarize_jsonl",
+    "format_summary",
+]
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {error}") from None
+    return events
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return math.nan
+    index = min(len(sorted_values) - 1, int(math.ceil(q * len(sorted_values))) - 1)
+    return float(sorted_values[max(0, index)])
+
+
+def _query_key(event: Mapping[str, Any]) -> str:
+    method = event.get("method") or event.get("bound") or "?"
+    return f"{method}/{event.get('engine', '?')}/{event.get('op', '?')}"
+
+
+class _QueryGroup:
+    """Accumulates scalar ``query`` and batched ``batch_query`` events."""
+
+    def __init__(self, key: str, event: Mapping[str, Any]) -> None:
+        self.key = key
+        self.method = event.get("method") or event.get("bound") or "?"
+        self.engine = str(event.get("engine", "?"))
+        self.op = str(event.get("op", "?"))
+        self.pixels = 0
+        self.pops = 0
+        self.depths: List[float] = []  # scalar events: exact per-pixel depths
+        self.depth_weighted = 0.0  # batch events: rows-weighted mean depth
+        self.depth_p50_weighted = 0.0  # batch events: rows-weighted batch p50
+        self.depth_p95 = 0.0
+        self.depth_max = 0.0
+        self.rules: Dict[str, int] = {}
+        self.root_gap_weighted = 0.0
+        self.final_gap_weighted = 0.0
+
+    def add(self, event: Mapping[str, Any]) -> None:
+        if event["event"] == "query":
+            iterations = float(event.get("iterations", 0))
+            self.pixels += 1
+            self.pops += int(iterations)
+            self.depths.append(iterations)
+            self.depth_max = max(self.depth_max, iterations)
+            self.depth_weighted += iterations
+            rule = str(event.get("rule", "?"))
+            self.rules[rule] = self.rules.get(rule, 0) + 1
+            self.root_gap_weighted += float(event.get("root_gap", 0.0))
+            self.final_gap_weighted += float(event.get("ub", 0.0)) - float(
+                event.get("lb", 0.0)
+            )
+        else:  # batch_query
+            rows = int(event.get("rows", 0))
+            self.pixels += rows
+            self.pops += int(event.get("pops", 0))
+            self.depth_weighted += float(event.get("depth_mean", 0.0)) * rows
+            self.depth_p50_weighted += float(event.get("depth_p50", 0.0)) * rows
+            self.depth_p95 = max(self.depth_p95, float(event.get("depth_p95", 0.0)))
+            self.depth_max = max(self.depth_max, float(event.get("depth_max", 0.0)))
+            for rule, count in (event.get("rules") or {}).items():
+                self.rules[rule] = self.rules.get(rule, 0) + int(count)
+            self.root_gap_weighted += float(event.get("root_gap_mean", 0.0)) * rows
+            self.final_gap_weighted += float(event.get("final_gap_mean", 0.0)) * rows
+
+    def summary(self) -> Dict[str, Any]:
+        pixels = max(self.pixels, 1)
+        if self.depths:
+            ordered = sorted(self.depths)
+            p50 = _percentile(ordered, 0.50)
+            p95 = max(_percentile(ordered, 0.95), self.depth_p95)
+        else:
+            # Batch events only: the per-pixel depths are gone, so the
+            # best available p50 is the rows-weighted mean of the
+            # per-batch medians (exact for a single batch). Never NaN —
+            # the summary is embedded in strict-JSON artefacts.
+            p50 = self.depth_p50_weighted / pixels
+            p95 = self.depth_p95
+        root_gap = self.root_gap_weighted / pixels
+        final_gap = self.final_gap_weighted / pixels
+        tiny = 2.2250738585072014e-308  # smallest normal float64
+        return {
+            "method": self.method,
+            "engine": self.engine,
+            "op": self.op,
+            "pixels": self.pixels,
+            "pops": self.pops,
+            "depth_mean": self.depth_weighted / pixels,
+            "depth_p50": p50,
+            "depth_p95": p95,
+            "depth_max": self.depth_max,
+            "rules": dict(sorted(self.rules.items())),
+            "root_gap_mean": root_gap,
+            "final_gap_mean": final_gap,
+            "gap_reduction": root_gap / max(final_gap, tiny),
+        }
+
+
+def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace into per-method refinement and render tables.
+
+    Returns a JSON-ready dictionary with:
+
+    ``queries``
+        One entry per ``method/engine/op`` triple: pixel count, frontier
+        pops, refinement-depth statistics (mean/p50/p95/max), stop-rule
+        counts, and bound-tightness numbers (mean root gap, mean final
+        gap, and their ratio — the per-pixel tightening factor).
+    ``tiles``
+        Tile count, latency stats, per-worker busy seconds.
+    ``renders``
+        The raw ``render`` events (op, pixels, workers, seconds,
+        utilisation).
+    """
+    total = 0
+    groups: Dict[str, _QueryGroup] = {}
+    tile_count = 0
+    tile_seconds: List[float] = []
+    worker_busy: Dict[str, float] = {}
+    renders: List[Dict[str, Any]] = []
+    steps = 0
+    for event in events:
+        total += 1
+        kind = event.get("event")
+        if kind in ("query", "batch_query"):
+            key = _query_key(event)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _QueryGroup(key, event)
+            group.add(event)
+        elif kind == "tile":
+            tile_count += 1
+            seconds = float(event.get("seconds", 0.0))
+            tile_seconds.append(seconds)
+            worker = str(event.get("worker", 0))
+            worker_busy[worker] = worker_busy.get(worker, 0.0) + seconds
+        elif kind == "render":
+            renders.append(dict(event))
+        elif kind in ("step", "batch_step"):
+            steps += 1
+    ordered_tiles = sorted(tile_seconds)
+    summary: Dict[str, Any] = {
+        "events": total,
+        "step_events": steps,
+        "queries": {key: group.summary() for key, group in sorted(groups.items())},
+        "tiles": {
+            "count": tile_count,
+            "seconds_total": sum(tile_seconds),
+            "seconds_mean": (sum(tile_seconds) / tile_count) if tile_count else 0.0,
+            "seconds_p95": _percentile(ordered_tiles, 0.95) if tile_count else 0.0,
+            "seconds_max": max(tile_seconds) if tile_count else 0.0,
+            "worker_busy": dict(sorted(worker_busy.items())),
+        },
+        "renders": renders,
+    }
+    return summary
+
+
+def summarize_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
+    """:func:`summarize_events` over a JSONL trace file."""
+    return summarize_events(read_jsonl(path))
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value and (abs(value) >= 1e4 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str]) -> str:
+    rendered = [[_format_value(row.get(col, "-")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(width) for col, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join(lines)
+
+
+def format_summary(summary: Mapping[str, Any]) -> str:
+    """Render a :func:`summarize_events` result as aligned text tables."""
+    parts: List[str] = [
+        f"trace: {summary.get('events', 0)} events "
+        f"({summary.get('step_events', 0)} step-level)"
+    ]
+    queries = summary.get("queries") or {}
+    if queries:
+        rows = []
+        for entry in queries.values():
+            row = dict(entry)
+            row["rules"] = ",".join(
+                f"{rule}:{count}" for rule, count in entry.get("rules", {}).items()
+            )
+            rows.append(row)
+        parts.append("\nrefinement depth and bound tightness per method:")
+        parts.append(
+            _table(
+                rows,
+                [
+                    "method",
+                    "engine",
+                    "op",
+                    "pixels",
+                    "pops",
+                    "depth_mean",
+                    "depth_p95",
+                    "depth_max",
+                    "root_gap_mean",
+                    "final_gap_mean",
+                    "gap_reduction",
+                    "rules",
+                ],
+            )
+        )
+    tiles = summary.get("tiles") or {}
+    if tiles.get("count"):
+        parts.append("\ntiles:")
+        parts.append(
+            _table(
+                [tiles],
+                ["count", "seconds_total", "seconds_mean", "seconds_p95", "seconds_max"],
+            )
+        )
+        busy = tiles.get("worker_busy") or {}
+        if busy:
+            parts.append(
+                "worker busy seconds: "
+                + ", ".join(f"w{worker}={seconds:.3f}" for worker, seconds in busy.items())
+            )
+    renders = summary.get("renders") or []
+    if renders:
+        parts.append("\nrenders:")
+        parts.append(
+            _table(
+                renders,
+                ["op", "method", "pixels", "tiles", "workers", "seconds", "utilisation"],
+            )
+        )
+    return "\n".join(parts)

@@ -1,0 +1,139 @@
+"""Pluggable trace sinks: ring buffer, JSONL file, callback, null.
+
+A sink receives the event dictionaries built by
+:mod:`repro.obs.events`. Sinks are deliberately tiny — ``emit`` one
+event, ``close`` when done — so embedding a custom consumer (a live
+dashboard, a test assertion) is a three-line subclass or a plain
+callback. The tiled renderer emits from worker threads, so the file
+sink serialises writes with a lock; the ring buffer relies on
+``deque.append`` being atomic under the GIL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "TraceSink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "CallbackSink",
+    "resolve_sink",
+]
+
+#: Default ring-buffer capacity: bounded so an accidentally long traced
+#: run cannot exhaust memory (events are small dicts).
+DEFAULT_RING_CAPACITY = 65536
+
+
+class TraceSink:
+    """Base sink interface; subclasses override :meth:`emit`."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Receive one trace event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further emits are undefined."""
+
+    def __enter__(self) -> TraceSink:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards every event (metrics-only tracing)."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the last ``capacity`` events in memory.
+
+    The default sink for ``REPRO_TRACE=1``: zero configuration, bounded
+    memory, and :meth:`events` / :meth:`drain` for programmatic access.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._buffer: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._buffer.append(dict(event))
+
+    def events(self) -> List[Dict[str, Any]]:
+        """A snapshot list of the buffered events, oldest first."""
+        return list(self._buffer)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return the buffered events and clear the buffer."""
+        events = list(self._buffer)
+        self._buffer.clear()
+        return events
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON object per line to a file.
+
+    The format ``tools/trace_report.py`` consumes. Writes are serialised
+    with a lock because the tiled renderer emits from worker threads.
+    """
+
+    def __init__(self, path: Union[str, Path], *, append: bool = False) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = self.path.open("a" if append else "w", encoding="utf-8")
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        line = json.dumps(event, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+class CallbackSink(TraceSink):
+    """Forwards every event to a callable."""
+
+    def __init__(self, callback: Callable[[Mapping[str, Any]], object]) -> None:
+        self._callback = callback
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._callback(event)
+
+
+def resolve_sink(
+    target: Union[TraceSink, Callable[[Mapping[str, Any]], object], str, Path, None],
+) -> Optional[TraceSink]:
+    """Coerce the user-facing ``trace=`` argument into a sink.
+
+    Accepts an existing sink (returned unchanged), a callable (wrapped
+    in :class:`CallbackSink`), a path (``JsonlSink``) or ``None``.
+    """
+    if target is None or isinstance(target, TraceSink):
+        return target
+    if isinstance(target, (str, Path)):
+        return JsonlSink(target)
+    if callable(target):
+        return CallbackSink(target)
+    raise TypeError(
+        f"cannot build a trace sink from {type(target).__name__!r}; "
+        "pass a TraceSink, a callable, or a file path"
+    )

@@ -10,6 +10,7 @@ online stages.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.data.bandwidth import scott_gamma
 from repro.errors import InvalidParameterError, UnsupportedOperationError
 from repro.methods.base import IndexedMethod, Method
 from repro.methods.registry import create_method
+from repro.obs.runtime import current_tracer, trace_to
 from repro.utils.validation import check_points, check_positive
 from repro.visual.colormap import get_colormap, two_color_map
 from repro.visual.grid import PixelGrid
@@ -30,11 +32,15 @@ from repro.visual.image import write_png
 if TYPE_CHECKING:
     import os
     from pathlib import Path
-    from typing import Callable
+    from typing import Callable, Mapping
 
     from repro._types import BoolArray, FloatArray, KernelLike, PointLike
     from repro.core.batch_engine import BatchRefinementEngine
+    from repro.obs.sinks import TraceSink
     from repro.visual.colormap import Colormap
+
+    #: Anything ``repro.obs.sinks.resolve_sink`` accepts as a trace target.
+    TraceTarget = TraceSink | Callable[[Mapping[str, Any]], object] | str | Path | None
 
 __all__ = ["KDVRenderer"]
 
@@ -135,46 +141,111 @@ class KDVRenderer:
         dtype: type,
         tile_size: int | tuple[int, int],
         workers: int | None,
+        op: str,
     ) -> np.ndarray:
         """Evaluate every tile through a batched engine; return flat values.
 
         Sequential by default (one shared engine, unified stats); with
         ``workers=N`` the tiles drain from a shared deque into ``N``
         threads, each refining with a private engine and private
-        :class:`~repro.core.engine.QueryStats` merged into the method's
-        ledger afterwards. Tiles write disjoint slices of the output, so
-        no synchronisation of the value array is needed.
+        :class:`~repro.core.engine.QueryStats`. Tiles write disjoint
+        slices of the output, so no synchronisation of the value array
+        is needed.
+
+        Error handling is all-or-nothing: the first tile that raises
+        sets a shared cancel flag (so the remaining workers stop
+        draining instead of finishing a partial image), the exception
+        propagates to the caller, and **no** per-worker stats are merged
+        into the method's ledger — a retried render therefore cannot
+        double-count the work of workers that had already succeeded.
         """
+        tracer = current_tracer()
+        render_start = time.perf_counter()
         centers = self.grid.centers()
         out = np.empty(self.grid.num_pixels, dtype=dtype)
         tile_list = list(self.grid.tiles(tile_size))
         if workers is None or int(workers) <= 1:
             engine = fitted.batch_engine
             assert engine is not None
-            for tile in tile_list:
+            for index, tile in enumerate(tile_list):
+                tile_start = time.perf_counter()
                 out[tile] = evaluate(engine, centers[tile])
+                if tracer is not None:
+                    tracer.tile(
+                        index=index,
+                        rows=int(tile.shape[0]),
+                        seconds=time.perf_counter() - tile_start,
+                        worker=0,
+                        op=op,
+                    )
+            if tracer is not None:
+                tracer.render(
+                    op=op,
+                    pixels=self.grid.num_pixels,
+                    tiles=len(tile_list),
+                    workers=1,
+                    seconds=time.perf_counter() - render_start,
+                )
             return out
 
         from collections import deque
         from concurrent.futures import ThreadPoolExecutor
+        from threading import Event
 
-        pending = deque(tile_list)
+        pending = deque(enumerate(tile_list))
+        cancel = Event()
 
-        def drain() -> QueryStats:
+        def drain(worker_id: int) -> tuple[QueryStats, float]:
             stats = QueryStats()
             engine = fitted.make_batch_engine(stats)
-            while True:
+            busy = 0.0
+            while not cancel.is_set():
                 try:
-                    tile = pending.popleft()
+                    index, tile = pending.popleft()
                 except IndexError:
-                    return stats
-                out[tile] = evaluate(engine, centers[tile])
+                    break
+                tile_start = time.perf_counter()
+                try:
+                    out[tile] = evaluate(engine, centers[tile])
+                except BaseException:
+                    cancel.set()
+                    raise
+                seconds = time.perf_counter() - tile_start
+                busy += seconds
+                if tracer is not None:
+                    tracer.tile(
+                        index=index,
+                        rows=int(tile.shape[0]),
+                        seconds=seconds,
+                        worker=worker_id,
+                        op=op,
+                    )
+            return stats, busy
 
         workers = int(workers)
+        results: list[tuple[QueryStats, float]] = []
+        first_error: BaseException | None = None
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(drain) for _ in range(workers)]
+            futures = [pool.submit(drain, worker_id) for worker_id in range(workers)]
             for future in futures:
-                fitted.stats.merge(future.result())
+                try:
+                    results.append(future.result())
+                except BaseException as error:  # collected, re-raised below
+                    if first_error is None:
+                        first_error = error
+        if first_error is not None:
+            raise first_error
+        for stats, __ in results:
+            fitted.stats.merge(stats)
+        if tracer is not None:
+            tracer.render(
+                op=op,
+                pixels=self.grid.num_pixels,
+                tiles=len(tile_list),
+                workers=workers,
+                seconds=time.perf_counter() - render_start,
+                worker_busy=[busy for __, busy in results],
+            )
         return out
 
     def _tiled_method(self, method: str | Method, operation: str) -> IndexedMethod:
@@ -195,6 +266,7 @@ class KDVRenderer:
         atol: float | None = None,
         tile_size: int | tuple[int, int] | None = None,
         workers: int | None = None,
+        trace: TraceTarget = None,
     ) -> FloatArray:
         """εKDV colour-map values, shape ``(height, width)``.
 
@@ -213,12 +285,33 @@ class KDVRenderer:
         statistics merged back into :attr:`IndexedMethod.stats`.
         Requires an index-based method; per-pixel answers keep the exact
         same ``(1 ± eps)`` contract as the scalar path.
+
+        ``trace`` scopes a tracer around just this render (see
+        :func:`repro.obs.trace_to`): pass a JSONL path, a
+        :class:`~repro.obs.sinks.TraceSink`, or a callable receiving
+        each event dict. Independent of the ambient ``REPRO_TRACE``.
         """
+        if trace is not None:
+            with trace_to(trace):
+                return self.render_eps(
+                    eps, method, atol=atol, tile_size=tile_size, workers=workers
+                )
         if atol is None:
             atol = 1e-9 * self.weight
         if tile_size is None and workers is None:
             fitted = self.get_method(method)
+            tracer = current_tracer()
+            start = time.perf_counter()
             values = fitted.batch_eps(self.grid.centers(), eps, atol=atol)
+            if tracer is not None:
+                with tracer.method_scope(fitted.name):
+                    tracer.render(
+                        op="eps",
+                        pixels=self.grid.num_pixels,
+                        tiles=0,
+                        workers=1,
+                        seconds=time.perf_counter() - start,
+                    )
             return self.grid.to_image(values)
         tiled = self._tiled_method(method, "eps")
         resolved_atol = atol
@@ -226,12 +319,13 @@ class KDVRenderer:
         def evaluate(engine: BatchRefinementEngine, tile: FloatArray) -> np.ndarray:
             return engine.query_eps_batch(tile, eps, atol=resolved_atol)
 
-        values = self._render_tiled(
+        values = self._render_with_scope(
             tiled,
             evaluate,
             np.float64,
             DEFAULT_TILE_SIZE if tile_size is None else tile_size,
             workers,
+            "eps",
         )
         if invariants_enabled() and tiled.deterministic_guarantee:
             tiled._check_eps_agreement(self.grid.centers(), values, eps, atol)
@@ -244,25 +338,64 @@ class KDVRenderer:
         *,
         tile_size: int | tuple[int, int] | None = None,
         workers: int | None = None,
+        trace: TraceTarget = None,
     ) -> BoolArray:
         """τKDV hotspot mask, boolean, shape ``(height, width)``.
 
-        ``tile_size`` / ``workers`` opt into tiled batched rendering
-        exactly as in :meth:`render_eps`.
+        ``tile_size`` / ``workers`` opt into tiled batched rendering and
+        ``trace`` scopes a tracer around the render, exactly as in
+        :meth:`render_eps`.
         """
+        if trace is not None:
+            with trace_to(trace):
+                return self.render_tau(
+                    tau, method, tile_size=tile_size, workers=workers
+                )
         if tile_size is None and workers is None:
             fitted = self.get_method(method)
+            tracer = current_tracer()
+            start = time.perf_counter()
             mask = fitted.batch_tau(self.grid.centers(), tau)
+            if tracer is not None:
+                with tracer.method_scope(fitted.name):
+                    tracer.render(
+                        op="tau",
+                        pixels=self.grid.num_pixels,
+                        tiles=0,
+                        workers=1,
+                        seconds=time.perf_counter() - start,
+                    )
             return self.grid.to_image(mask)
         tiled = self._tiled_method(method, "tau")
 
         def evaluate(engine: BatchRefinementEngine, tile: FloatArray) -> np.ndarray:
             return engine.query_tau_batch(tile, tau)
 
-        mask = self._render_tiled(
-            tiled, evaluate, np.bool_, DEFAULT_TILE_SIZE if tile_size is None else tile_size, workers
+        mask = self._render_with_scope(
+            tiled,
+            evaluate,
+            np.bool_,
+            DEFAULT_TILE_SIZE if tile_size is None else tile_size,
+            workers,
+            "tau",
         )
         return self.grid.to_image(mask)
+
+    def _render_with_scope(
+        self,
+        fitted: IndexedMethod,
+        evaluate: Callable[[BatchRefinementEngine, FloatArray], np.ndarray],
+        dtype: type,
+        tile_size: int | tuple[int, int],
+        workers: int | None,
+        op: str,
+    ) -> np.ndarray:
+        """:meth:`_render_tiled` with the method name attached to events."""
+        tracer = current_tracer()
+        if tracer is None:
+            return self._render_tiled(fitted, evaluate, dtype, tile_size, workers, op)
+        with tracer.method_scope(fitted.name):
+            return self._render_tiled(fitted, evaluate, dtype, tile_size, workers, op)
 
     # -- interactive viewport operations ------------------------------------
 

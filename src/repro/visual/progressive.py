@@ -27,6 +27,7 @@ from repro.data.bandwidth import scott_gamma
 from repro.errors import InvalidParameterError
 from repro.methods.base import Method
 from repro.methods.registry import create_method
+from repro.obs.runtime import current_tracer
 from repro.utils.validation import check_points, check_positive, check_probability_like
 from repro.visual.grid import PixelGrid
 
@@ -261,6 +262,7 @@ class ProgressiveRenderer:
         pending_pixels = sorted(int(p) for p in snapshot_pixels)
         snapshots: list[Snapshot] = []
         pixels_evaluated = 0
+        tracer = current_tracer()
         start = time.perf_counter()
         elapsed = 0.0
         for region, value, pixels_evaluated in self.stream():
@@ -270,9 +272,13 @@ class ProgressiveRenderer:
             while pending_times and elapsed >= pending_times[0]:
                 label = pending_times.pop(0)
                 snapshots.append(Snapshot(label, image.copy(), pixels_evaluated, elapsed))
+                if tracer is not None:
+                    tracer.snapshot(pixels=pixels_evaluated, elapsed=elapsed, label=label)
             while pending_pixels and pixels_evaluated >= pending_pixels[0]:
                 label = pending_pixels.pop(0)
                 snapshots.append(Snapshot(label, image.copy(), pixels_evaluated, elapsed))
+                if tracer is not None:
+                    tracer.snapshot(pixels=pixels_evaluated, elapsed=elapsed, label=label)
             if time_budget is not None and elapsed >= time_budget:
                 break
             if max_pixels is not None and pixels_evaluated >= max_pixels:
@@ -282,6 +288,15 @@ class ProgressiveRenderer:
         # request.
         for label in pending_times + pending_pixels:
             snapshots.append(Snapshot(label, image.copy(), pixels_evaluated, elapsed))
+        if tracer is not None:
+            with tracer.method_scope(self.method.name):
+                tracer.render(
+                    op="progressive",
+                    pixels=pixels_evaluated,
+                    tiles=0,
+                    workers=1,
+                    seconds=elapsed,
+                )
         return ProgressiveResult(
             image=image,
             pixels_evaluated=pixels_evaluated,

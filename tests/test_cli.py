@@ -24,6 +24,39 @@ class TestParser:
         assert args.name == "all"
 
 
+class TestInputValidation:
+    """Bad numeric inputs exit non-zero with a clear parse-time error."""
+
+    @pytest.mark.parametrize("value", ["0", "-0.5", "nan", "inf", "abc"])
+    def test_rejects_bad_eps(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["render", "--eps", value])
+        assert excinfo.value.code == 2
+        assert "--eps" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf", "oops"])
+    def test_rejects_non_finite_tau_offset(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["render", "--tau-offset", value])
+        assert excinfo.value.code == 2
+        assert "--tau-offset" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--width", "--height", "--n"])
+    @pytest.mark.parametrize("value", ["0", "-3", "2.5", "x"])
+    def test_rejects_non_positive_dimensions(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["render", flag, value])
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_valid_inputs_still_parse(self):
+        args = build_parser().parse_args(
+            ["render", "--eps", "0.02", "--width", "64", "--height", "48", "--n", "500"]
+        )
+        assert args.eps == 0.02
+        assert (args.width, args.height, args.n) == (64, 48, 500)
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -85,6 +118,31 @@ class TestCommands:
         )
         assert code == 0
         assert out.exists()
+
+    def test_render_trace_out(self, tmp_path, capsys):
+        out = tmp_path / "map.png"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "render",
+                "--dataset",
+                "crime",
+                "--n",
+                "300",
+                "--width",
+                "10",
+                "--height",
+                "8",
+                "--out",
+                str(out),
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        stdout = capsys.readouterr().out
+        assert "refinement depth and bound tightness" in stdout
 
     def test_experiment_command(self, tmp_path, capsys):
         code = main(

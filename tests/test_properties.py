@@ -132,6 +132,74 @@ def test_exact_density_translation_invariance(params):
     np.testing.assert_allclose(base, moved, rtol=1e-6)
 
 
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    params=dataset_strategy,
+    method_name=st.sampled_from(["quad", "karl", "tkdc"]),
+    kernel=st.sampled_from(["gaussian", "triangular", "epanechnikov"]),
+    boundary_index=st.integers(0, 5),
+)
+def test_scalar_batch_tau_masks_identical_at_boundary(
+    params, method_name, kernel, boundary_index
+):
+    """Scalar and batched engines agree bit-for-bit on τ masks.
+
+    The threshold is chosen as the *exact* density of one of the query
+    points, so the mask always contains an exact-boundary pixel — the
+    case the batched path used to misclassify (stop on ``ub == tau``,
+    classify cold). Canonical semantics: ``F >= tau`` ⇒ hot.
+    """
+    from repro.methods.registry import create_method
+
+    if method_name in ("karl", "tkdc"):
+        kernel = "gaussian"  # karl/tkdc bounds are gaussian-only
+    points = make_points(params)
+    scalar = create_method(method_name, leaf_size=16).fit(points, kernel=kernel)
+    batch = create_method(method_name, leaf_size=16, engine="batch").fit(
+        points, kernel=kernel
+    )
+    rng = np.random.default_rng(params["seed"] + 6)
+    queries = points[rng.choice(len(points), size=6, replace=False)]
+    truths = exact_density(points, queries, kernel, 1.0, 1.0)
+    tau = float(truths[boundary_index])
+    for threshold in (tau, float(np.nextafter(tau, np.inf))):
+        scalar_mask = np.array(
+            [scalar.query_tau(q, threshold) for q in queries], dtype=bool
+        )
+        batch_mask = batch.batch_tau(queries, threshold)
+        np.testing.assert_array_equal(scalar_mask, batch_mask)
+        # Against brute-force truth only away from the boundary: the
+        # engines' canonical fully-refined sum and the brute-force sum
+        # are both correctly rounded answers that can differ in the
+        # last ulp, so the pixel sitting exactly on the threshold may
+        # legitimately flip. Engine-vs-engine parity above is bitwise.
+        safe = np.abs(truths - threshold) > 1e-12 * np.maximum(threshold, 1e-300)
+        np.testing.assert_array_equal(scalar_mask[safe], (truths >= threshold)[safe])
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=dataset_strategy, workers=st.sampled_from([2, 3]))
+def test_worker_stats_merge_matches_single_worker(params, workers):
+    """Merged per-worker QueryStats equal the single-worker totals.
+
+    The per-tile work of the batched engine is deterministic and
+    scheduling-independent, so however tiles are distributed over
+    workers the merged ledger must equal a sequential run's.
+    """
+    from repro.visual.kdv import KDVRenderer
+
+    points = make_points(params)
+    renderer = KDVRenderer(points, resolution=(10, 8), leaf_size=16)
+    fitted = renderer.get_method("quad")
+    fitted.stats.reset()
+    sequential = renderer.render_eps(0.05, "quad", tile_size=4)
+    baseline = fitted.stats.as_dict()
+    fitted.stats.reset()
+    parallel = renderer.render_eps(0.05, "quad", tile_size=4, workers=workers)
+    assert fitted.stats.as_dict() == baseline
+    np.testing.assert_array_equal(sequential, parallel)
+
+
 @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(params=dataset_strategy, eps=st.sampled_from([0.05, 0.2]))
 def test_progressive_completion_matches_eps_render(params, eps):

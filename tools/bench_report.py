@@ -71,6 +71,7 @@ def run_benchmark(
     tile_size: int = 64,
     workers: int = 4,
     repeats: int = 1,
+    trace: bool = True,
 ) -> dict[str, Any]:
     """Run the scalar/batched comparison; return the report dictionary."""
     import numpy as np
@@ -135,6 +136,21 @@ def run_benchmark(
     )
     masks_identical = bool(np.array_equal(scalar_mask, batch_mask))
 
+    # Untimed traced pass: the timing runs above stay tracing-free (the
+    # zero-overhead-when-off contract is part of what this report
+    # documents), then one batched render of each op is re-run under a
+    # scoped tracer so the report carries the refinement-depth and
+    # bound-tightness summary of the exact workload it timed.
+    trace_summary: dict[str, Any] | None = None
+    if trace:
+        from repro.obs.report import summarize_events
+        from repro.obs.runtime import trace_to
+
+        with trace_to() as tracer:
+            renderer.render_eps(eps, "quad", tile_size=tile_size)
+            renderer.render_tau(tau, "quad", tile_size=tile_size)
+        trace_summary = summarize_events(tracer.events())
+
     return {
         "benchmark": "engine_batching",
         "generated_by": "tools/bench_report.py",
@@ -168,6 +184,7 @@ def run_benchmark(
             "masks_identical": masks_identical,
         },
         "validation": {"eps_envelope": envelope, "tau_masks_identical": masks_identical},
+        "trace": trace_summary,
     }
 
 
@@ -185,6 +202,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tile-size", type=int, default=64)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
+        "--no-trace", action="store_true",
+        help="skip the untimed traced pass (report carries no trace summary)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None,
         help="report path (default: BENCH_engine.json at the repo root; "
         "omitted entirely for --smoke)",
@@ -200,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         tile_size=args.tile_size,
         workers=args.workers,
         repeats=args.repeats,
+        trace=not args.no_trace,
     )
     report["smoke"] = args.smoke
 
@@ -207,7 +229,9 @@ def main(argv: list[str] | None = None) -> int:
     if output is None and not args.smoke:
         output = REPO_ROOT / "BENCH_engine.json"
     if output is not None:
-        output.write_text(json.dumps(report, indent=2) + "\n")
+        # allow_nan=False: a NaN/Inf anywhere in the report is a bug in
+        # the summarisation (it would silently produce invalid JSON).
+        output.write_text(json.dumps(report, indent=2, allow_nan=False) + "\n")
         print(f"wrote {output}")
 
     failures = []

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Summarise a ``repro.obs`` JSONL trace into refinement tables.
+
+Thin CLI over :mod:`repro.obs.report`: reads one or more trace files
+written by ``REPRO_TRACE_OUT=...``, ``KDVRenderer.render_*(trace=...)``
+or the CLI's ``--trace-out``, and prints per-method refinement-depth and
+bound-tightness tables (or the raw JSON summary with ``--json``).
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_report.py trace.jsonl
+    PYTHONPATH=src python tools/trace_report.py --json trace.jsonl > summary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # pragma: no cover - import shim for running without PYTHONPATH
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.report import format_summary, read_jsonl, summarize_events
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "traces", nargs="+", type=Path, help="JSONL trace file(s) to summarise"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the JSON summary instead of tables"
+    )
+    args = parser.parse_args(argv)
+
+    events = []
+    for path in args.traces:
+        if not path.exists():
+            print(f"error: no such trace file: {path}", file=sys.stderr)
+            return 2
+        events.extend(read_jsonl(path))
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
