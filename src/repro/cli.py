@@ -27,7 +27,7 @@ from typing import Sequence
 
 from repro.core.kernels import available_kernels
 from repro.errors import ReproError
-from repro.experiments.runner import available_experiments, run_experiment
+from repro.experiments.runner import available_experiments, run_experiments
 from repro.methods.registry import available_methods
 
 __all__ = ["main", "build_parser"]
@@ -98,6 +98,49 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--out", default="kdv.png", help="output PNG path")
     render.add_argument("--colormap", default="density")
     render.add_argument(
+        "--tile-size",
+        type=_positive_int,
+        default=None,
+        help="render in square tiles of this edge (enables the tiled engine)",
+    )
+    render.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="render tiles on this many worker threads",
+    )
+    render.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=None,
+        help="anytime render: stop after this many milliseconds and write "
+        "the best-so-far image plus a .degraded.json sidecar",
+    )
+    render.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="CKPT",
+        help="resume a tiled render from a checkpoint written by --checkpoint",
+    )
+    render.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="CKPT",
+        help="write a completed-tile checkpoint (npz) for --resume-from",
+    )
+    render.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. 'worker_crash:0.05,slow_tile:0.05' "
+        "(also honoured from the REPRO_FAULTS environment variable)",
+    )
+    render.add_argument(
+        "--drop-nonfinite",
+        action="store_true",
+        help="with --csv: drop rows containing NaN/Inf instead of rejecting the file",
+    )
+    render.add_argument(
         "--trace-out",
         default=None,
         metavar="JSONL",
@@ -119,14 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default="small")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--out-dir", default=None, help="save CSV/JSON here")
+    experiment.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="with 'all': continue past a failing experiment and report it "
+        "at the end instead of aborting the batch",
+    )
 
     sub.add_parser("list", help="show registered components")
     return parser
 
 
 def _command_render(args: argparse.Namespace) -> int:
+    import json
+
     from repro.data.loaders import load_csv
     from repro.data.synthetic import load_dataset
+    from repro.resilience import STOP_INTERRUPT, STOP_TILE_FAILURES, Budget
     from repro.visual.kdv import KDVRenderer
 
     from contextlib import nullcontext
@@ -134,20 +186,59 @@ def _command_render(args: argparse.Namespace) -> int:
     from repro.obs.runtime import trace_to
 
     if args.csv:
-        points = load_csv(args.csv)
+        points = load_csv(args.csv, drop_nonfinite=args.drop_nonfinite)
     else:
         points = load_dataset(args.dataset, n=args.n, seed=args.seed)
     renderer = KDVRenderer(
         points, resolution=(args.width, args.height), kernel=args.kernel
+    )
+    budget = (
+        Budget.from_deadline_ms(args.deadline_ms)
+        if args.deadline_ms is not None
+        else None
+    )
+    # Tiled renders route through the anytime path as well, so Ctrl-C
+    # mid-render still writes the partial image and degraded sidecar
+    # (complete anytime renders are bit-identical to the strict path).
+    resilient = any(
+        value is not None
+        for value in (
+            budget,
+            args.resume_from,
+            args.checkpoint,
+            args.faults,
+            args.tile_size,
+            args.workers,
+        )
     )
     scope = (
         trace_to(args.trace_out, steps=args.trace_steps)
         if args.trace_out
         else nullcontext()
     )
+    degraded = None
     with scope:
         if args.tau_offset is None:
-            image = renderer.render_eps(args.eps, args.method)
+            if resilient:
+                outcome = renderer.render_eps_anytime(
+                    args.eps,
+                    args.method,
+                    tile_size=args.tile_size,
+                    workers=args.workers,
+                    budget=budget,
+                    resume_from=args.resume_from,
+                    checkpoint=args.checkpoint,
+                    faults=args.faults,
+                )
+                image = outcome.image
+                degraded = outcome.degraded
+            else:
+                image = renderer.render_eps(
+                    args.eps,
+                    args.method,
+                    tile_size=args.tile_size,
+                    workers=args.workers,
+                )
             path = renderer.save_density_png(image, args.out, colormap=args.colormap)
         else:
             mu, sigma = renderer.density_stats()
@@ -155,23 +246,64 @@ def _command_render(args: argparse.Namespace) -> int:
             if not math.isfinite(tau):
                 print(f"error: computed tau {tau!r} is not finite", file=sys.stderr)
                 return 2
-            mask = renderer.render_tau(tau, args.method)
+            if resilient:
+                outcome = renderer.render_tau_anytime(
+                    tau,
+                    args.method,
+                    tile_size=args.tile_size,
+                    workers=args.workers,
+                    budget=budget,
+                    resume_from=args.resume_from,
+                    checkpoint=args.checkpoint,
+                    faults=args.faults,
+                )
+                mask = outcome.image.astype(bool)
+                degraded = outcome.degraded
+            else:
+                mask = renderer.render_tau(
+                    tau, args.method, tile_size=args.tile_size, workers=args.workers
+                )
             path = renderer.save_mask_png(mask, args.out)
     print(f"wrote {path}")
+    if degraded is not None:
+        sidecar = f"{args.out}.degraded.json"
+        with open(sidecar, "w") as handle:
+            json.dump(degraded.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(
+            f"render degraded ({degraded.reason}): "
+            f"{degraded.pixels_resolved}/{degraded.pixels_total} pixels resolved; "
+            f"details in {sidecar}",
+            file=sys.stderr,
+        )
     if args.trace_out:
         from repro.obs.report import format_summary, summarize_jsonl
 
         print(f"trace written to {args.trace_out}")
         print(format_summary(summarize_jsonl(args.trace_out)))
+    if degraded is not None and degraded.reason == STOP_INTERRUPT:
+        return 130
+    if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
+        return 1
     return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
     names = available_experiments() if args.name == "all" else [args.name]
-    for name in names:
-        result = run_experiment(
-            name, scale=args.scale, seed=args.seed, out_dir=args.out_dir
-        )
+    failures: list[str] = []
+    outcomes = run_experiments(
+        names,
+        scale=args.scale,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        keep_going=args.keep_going,
+    )
+    for name, result in outcomes:
+        if isinstance(result, ReproError):
+            failures.append(name)
+            print(f"# {name}: FAILED ({result})", file=sys.stderr)
+            print()
+            continue
         print(f"# {result.experiment}: {result.description}")
         for key, value in result.metadata.items():
             if key == "trace":
@@ -182,6 +314,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
         if args.out_dir:
             print(f"# saved under {args.out_dir}")
         print()
+    if failures:
+        print(
+            f"error: {len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -209,6 +347,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Interrupts inside a resilient tiled render are converted to a
+        # cooperative cancellation (partial image + sidecar, exit 130,
+        # handled above); this catches Ctrl-C anywhere else so the CLI
+        # still exits with the conventional SIGINT code.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -58,6 +58,7 @@ if TYPE_CHECKING:
     from repro.core.bounds.base import BoundProvider
     from repro.index.kdtree import KDTree, KDTreeNode
     from repro.obs.trace import Tracer
+    from repro.resilience.budget import CancellationToken
 
 __all__ = ["BatchRefinementEngine"]
 
@@ -109,6 +110,7 @@ class BatchRefinementEngine:
         queries: FloatArray,
         stop_rows: Callable[[FloatArray, FloatArray], BoolArray],
         tracer: Tracer | None = None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[FloatArray, FloatArray, dict[str, Any] | None]:
         """Refine until every pixel's ``stop_rows(lb, ub)`` test fires.
 
@@ -118,6 +120,16 @@ class BatchRefinementEngine:
         is active, an observation dict (per-pixel refinement depths,
         frontier pop count, mean root gap) the caller folds into its
         ``batch_query`` trace event; ``None`` otherwise, at no cost.
+
+        ``cancel`` (a cooperative
+        :class:`~repro.resilience.budget.CancellationToken`) is polled
+        once per frontier pop with the frontier's memory estimate; a
+        tripped token breaks the loop, leaving still-active rows with
+        their current — valid but not fully tightened — intervals (the
+        exhausted-collapse below is skipped for an interrupted loop, as
+        it is only correct for a drained frontier). Polling has no
+        effect on the refinement schedule, so a token that never trips
+        leaves every result bit-identical to no token at all.
         """
         provider = self.provider
         stats = self.stats
@@ -179,7 +191,16 @@ class BatchRefinementEngine:
             )
             heap.append((priority, counter, root, root_lb, root_ub))
 
+        interrupted = False
         while heap and active.size:
+            if cancel is not None:
+                # Frontier memory estimate: each heap entry carries two
+                # full-width float64 rows; a dozen more full-width
+                # accumulator/bookkeeping rows live for the whole batch.
+                memory = (len(heap) * 2 + 12) * m * 8
+                if cancel.stop_reason(memory) is not None:
+                    interrupted = True
+                    break
             if gap_ordered:
                 # Lazy priorities: stored gap sums were computed over a
                 # superset of the current active set, so they never
@@ -218,6 +239,8 @@ class BatchRefinementEngine:
                 exact = leaf_exact(node, active_q, active_sq)
                 stats.leaf_evaluations += n_active
                 stats.point_evaluations += node.agg.n * n_active
+                if cancel is not None:
+                    cancel.charge(node.agg.n * n_active)
                 if check:
                     for row in range(n_active):
                         i = int(active[row])
@@ -320,13 +343,16 @@ class BatchRefinementEngine:
             if stopped.any():
                 active = active[~stopped]
 
-        if active.size:
+        if active.size and not interrupted:
             # Frontier drained with pixels still active: they are fully
             # refined, so the density is the exact leaf sum; drop the
             # (tiny) residual left in the drained heap accumulators.
             # (Boundary-tight τ decisions are canonicalised by
             # query_tau_batch via exhausted_exact, not here, so εKDV
-            # batches never pay an extra full pass.)
+            # batches never pay an extra full pass. An *interrupted*
+            # loop must keep the interval form instead — its frontier
+            # still holds bound mass, so collapsing to the partial leaf
+            # sum would understate the density.)
             lb[active] = exact_acc[active]
             ub[active] = exact_acc[active]
         if tracer is None:
@@ -340,21 +366,21 @@ class BatchRefinementEngine:
 
     # -- eps queries ------------------------------------------------------
 
-    def query_eps_batch(
+    def _eps_refined(
         self,
         queries: FloatArray,
         eps: float,
-        *,
-        atol: float = 0.0,
-        offset: float = 0.0,
-    ) -> FloatArray:
-        """εKDV for a pixel batch: values within ``(1 ± eps)`` of truth.
+        atol: float,
+        offset: float,
+        cancel: CancellationToken | None,
+    ) -> tuple[FloatArray, FloatArray]:
+        """Validated εKDV refinement returning raw ``(lb, ub)`` rows.
 
-        Semantics per pixel are identical to
-        :meth:`~repro.core.engine.RefinementEngine.query_eps` (same
-        stopping rule, same midpoint answer, same ``atol`` floor and
-        ``offset`` handling) — only the refinement schedule differs, and
-        the ``(1 ± eps)`` contract is schedule-independent.
+        Shared core of :meth:`query_eps_batch` (midpoint answers) and
+        :meth:`query_eps_bounds` (anytime envelopes): same validation,
+        same stopping rule, same trace emission. Rows still unresolved
+        when a cancellation token tripped are labelled with
+        :data:`~repro.core.stopping.RULE_CANCELLED` in the trace event.
         """
         eps = check_probability_like(eps, "eps")
         if atol < 0.0:
@@ -368,7 +394,9 @@ class BatchRefinementEngine:
             return stopping.eps_stop_mask(lb, ub, one_plus_eps, offset, atol)
 
         tracer = current_tracer()
-        lb, ub, observation = self._refine_batch(queries, stop_rows, tracer=tracer)
+        lb, ub, observation = self._refine_batch(
+            queries, stop_rows, tracer=tracer, cancel=cancel
+        )
         if tracer is not None and observation is not None:
             relative = ub + offset <= one_plus_eps * (lb + offset)
             absolute = (ub - lb <= atol) & ~relative
@@ -377,7 +405,12 @@ class BatchRefinementEngine:
                 stopping.RULE_EPS_RELATIVE: int(relative.sum()),
                 stopping.RULE_EPS_ATOL: int(absolute.sum()),
             }
-            rules[stopping.RULE_EXHAUSTED] = rows - sum(rules.values())
+            leftover_rule = (
+                stopping.RULE_CANCELLED
+                if cancel is not None and cancel.triggered
+                else stopping.RULE_EXHAUSTED
+            )
+            rules[leftover_rule] = rows - sum(rules.values())
             tracer.batch_query(
                 engine="batch",
                 op="eps",
@@ -389,42 +422,88 @@ class BatchRefinementEngine:
                 root_gap_mean=observation["root_gap_mean"],
                 final_gap_mean=float((ub - lb).mean()) if rows else 0.0,
             )
+        return lb, ub
+
+    def query_eps_batch(
+        self,
+        queries: FloatArray,
+        eps: float,
+        *,
+        atol: float = 0.0,
+        offset: float = 0.0,
+        cancel: CancellationToken | None = None,
+    ) -> FloatArray:
+        """εKDV for a pixel batch: values within ``(1 ± eps)`` of truth.
+
+        Semantics per pixel are identical to
+        :meth:`~repro.core.engine.RefinementEngine.query_eps` (same
+        stopping rule, same midpoint answer, same ``atol`` floor and
+        ``offset`` handling) — only the refinement schedule differs, and
+        the ``(1 ± eps)`` contract is schedule-independent. With a
+        tripped ``cancel`` token, unresolved rows return the midpoint of
+        their best-so-far interval (use :meth:`query_eps_bounds` when
+        the caller needs the envelopes themselves).
+        """
+        lb, ub = self._eps_refined(queries, eps, atol, offset, cancel)
         result: FloatArray = offset + 0.5 * (lb + ub)
         return result
 
-    # -- tau queries ------------------------------------------------------
-
-    def query_tau_batch(
+    def query_eps_bounds(
         self,
         queries: FloatArray,
-        tau: float,
+        eps: float,
         *,
+        atol: float = 0.0,
         offset: float = 0.0,
-    ) -> BoolArray:
-        """τKDV for a pixel batch: whether ``offset + F_P(q) >= tau``.
+        cancel: CancellationToken | None = None,
+    ) -> tuple[FloatArray, FloatArray]:
+        """εKDV refinement returning the per-pixel ``(LB, UB)`` envelopes.
 
-        Pixel-for-pixel the same decision rule as
-        :meth:`~repro.core.engine.RefinementEngine.query_tau`, via the
-        shared canonical semantics of :mod:`repro.core.stopping`: stop
-        only once a pixel's decision is certain (``lb >= tau`` hot,
-        ``ub < tau`` cold — strict, so an upper bound landing exactly on
-        ``tau`` keeps refining), and classify boundary pixels
-        (``F == tau``) as hot on every path. Rows that decided within
-        :data:`~repro.core.stopping.TAU_TIE_GUARD` of ``tau`` are
-        re-decided from the canonical exhausted sum, exactly like the
-        scalar engine, so both τ masks agree bit-for-bit at the
-        boundary.
+        The anytime interface: the returned arrays (``offset``
+        included) always satisfy ``LB <= offset + F_P(q) <= UB`` per
+        pixel, whether or not refinement ran to its stopping rule — a
+        tripped ``cancel`` token merely leaves some intervals wider.
+        The εKDV answer for resolved rows is the midpoint
+        ``0.5 * (LB + UB)``, bit-identical to :meth:`query_eps_batch`.
         """
-        shifted = float(tau) - float(offset)
-        if not np.isfinite(shifted):
-            raise InvalidParameterError(f"tau must be finite, got {shifted!r}")
+        lb, ub = self._eps_refined(queries, eps, atol, offset, cancel)
+        return lb + offset, ub + offset
+
+    # -- tau queries ------------------------------------------------------
+
+    def _tau_refined(
+        self,
+        queries: FloatArray,
+        shifted: float,
+        cancel: CancellationToken | None,
+    ) -> tuple[FloatArray, FloatArray]:
+        """τKDV refinement returning canonicalised ``(lb, ub)`` rows.
+
+        Shared core of :meth:`query_tau_batch` (hot masks) and
+        :meth:`query_tau_bounds` (anytime envelopes). Boundary-tight
+        *decided* rows are re-decided from the canonical exhausted sum;
+        rows left undecided by a tripped cancellation token are
+        excluded from that canonicalisation — each canonical pass
+        refines the whole tree, exactly the work the budget forbade —
+        and keep their best-so-far intervals instead (the caller's hot
+        mask then reads them conservatively as cold).
+        """
 
         def stop_rows(lb: FloatArray, ub: FloatArray) -> BoolArray:
             return stopping.tau_stop_mask(lb, ub, shifted)
 
         tracer = current_tracer()
-        lb, ub, observation = self._refine_batch(queries, stop_rows, tracer=tracer)
+        lb, ub, observation = self._refine_batch(
+            queries, stop_rows, tracer=tracer, cancel=cancel
+        )
         tight = stopping.tau_tight_mask(lb, ub, shifted)
+        if cancel is not None and cancel.triggered:
+            # Undecided intervals straddle tau, so their "margin" is
+            # non-positive and the tight test fires vacuously; restrict
+            # to rows whose decision is certain. (No-op bit-wise when
+            # the token never tripped: every row is then decided or
+            # exhausted-collapsed, and the mask is all-true on them.)
+            tight &= stopping.tau_stop_mask(lb, ub, shifted)
         if tight.any():
             batch = np.ascontiguousarray(queries, dtype=np.float64)
             leaf_exact = (
@@ -440,15 +519,19 @@ class BatchRefinementEngine:
                 )
                 lb[row] = value
                 ub[row] = value
-        result: BoolArray = stopping.tau_hot_mask(lb, shifted)
         if tracer is not None and observation is not None:
             rows = int(lb.shape[0])
-            hot = int(result.sum())
+            hot = int(stopping.tau_hot_mask(lb, shifted).sum())
             cold = int((ub < shifted).sum())
+            leftover_rule = (
+                stopping.RULE_CANCELLED
+                if cancel is not None and cancel.triggered
+                else stopping.RULE_EXHAUSTED
+            )
             rules = {
                 stopping.RULE_TAU_HOT: hot,
                 stopping.RULE_TAU_COLD: cold,
-                stopping.RULE_EXHAUSTED: max(rows - hot - cold, 0),
+                leftover_rule: max(rows - hot - cold, 0),
             }
             tracer.batch_query(
                 engine="batch",
@@ -461,4 +544,57 @@ class BatchRefinementEngine:
                 root_gap_mean=observation["root_gap_mean"],
                 final_gap_mean=float((ub - lb).mean()) if rows else 0.0,
             )
+        return lb, ub
+
+    def query_tau_batch(
+        self,
+        queries: FloatArray,
+        tau: float,
+        *,
+        offset: float = 0.0,
+        cancel: CancellationToken | None = None,
+    ) -> BoolArray:
+        """τKDV for a pixel batch: whether ``offset + F_P(q) >= tau``.
+
+        Pixel-for-pixel the same decision rule as
+        :meth:`~repro.core.engine.RefinementEngine.query_tau`, via the
+        shared canonical semantics of :mod:`repro.core.stopping`: stop
+        only once a pixel's decision is certain (``lb >= tau`` hot,
+        ``ub < tau`` cold — strict, so an upper bound landing exactly on
+        ``tau`` keeps refining), and classify boundary pixels
+        (``F == tau``) as hot on every path. Rows that decided within
+        :data:`~repro.core.stopping.TAU_TIE_GUARD` of ``tau`` are
+        re-decided from the canonical exhausted sum, exactly like the
+        scalar engine, so both τ masks agree bit-for-bit at the
+        boundary. Rows left undecided by a tripped ``cancel`` token
+        classify conservatively as cold.
+        """
+        shifted = float(tau) - float(offset)
+        if not np.isfinite(shifted):
+            raise InvalidParameterError(f"tau must be finite, got {shifted!r}")
+        lb, __ = self._tau_refined(queries, shifted, cancel)
+        result: BoolArray = stopping.tau_hot_mask(lb, shifted)
         return result
+
+    def query_tau_bounds(
+        self,
+        queries: FloatArray,
+        tau: float,
+        *,
+        offset: float = 0.0,
+        cancel: CancellationToken | None = None,
+    ) -> tuple[FloatArray, FloatArray]:
+        """τKDV refinement returning the per-pixel ``(LB, UB)`` envelopes.
+
+        The anytime interface: the returned arrays (``offset``
+        included) always satisfy ``LB <= offset + F_P(q) <= UB``. The
+        hot mask of resolved rows is ``LB >= tau``, bit-identical to
+        :meth:`query_tau_batch`; rows whose interval still straddles
+        ``tau`` (possible only under a tripped ``cancel`` token) are
+        undecided, which that mask reads conservatively as cold.
+        """
+        shifted = float(tau) - float(offset)
+        if not np.isfinite(shifted):
+            raise InvalidParameterError(f"tau must be finite, got {shifted!r}")
+        lb, ub = self._tau_refined(queries, shifted, cancel)
+        return lb + float(offset), ub + float(offset)

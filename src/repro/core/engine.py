@@ -55,6 +55,7 @@ if TYPE_CHECKING:
     from repro.core.bounds.base import BoundProvider
     from repro.index.kdtree import KDTree
     from repro.obs.trace import Tracer
+    from repro.resilience.budget import CancellationToken
 
 __all__ = ["RefinementEngine", "QueryStats", "BoundTrace", "exhausted_exact"]
 
@@ -205,13 +206,19 @@ class RefinementEngine:
         should_stop: Callable[[float, float], bool],
         trace: BoundTrace | None = None,
         step_hook: Callable[..., None] | None = None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[float, float]:
         """Run the Table-3 loop until ``should_stop(lb, ub)`` is true.
 
         Returns the final ``(lb, ub)`` pair. ``query`` is a 1-D float
         array. ``step_hook`` (the tracer's per-step callback, only bound
         at trace level ``steps``) receives the popped node, its leaf
-        flag and bound gap, and the updated global interval.
+        flag and bound gap, and the updated global interval. ``cancel``
+        (a :class:`~repro.resilience.budget.CancellationToken`) is
+        polled once per pop; a tripped token breaks the loop with the
+        current — valid but not fully tightened — interval. Polling has
+        no effect on the refinement schedule, so a token that never
+        trips leaves the result bit-identical to no token at all.
         """
         provider = self.provider
         stats = self.stats
@@ -255,12 +262,16 @@ class RefinementEngine:
         heap = [(-(root_ub - root_lb), counter, root, root_lb, root_ub)]
         gap_ordered = self.ordering == "gap"
         while heap and not should_stop(lb, ub):
+            if cancel is not None and cancel.stop_reason() is not None:
+                break
             stats.iterations += 1
             __, __, node, node_lb, node_ub = heappop(heap)
             if node.is_leaf:
                 exact = leaf_exact(node, q_array, q_sq)
                 stats.leaf_evaluations += 1
                 stats.point_evaluations += node.agg.n
+                if cancel is not None:
+                    cancel.charge(node.agg.n)
                 if check:
                     check_leaf_containment(
                         exact,
@@ -359,6 +370,7 @@ class RefinementEngine:
         *,
         op: str,
         rule_of: Callable[[float, float], str],
+        cancel: CancellationToken | None = None,
     ) -> tuple[float, float]:
         """:meth:`_refine` plus one structured trace event per query.
 
@@ -375,17 +387,22 @@ class RefinementEngine:
         before_points = stats.point_evaluations
         bound_trace = trace if trace is not None else BoundTrace()
         step_hook = tracer.step if tracer.steps else None
-        lb, ub = self._refine(query, should_stop, trace=bound_trace, step_hook=step_hook)
+        lb, ub = self._refine(
+            query, should_stop, trace=bound_trace, step_hook=step_hook, cancel=cancel
+        )
         root_gap = (
             bound_trace.uppers[0] - bound_trace.lowers[0]
             if bound_trace.iterations
             else 0.0
         )
+        cancelled = (
+            cancel is not None and cancel.triggered and not should_stop(lb, ub)
+        )
         tracer.query(
             engine="scalar",
             op=op,
             bound=type(self.provider).__name__,
-            rule=rule_of(lb, ub),
+            rule=stopping.RULE_CANCELLED if cancelled else rule_of(lb, ub),
             iterations=stats.iterations - before_iterations,
             node_evaluations=stats.node_evaluations - before_nodes,
             leaf_evaluations=stats.leaf_evaluations - before_leaves,
@@ -406,6 +423,7 @@ class RefinementEngine:
         atol: float = 0.0,
         offset: float = 0.0,
         trace: BoundTrace | None = None,
+        cancel: CancellationToken | None = None,
     ) -> float:
         """εKDV for one pixel: a value within ``(1 ± eps)`` of ``F_P(q)``.
 
@@ -428,6 +446,14 @@ class RefinementEngine:
             ``offset + F_P(q)``, which the return value includes.
         trace:
             Optional :class:`BoundTrace` recording per-iteration bounds.
+        cancel:
+            Optional cooperative
+            :class:`~repro.resilience.budget.CancellationToken`, polled
+            once per refinement step. When it trips, the query returns
+            the midpoint of the best-so-far interval — a valid estimate
+            whose error bound is the residual gap, not the ``(1 ± eps)``
+            contract. A token that never trips leaves the result
+            bit-identical to passing no token.
         """
         eps = check_probability_like(eps, "eps")
         if atol < 0.0:
@@ -442,7 +468,7 @@ class RefinementEngine:
 
         tracer = current_tracer()
         if tracer is None:
-            lb, ub = self._refine(query, should_stop, trace=trace)
+            lb, ub = self._refine(query, should_stop, trace=trace, cancel=cancel)
         else:
             lb, ub = self._traced_refine(
                 query,
@@ -453,6 +479,7 @@ class RefinementEngine:
                 rule_of=lambda lb, ub: stopping.eps_stop_rule(
                     lb, ub, one_plus_eps, offset, atol
                 ),
+                cancel=cancel,
             )
         return offset + 0.5 * (lb + ub)
 
@@ -465,6 +492,7 @@ class RefinementEngine:
         *,
         offset: float = 0.0,
         trace: BoundTrace | None = None,
+        cancel: CancellationToken | None = None,
     ) -> bool:
         """τKDV for one pixel: whether ``offset + F_P(q) >= tau``.
 
@@ -479,6 +507,11 @@ class RefinementEngine:
         re-taken from the canonical fully-refined sum
         (:func:`exhausted_exact`), so boundary-tight pixels classify
         identically in both engines regardless of refinement schedule.
+        ``cancel`` is the cooperative token of :meth:`query_eps`; a
+        query whose decision is still *uncertain* when the token trips
+        classifies conservatively as cold (``lb < tau``) and skips the
+        tie re-decision — the canonical pass would cost a full-tree
+        refinement, exactly what the budget forbids.
         """
         tau = float(tau) - float(offset)
         if not np.isfinite(tau):
@@ -489,7 +522,7 @@ class RefinementEngine:
 
         tracer = current_tracer()
         if tracer is None:
-            lb, ub = self._refine(query, should_stop, trace=trace)
+            lb, ub = self._refine(query, should_stop, trace=trace, cancel=cancel)
         else:
             lb, ub = self._traced_refine(
                 query,
@@ -498,7 +531,17 @@ class RefinementEngine:
                 tracer,
                 op="tau",
                 rule_of=lambda lb, ub: stopping.tau_stop_rule(lb, ub, tau),
+                cancel=cancel,
             )
+        if (
+            cancel is not None
+            and cancel.triggered
+            and not stopping.tau_should_stop(lb, ub, tau)
+        ):
+            # Cancelled while undecided: conservative cold (lb < tau),
+            # and no canonical re-decision — that pass refines the whole
+            # tree, which is exactly what the budget just forbade.
+            return stopping.tau_is_hot(lb, tau)
         if stopping.tau_decision_is_tight(lb, ub, tau):
             # Tie: the margin is inside one schedule's rounding noise.
             # Decide from the canonical exhausted sum instead, shared

@@ -45,6 +45,9 @@ __all__ = [
     "QuarticKernel",
     "get_kernel",
     "available_kernels",
+    "clamp_gamma",
+    "GAMMA_MIN",
+    "GAMMA_MAX",
     "KERNEL_REGISTRY",
 ]
 
@@ -55,6 +58,27 @@ __all__ = [
 #: clamping ``x`` at the point where the result is already ~1e-308
 #: changes no observable value.
 _EXP_NEG_XMAX = 708.0
+
+#: Domain of usable bandwidth parameters. Outside this range the scaled
+#: distance ``gamma * dist**2`` (or its reciprocal in the bound
+#: providers) overflows for ordinary coordinate magnitudes, turning
+#: bounds into Inf/NaN. The limits sit ~150 decades away from any
+#: physically meaningful bandwidth, so clamping (see :func:`clamp_gamma`)
+#: only ever rescues degenerate inputs; it never perturbs real ones.
+GAMMA_MIN = 1e-150
+GAMMA_MAX = 1e150
+
+
+def clamp_gamma(gamma: float) -> float:
+    """Clamp a bandwidth parameter into ``[GAMMA_MIN, GAMMA_MAX]``.
+
+    Bandwidth rules (:mod:`repro.data.bandwidth`) apply this to the
+    ``gamma`` they derive, so degenerate data — all points identical, or
+    spreads beyond float range — degrades to an extreme-but-finite
+    kernel instead of a ``ZeroDivisionError`` or an Inf that poisons
+    every bound. ``gamma`` must already be positive and not NaN.
+    """
+    return min(max(float(gamma), GAMMA_MIN), GAMMA_MAX)
 
 
 class Kernel(ABC):
@@ -118,10 +142,21 @@ class Kernel(ABC):
             Positive bandwidth parameter.
         """
         sq_dists = np.asarray(sq_dists, dtype=np.float64)
+        # Clip the distance term so ``gamma * distance`` cannot overflow
+        # for extreme gamma (see GAMMA_MAX): beyond ``cap`` the profile
+        # is exactly zero (compact support) or below ~1e-308 (exp
+        # clamp), so the clip changes no observable kernel value while
+        # keeping warning-clean runs free of overflow warnings.
+        cap = self.support_xmax
+        if math.isinf(cap):
+            cap = _EXP_NEG_XMAX
+        limit = cap * (1.0 + 1e-9) / gamma
+        if limit <= 0.0:
+            limit = math.inf
         if self.uses_squared_distance:
-            x = gamma * sq_dists
+            x = gamma * np.minimum(sq_dists, limit)
         else:
-            x = gamma * np.sqrt(sq_dists)
+            x = gamma * np.minimum(np.sqrt(sq_dists), limit)
         return self.profile(x)
 
     def __repr__(self) -> str:

@@ -50,6 +50,7 @@ __all__ = [
     "RULE_TAU_HOT",
     "RULE_TAU_COLD",
     "RULE_EXHAUSTED",
+    "RULE_CANCELLED",
     "eps_should_stop",
     "eps_stop_mask",
     "eps_stop_rule",
@@ -73,6 +74,11 @@ RULE_TAU_HOT = "tau-hot"
 RULE_TAU_COLD = "tau-cold"
 #: The frontier drained before any test fired (fully refined).
 RULE_EXHAUSTED = "exhausted"
+#: Refinement was cut short by a cooperative
+#: :class:`~repro.resilience.budget.CancellationToken` (deadline /
+#: budget / explicit cancel); the final interval is a valid but
+#: not-fully-tightened enclosure.
+RULE_CANCELLED = "cancelled"
 
 
 # -- eps ------------------------------------------------------------------

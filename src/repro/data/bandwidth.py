@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
-from repro.core.kernels import get_kernel
+from repro.core.kernels import clamp_gamma, get_kernel
 from repro.utils.validation import check_points
 
 if TYPE_CHECKING:
@@ -38,12 +38,35 @@ __all__ = [
     "default_weight",
     "cv_bandwidth",
     "gamma_for_radius",
+    "H_FLOOR",
+    "H_CEIL",
 ]
+
+#: Usable bandwidth range. Below ``H_FLOOR``, ``h * h`` underflows to
+#: zero and the Gaussian ``gamma = 1 / (2 h^2)`` divides by zero; above
+#: ``H_CEIL`` it overflows to Inf and gamma collapses to zero. Both
+#: occur only for pathological data (near-identical points, or spreads
+#: around 1e74 units) — real bandwidths live scores of decades inside
+#: the range, so the clamp never perturbs them. The clamped gamma is
+#: additionally passed through :func:`repro.core.kernels.clamp_gamma`.
+H_FLOOR = 1e-74
+H_CEIL = 1e74
 
 
 def _average_std(points: FloatArray) -> float:
     """Average of the per-dimension sample standard deviations."""
-    std = points.std(axis=0, ddof=1) if points.shape[0] > 1 else np.zeros(points.shape[1])
+    if points.shape[0] <= 1:
+        return 1.0
+    scale = float(np.abs(points).max())
+    if scale > 1e100:
+        # Coordinates this large overflow the variance's squared
+        # deviations (numpy warns, -W error runs die). Computing in
+        # scale-divided space is exact up to rounding and only engages
+        # for data already scores of decades past any real coordinate
+        # system, so ordinary inputs keep the bit-exact direct path.
+        std = (points / scale).std(axis=0, ddof=1) * scale
+    else:
+        std = points.std(axis=0, ddof=1)
     mean_std = float(std.mean())
     if mean_std <= 0.0:
         # Degenerate (constant) data: fall back to a unit scale so the
@@ -84,12 +107,18 @@ def scott_gamma(
         ``1 / (2 h^2)``, distance kernels get ``1 / h``.
     rule:
         The bandwidth rule, defaulting to :func:`scott_bandwidth`.
+
+    Degenerate bandwidths (``h`` below :data:`H_FLOOR` — e.g. a dataset
+    whose coordinates differ by ~1e-170 — or above :data:`H_CEIL`) are
+    clamped to the documented range before inverting, so this function
+    always returns a finite positive ``gamma`` instead of dividing by
+    an underflowed ``h * h``.
     """
     kernel = get_kernel(kernel)
-    h = rule(points)
+    h = min(max(rule(points), H_FLOOR), H_CEIL)
     if kernel.uses_squared_distance:
-        return 1.0 / (2.0 * h * h)
-    return 1.0 / h
+        return clamp_gamma(1.0 / (2.0 * h * h))
+    return clamp_gamma(1.0 / h)
 
 
 def default_weight(n: int) -> float:
@@ -191,10 +220,10 @@ def gamma_for_radius(radius: float, kernel: KernelLike = "gaussian") -> float:
     kernel = get_kernel(kernel)
     from repro.utils.validation import check_positive
 
-    radius = check_positive(radius, "radius")
+    radius = min(max(check_positive(radius, "radius"), H_FLOOR), H_CEIL)
     if kernel.uses_squared_distance:
-        return 1.0 / (radius * radius)
+        return clamp_gamma(1.0 / (radius * radius))
     support = kernel.support_xmax
     if math.isinf(support):
-        return 1.0 / radius
-    return support / radius
+        return clamp_gamma(1.0 / radius)
+    return clamp_gamma(support / radius)

@@ -12,8 +12,8 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
-from repro.utils.validation import check_points
+from repro.errors import DataValidationError
+from repro.utils.validation import check_points, clean_points
 
 if TYPE_CHECKING:
     from repro._types import FloatArray, PointLike
@@ -34,6 +34,7 @@ def load_csv(
     *,
     columns: Iterable[int] | None = None,
     delimiter: str = ",",
+    drop_nonfinite: bool = False,
 ) -> FloatArray:
     """Load points from a CSV file.
 
@@ -46,6 +47,10 @@ def load_csv(
         latitude/longitude); defaults to all columns.
     delimiter:
         Field separator.
+    drop_nonfinite:
+        Discard rows containing NaN/Inf coordinates (with a
+        :class:`~repro.errors.DataQualityWarning`) instead of raising
+        :class:`~repro.errors.DataValidationError`.
 
     Returns
     -------
@@ -63,20 +68,24 @@ def load_csv(
             if index == 0 and not all(_is_float(token) for token in row):
                 continue  # header row
             if not all(_is_float(token) for token in row):
-                raise InvalidParameterError(
-                    f"{path}: non-numeric value in data row {index + 1}: {row!r}"
+                raise DataValidationError(
+                    f"{path}: non-numeric value in data row {index + 1}: {row!r}",
+                    total_rows=len(rows),
                 )
             rows.append([float(token) for token in row])
     if not rows:
-        raise InvalidParameterError(f"{path}: no data rows found")
+        raise DataValidationError(f"{path}: no data rows found")
     widths = {len(row) for row in rows}
     if len(widths) != 1:
-        raise InvalidParameterError(f"{path}: inconsistent column counts {sorted(widths)}")
+        raise DataValidationError(
+            f"{path}: inconsistent column counts {sorted(widths)}",
+            total_rows=len(rows),
+        )
     array = np.asarray(rows, dtype=np.float64)
     if columns is not None:
         columns = list(columns)
         array = array[:, columns]
-    return check_points(array)
+    return clean_points(array, name=str(path), drop_nonfinite=drop_nonfinite)
 
 
 def save_csv(

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from repro.errors import InvalidParameterError, UnknownNameError
-from repro.utils.validation import check_positive
+from repro.utils.validation import clean_points
 
 if TYPE_CHECKING:
     from repro._types import FloatArray
@@ -196,7 +196,15 @@ def load_dataset(name: str, n: int = 10_000, seed: int = 0, **kwargs: Any) -> Fl
     except KeyError:
         known = ", ".join(sorted(DATASET_REGISTRY))
         raise UnknownNameError(f"unknown dataset {name!r}; available: {known}") from None
-    return generator(n, seed=seed, **kwargs)
+    # Hardened exit: registry entries may be third-party generators, and
+    # a NaN that slips through here poisons every bound downstream. The
+    # duplicate scan is skipped (fraction 1.0) — it would sort the whole
+    # array, and continuous generators cannot produce duplicate rows.
+    return clean_points(
+        generator(n, seed=seed, **kwargs),
+        name=f"dataset {name!r}",
+        duplicate_warn_fraction=1.0,
+    )
 
 
 def available_datasets() -> list[str]:

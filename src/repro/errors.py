@@ -10,11 +10,14 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "InvalidParameterError",
+    "DataValidationError",
     "UnsupportedKernelError",
     "UnsupportedOperationError",
     "NotFittedError",
     "UnknownNameError",
     "InvariantViolation",
+    "CheckpointError",
+    "DataQualityWarning",
 ]
 
 
@@ -27,6 +30,62 @@ class InvalidParameterError(ReproError, ValueError):
 
     Raised, for example, for a non-positive bandwidth parameter ``gamma``,
     a relative error ``eps <= 0``, or an empty point set.
+    """
+
+
+class DataValidationError(InvalidParameterError):
+    """An input dataset failed validation (non-finite or empty rows).
+
+    Subclasses :class:`InvalidParameterError` so existing callers that
+    catch the broader class keep working, while carrying structured
+    detail about *what* was wrong so services can report it without
+    parsing the message.
+
+    Attributes
+    ----------
+    nonfinite_rows:
+        Number of rows containing NaN/Inf coordinates (0 if the
+        failure was something else).
+    duplicate_fraction:
+        Fraction of rows that are exact duplicates of another row, when
+        computed (else ``None``).
+    total_rows:
+        Row count of the offending dataset.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        nonfinite_rows: int = 0,
+        duplicate_fraction: float | None = None,
+        total_rows: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.nonfinite_rows = nonfinite_rows
+        self.duplicate_fraction = duplicate_fraction
+        self.total_rows = total_rows
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file could not be used (corrupt or mismatched).
+
+    Raised on resume when the checkpoint's signature — dataset shape,
+    kernel, bandwidth, grid, operation parameters — does not match the
+    render being resumed, or when the file itself is unreadable.
+    Resuming from a mismatched checkpoint would silently splice pixels
+    from a *different* render into the image, so this is never
+    downgraded to a warning.
+    """
+
+
+class DataQualityWarning(UserWarning):
+    """A dataset is usable but statistically suspect.
+
+    Emitted (via :func:`warnings.warn`) for duplicate-heavy datasets,
+    where kernel density estimates remain well-defined but bandwidth
+    selectors behave poorly, and when non-finite rows are dropped on
+    request rather than rejected.
     """
 
 

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, Tuple, Union
 
-from repro.errors import UnknownNameError
+from repro.errors import ReproError, UnknownNameError
 from repro.experiments import ablations
 from repro.experiments.common import trace_metadata
 from repro.experiments import (
@@ -28,7 +28,12 @@ if TYPE_CHECKING:
 
     from repro.experiments.common import ExperimentResult
 
-__all__ = ["EXPERIMENT_REGISTRY", "available_experiments", "run_experiment"]
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "available_experiments",
+    "run_experiment",
+    "run_experiments",
+]
 
 #: Experiment id -> callable(scale=..., seed=..., **kwargs) -> ExperimentResult.
 EXPERIMENT_REGISTRY: dict[str, Callable[..., Any]] = {
@@ -77,3 +82,35 @@ def run_experiment(
     if out_dir is not None:
         result.save(out_dir)
     return result
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: str = "small",
+    seed: int = 0,
+    out_dir: str | os.PathLike[str] | None = None,
+    *,
+    keep_going: bool = False,
+    **kwargs: Any,
+) -> Iterator[Tuple[str, Union[ExperimentResult, ReproError]]]:
+    """Run a batch of experiments, optionally surviving failures.
+
+    Yields ``(name, outcome)`` pairs in order, where ``outcome`` is the
+    :class:`ExperimentResult` on success. With ``keep_going=True`` a
+    failing experiment yields its :class:`~repro.errors.ReproError`
+    instead and the batch continues (the CLI's ``--keep-going``);
+    without it the error propagates immediately, aborting the batch.
+    ``KeyboardInterrupt`` always propagates — cancelling the batch is
+    the user's call, not a failure to recover from.
+    """
+    for name in names:
+        try:
+            result = run_experiment(
+                name, scale=scale, seed=seed, out_dir=out_dir, **kwargs
+            )
+        except ReproError as error:
+            if not keep_going:
+                raise
+            yield name, error
+            continue
+        yield name, result

@@ -37,6 +37,14 @@ schema):
     ``seconds``, and per-worker busy time when tiled.
 ``snapshot``
     One progressive-visualization snapshot capture.
+``fault``
+    One injected fault (:mod:`repro.resilience.faults`): ``kind``
+    (``worker_crash``/``slow_tile``/``nan_bounds``/``oom``), ``tile``,
+    ``attempt``, ``worker``.
+``recovery``
+    One recovery action of the resilient tile runner: ``action``
+    (``retry``/``give-up``/``quarantine``/``cancel``), plus ``tile``,
+    ``worker``, ``attempt`` and ``reason`` where applicable.
 """
 
 from __future__ import annotations
@@ -51,6 +59,8 @@ __all__ = [
     "EVENT_TILE",
     "EVENT_RENDER",
     "EVENT_SNAPSHOT",
+    "EVENT_FAULT",
+    "EVENT_RECOVERY",
     "EVENT_KINDS",
     "make_event",
 ]
@@ -62,6 +72,8 @@ EVENT_BATCH_STEP = "batch_step"
 EVENT_TILE = "tile"
 EVENT_RENDER = "render"
 EVENT_SNAPSHOT = "snapshot"
+EVENT_FAULT = "fault"
+EVENT_RECOVERY = "recovery"
 
 #: Every kind a conforming sink may receive.
 EVENT_KINDS = frozenset(
@@ -73,6 +85,8 @@ EVENT_KINDS = frozenset(
         EVENT_TILE,
         EVENT_RENDER,
         EVENT_SNAPSHOT,
+        EVENT_FAULT,
+        EVENT_RECOVERY,
     }
 )
 

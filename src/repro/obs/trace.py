@@ -24,7 +24,9 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence
 from repro.obs.events import (
     EVENT_BATCH_QUERY,
     EVENT_BATCH_STEP,
+    EVENT_FAULT,
     EVENT_QUERY,
+    EVENT_RECOVERY,
     EVENT_RENDER,
     EVENT_SNAPSHOT,
     EVENT_STEP,
@@ -281,6 +283,58 @@ class Tracer:
     def snapshot(self, *, pixels: int, elapsed: float, label: float) -> None:
         """Record one progressive-rendering snapshot capture."""
         self.emit(EVENT_SNAPSHOT, pixels=pixels, seconds=round(elapsed, 6), label=label)
+
+    # -- resilience hooks --------------------------------------------------
+
+    def fault(
+        self,
+        *,
+        kind: str,
+        tile: int,
+        attempt: int,
+        worker: int,
+        op: Optional[str] = None,
+    ) -> None:
+        """Record one injected fault (:mod:`repro.resilience.faults`)."""
+        with self._lock:
+            self.registry.counter(f"faults.{kind}").add(1)
+            self.sink.emit(
+                make_event(
+                    EVENT_FAULT,
+                    self.elapsed(),
+                    method=self.method,
+                    kind=kind,
+                    tile=tile,
+                    attempt=attempt,
+                    worker=worker,
+                    op=op,
+                )
+            )
+
+    def recovery(
+        self,
+        *,
+        action: str,
+        tile: Optional[int] = None,
+        worker: Optional[int] = None,
+        attempt: Optional[int] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Record one recovery action of the resilient tile runner."""
+        with self._lock:
+            self.registry.counter(f"recovery.{action}").add(1)
+            self.sink.emit(
+                make_event(
+                    EVENT_RECOVERY,
+                    self.elapsed(),
+                    method=self.method,
+                    action=action,
+                    tile=tile,
+                    worker=worker,
+                    attempt=attempt,
+                    reason=reason,
+                )
+            )
 
     def __repr__(self) -> str:
         return f"Tracer(sink={type(self.sink).__name__}, steps={self.steps})"

@@ -1,0 +1,68 @@
+"""Deadline-aware resilience: budgets, cancellation, retries, recovery.
+
+A render either finishes or it doesn't — this package makes "doesn't"
+a first-class, well-defined outcome instead of a stack trace:
+
+* :mod:`repro.resilience.budget` — :class:`Budget` (wall-clock
+  deadline, kernel-evaluation budget, memory cap) and the cooperative
+  :class:`CancellationToken` both refinement engines poll at
+  refinement-step granularity and the tiled renderer polls at tile
+  granularity;
+* :mod:`repro.resilience.result` — :class:`DegradedResult` /
+  :class:`RenderOutcome`, the structured description of a partial
+  render (best-so-far per-pixel ``(LB, UB)`` envelopes, resolved-pixel
+  fraction, worst residual gap, stop reason);
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` (exponential
+  backoff, per-worker quarantine) and the transient/fatal error
+  taxonomy;
+* :mod:`repro.resilience.checkpoint` — :class:`TileLedger`, the
+  completed-tile checkpoint a killed render resumes from;
+* :mod:`repro.resilience.faults` — deterministic seeded fault
+  injectors (``REPRO_FAULTS=``) so every degradation path above is
+  exercised in CI;
+* :mod:`repro.resilience.runner` — the resilient tile loop gluing the
+  pieces together for :class:`repro.visual.kdv.KDVRenderer`.
+
+See ``docs/robustness.md`` for budget semantics, the degradation
+contract, the fault matrix and the resume format.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.budget import (
+    STOP_CANCELLED,
+    STOP_DEADLINE,
+    STOP_INTERRUPT,
+    STOP_KERNEL_BUDGET,
+    STOP_MEMORY,
+    STOP_TILE_FAILURES,
+    Budget,
+    CancellationToken,
+)
+from repro.resilience.checkpoint import TileLedger
+from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.result import DegradedResult, RenderOutcome
+from repro.resilience.retry import RetryPolicy, TransientTileError, is_transient
+from repro.resilience.runner import TileRunReport, run_tiles
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "DegradedResult",
+    "RenderOutcome",
+    "RetryPolicy",
+    "TransientTileError",
+    "is_transient",
+    "TileLedger",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "TileRunReport",
+    "run_tiles",
+    "STOP_DEADLINE",
+    "STOP_KERNEL_BUDGET",
+    "STOP_MEMORY",
+    "STOP_CANCELLED",
+    "STOP_INTERRUPT",
+    "STOP_TILE_FAILURES",
+]

@@ -8,11 +8,12 @@ early rather than producing silently wrong density values.
 from __future__ import annotations
 
 import numbers
+import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import DataQualityWarning, DataValidationError, InvalidParameterError
 
 if TYPE_CHECKING:
     from repro._types import FloatArray, PointLike
@@ -22,7 +23,15 @@ __all__ = [
     "check_probability_like",
     "check_points",
     "check_query",
+    "clean_points",
+    "DUPLICATE_WARN_FRACTION",
 ]
+
+#: Duplicate-row fraction above which :func:`clean_points` warns: at half
+#: the dataset, bandwidth selectors (Scott/Silverman divide by the
+#: sample spread) start reflecting the duplication artefact more than
+#: the distribution.
+DUPLICATE_WARN_FRACTION = 0.5
 
 
 def check_positive(value: float, name: str) -> float:
@@ -90,6 +99,86 @@ def check_points(points: PointLike, *, name: str = "points", min_rows: int = 1) 
         raise InvalidParameterError(f"{name} must have at least one column")
     if not np.all(np.isfinite(array)):
         raise InvalidParameterError(f"{name} must not contain NaN or infinity")
+    return np.ascontiguousarray(array)
+
+
+def clean_points(
+    points: PointLike,
+    *,
+    name: str = "points",
+    min_rows: int = 1,
+    drop_nonfinite: bool = False,
+    duplicate_warn_fraction: float = DUPLICATE_WARN_FRACTION,
+) -> FloatArray:
+    """:func:`check_points` with structured errors and quality warnings.
+
+    The data-ingestion front door (:mod:`repro.data.loaders`,
+    :mod:`repro.data.synthetic`) routes through this instead of
+    :func:`check_points`:
+
+    * Non-finite rows raise :class:`~repro.errors.DataValidationError`
+      carrying the offending row count — or, with
+      ``drop_nonfinite=True``, are removed with a
+      :class:`~repro.errors.DataQualityWarning` naming how many were
+      dropped.
+    * When more than ``duplicate_warn_fraction`` of the rows are exact
+      duplicates of another row, a
+      :class:`~repro.errors.DataQualityWarning` is emitted: densities
+      stay well-defined but bandwidth rules degrade towards the
+      duplicated support (pass ``duplicate_warn_fraction=1.0`` to
+      disable the check).
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` array of shape ``(n, d)``.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise DataValidationError(
+            f"{name} must be a 2-D array of shape (n, d), got ndim={array.ndim}"
+        )
+    if array.shape[1] < 1:
+        raise DataValidationError(f"{name} must have at least one column")
+    total_rows = int(array.shape[0])
+    finite_rows = np.isfinite(array).all(axis=1)
+    nonfinite = total_rows - int(finite_rows.sum())
+    if nonfinite:
+        if not drop_nonfinite:
+            raise DataValidationError(
+                f"{name} contains {nonfinite} row(s) with NaN/Inf coordinates "
+                f"(of {total_rows}); pass drop_nonfinite=True to discard them",
+                nonfinite_rows=nonfinite,
+                total_rows=total_rows,
+            )
+        warnings.warn(
+            f"{name}: dropped {nonfinite} row(s) with NaN/Inf coordinates "
+            f"(of {total_rows})",
+            DataQualityWarning,
+            stacklevel=2,
+        )
+        array = array[finite_rows]
+    if array.shape[0] < min_rows:
+        raise DataValidationError(
+            f"{name} must contain at least {min_rows} finite point(s), "
+            f"got {array.shape[0]}",
+            nonfinite_rows=nonfinite,
+            total_rows=total_rows,
+        )
+    if duplicate_warn_fraction < 1.0 and array.shape[0] > 1:
+        unique_rows = np.unique(array, axis=0).shape[0]
+        duplicate_fraction = 1.0 - unique_rows / array.shape[0]
+        if duplicate_fraction > duplicate_warn_fraction:
+            warnings.warn(
+                f"{name}: {duplicate_fraction:.0%} of rows are exact "
+                "duplicates; bandwidth rules (Scott/Silverman) are "
+                "unreliable on duplicate-heavy data — consider "
+                "deduplicating with per-point weights",
+                DataQualityWarning,
+                stacklevel=2,
+            )
     return np.ascontiguousarray(array)
 
 

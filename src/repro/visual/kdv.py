@@ -10,12 +10,14 @@ online stages.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from repro.contracts.runtime import invariants_enabled
+from repro.core import stopping
 from repro.core.engine import QueryStats
 from repro.core.exact import exact_density
 from repro.core.kernels import get_kernel
@@ -24,6 +26,16 @@ from repro.errors import InvalidParameterError, UnsupportedOperationError
 from repro.methods.base import IndexedMethod, Method
 from repro.methods.registry import create_method
 from repro.obs.runtime import current_tracer, trace_to
+from repro.resilience.budget import (
+    STOP_TILE_FAILURES,
+    Budget,
+    CancellationToken,
+)
+from repro.resilience.checkpoint import TileLedger
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.result import DegradedResult, RenderOutcome
+from repro.resilience.retry import RetryPolicy, TransientTileError
+from repro.resilience.runner import run_tiles
 from repro.utils.validation import check_points, check_positive
 from repro.visual.colormap import get_colormap, two_color_map
 from repro.visual.grid import PixelGrid
@@ -34,13 +46,16 @@ if TYPE_CHECKING:
     from pathlib import Path
     from typing import Callable, Mapping
 
-    from repro._types import BoolArray, FloatArray, KernelLike, PointLike
+    from repro._types import BoolArray, FloatArray, IntArray, KernelLike, PointLike
     from repro.core.batch_engine import BatchRefinementEngine
     from repro.obs.sinks import TraceSink
     from repro.visual.colormap import Colormap
 
     #: Anything ``repro.obs.sinks.resolve_sink`` accepts as a trace target.
     TraceTarget = TraceSink | Callable[[Mapping[str, Any]], object] | str | Path | None
+
+    #: Anything the render methods accept as a fault specification.
+    FaultsLike = FaultInjector | FaultPlan | str | None
 
 __all__ = ["KDVRenderer"]
 
@@ -258,6 +273,36 @@ class KDVRenderer:
         fitted._require(operation)
         return fitted
 
+    def _resilience_engaged(
+        self,
+        tile_size: int | tuple[int, int] | None,
+        workers: int | None,
+        budget: Budget | None,
+        cancel: CancellationToken | None,
+        resume_from: str | os.PathLike[str] | None,
+        checkpoint: str | os.PathLike[str] | None,
+        faults: FaultsLike,
+        retry: RetryPolicy | None,
+    ) -> bool:
+        """Whether a render call opted into the resilient anytime path.
+
+        Opt-in is explicit: any resilience keyword, or — for renders
+        that are already tiled — a fault plan in the ``REPRO_FAULTS``
+        environment (the CI chaos hook). Plain renders are untouched,
+        so the default paths stay bit-identical to previous releases,
+        and the strict tiled path keeps its all-or-nothing error
+        propagation for callers that rely on it.
+        """
+        if any(
+            value is not None
+            for value in (budget, cancel, resume_from, checkpoint, faults, retry)
+        ):
+            return True
+        if tile_size is None and workers is None:
+            return False
+        plan = FaultPlan.from_env()
+        return plan is not None and not plan.empty
+
     def render_eps(
         self,
         eps: float = 0.01,
@@ -267,6 +312,12 @@ class KDVRenderer:
         tile_size: int | tuple[int, int] | None = None,
         workers: int | None = None,
         trace: TraceTarget = None,
+        budget: Budget | None = None,
+        cancel: CancellationToken | None = None,
+        resume_from: str | os.PathLike[str] | None = None,
+        checkpoint: str | os.PathLike[str] | None = None,
+        faults: FaultsLike = None,
+        retry: RetryPolicy | None = None,
     ) -> FloatArray:
         """εKDV colour-map values, shape ``(height, width)``.
 
@@ -290,12 +341,40 @@ class KDVRenderer:
         :func:`repro.obs.trace_to`): pass a JSONL path, a
         :class:`~repro.obs.sinks.TraceSink`, or a callable receiving
         each event dict. Independent of the ambient ``REPRO_TRACE``.
+
+        Any resilience keyword (``budget`` / ``cancel`` /
+        ``resume_from`` / ``checkpoint`` / ``faults`` / ``retry`` — see
+        :meth:`render_eps_anytime`) routes through the anytime tiled
+        path and returns its best-so-far image; a render degraded by
+        unrecovered tile failures raises
+        :class:`~repro.resilience.retry.TransientTileError` instead of
+        silently returning an image with unfinished tiles. Use
+        :meth:`render_eps_anytime` directly when the degradation
+        metadata and per-pixel envelopes are wanted.
         """
         if trace is not None:
             with trace_to(trace):
                 return self.render_eps(
-                    eps, method, atol=atol, tile_size=tile_size, workers=workers
+                    eps, method, atol=atol, tile_size=tile_size, workers=workers,
+                    budget=budget, cancel=cancel, resume_from=resume_from,
+                    checkpoint=checkpoint, faults=faults, retry=retry,
                 )
+        if self._resilience_engaged(
+            tile_size, workers, budget, cancel, resume_from, checkpoint, faults, retry
+        ):
+            outcome = self.render_eps_anytime(
+                eps, method, atol=atol, tile_size=tile_size, workers=workers,
+                budget=budget, cancel=cancel, resume_from=resume_from,
+                checkpoint=checkpoint, faults=faults, retry=retry,
+            )
+            degraded = outcome.degraded
+            if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
+                raise TransientTileError(
+                    f"eps render lost {len(degraded.tiles_failed)} tile(s) "
+                    "after retries; use render_eps_anytime for the partial "
+                    "envelopes"
+                )
+            return outcome.image
         if atol is None:
             atol = 1e-9 * self.weight
         if tile_size is None and workers is None:
@@ -339,18 +418,45 @@ class KDVRenderer:
         tile_size: int | tuple[int, int] | None = None,
         workers: int | None = None,
         trace: TraceTarget = None,
+        budget: Budget | None = None,
+        cancel: CancellationToken | None = None,
+        resume_from: str | os.PathLike[str] | None = None,
+        checkpoint: str | os.PathLike[str] | None = None,
+        faults: FaultsLike = None,
+        retry: RetryPolicy | None = None,
     ) -> BoolArray:
         """τKDV hotspot mask, boolean, shape ``(height, width)``.
 
         ``tile_size`` / ``workers`` opt into tiled batched rendering and
         ``trace`` scopes a tracer around the render, exactly as in
-        :meth:`render_eps`.
+        :meth:`render_eps`. The resilience keywords likewise route
+        through :meth:`render_tau_anytime`; pixels a tripped budget left
+        undecided render conservatively as cold.
         """
         if trace is not None:
             with trace_to(trace):
                 return self.render_tau(
-                    tau, method, tile_size=tile_size, workers=workers
+                    tau, method, tile_size=tile_size, workers=workers,
+                    budget=budget, cancel=cancel, resume_from=resume_from,
+                    checkpoint=checkpoint, faults=faults, retry=retry,
                 )
+        if self._resilience_engaged(
+            tile_size, workers, budget, cancel, resume_from, checkpoint, faults, retry
+        ):
+            outcome = self.render_tau_anytime(
+                tau, method, tile_size=tile_size, workers=workers,
+                budget=budget, cancel=cancel, resume_from=resume_from,
+                checkpoint=checkpoint, faults=faults, retry=retry,
+            )
+            degraded = outcome.degraded
+            if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
+                raise TransientTileError(
+                    f"tau render lost {len(degraded.tiles_failed)} tile(s) "
+                    "after retries; use render_tau_anytime for the partial "
+                    "envelopes"
+                )
+            mask: BoolArray = outcome.image.astype(bool)
+            return mask
         if tile_size is None and workers is None:
             fitted = self.get_method(method)
             tracer = current_tracer()
@@ -396,6 +502,418 @@ class KDVRenderer:
             return self._render_tiled(fitted, evaluate, dtype, tile_size, workers, op)
         with tracer.method_scope(fitted.name):
             return self._render_tiled(fitted, evaluate, dtype, tile_size, workers, op)
+
+    # -- anytime (resilient) rendering ---------------------------------------
+
+    def render_eps_anytime(
+        self,
+        eps: float = 0.01,
+        method: str | Method = "quad",
+        *,
+        atol: float | None = None,
+        tile_size: int | tuple[int, int] | None = None,
+        workers: int | None = None,
+        budget: Budget | None = None,
+        cancel: CancellationToken | None = None,
+        resume_from: str | os.PathLike[str] | None = None,
+        checkpoint: str | os.PathLike[str] | None = None,
+        faults: FaultsLike = None,
+        retry: RetryPolicy | None = None,
+        trace: TraceTarget = None,
+    ) -> RenderOutcome:
+        """εKDV as an anytime render: best-so-far envelopes, never a hang.
+
+        Runs the tiled batched refinement under the resilience layer
+        (:mod:`repro.resilience`) and returns a
+        :class:`~repro.resilience.result.RenderOutcome`: the midpoint
+        image, the per-pixel ``(LB, UB)`` envelope images (always
+        satisfying ``LB <= F <= UB``), the resolved-pixel mask, and —
+        when the render stopped early — structured
+        :class:`~repro.resilience.result.DegradedResult` metadata.
+
+        Parameters beyond :meth:`render_eps`:
+
+        budget:
+            A :class:`~repro.resilience.budget.Budget` (wall-clock
+            deadline, kernel-evaluation cap, memory cap). When it trips,
+            refinement stops cooperatively at the next frontier pop and
+            unresolved pixels keep their current envelopes.
+        cancel:
+            An externally owned
+            :class:`~repro.resilience.budget.CancellationToken`
+            (overrides ``budget``'s token; pass ``budget`` via
+            ``CancellationToken(budget)`` in that case).
+        resume_from:
+            Path of a checkpoint written by ``checkpoint=``; completed
+            tiles are loaded instead of recomputed. The checkpoint
+            signature must match this render exactly
+            (:class:`~repro.errors.CheckpointError` otherwise), and the
+            resumed image is bit-identical to an uninterrupted run.
+        checkpoint:
+            Path to write the completed-tile ledger to (written on
+            success, cancellation, and fatal errors alike).
+        faults:
+            Fault injection: a
+            :class:`~repro.resilience.faults.FaultInjector`, a
+            :class:`~repro.resilience.faults.FaultPlan`, or a spec
+            string (``"worker_crash:0.05,..."``). Defaults to the
+            ``REPRO_FAULTS`` environment plan.
+        retry:
+            :class:`~repro.resilience.retry.RetryPolicy` for transient
+            tile failures (default: 4 attempts, exponential backoff,
+            quarantine after 3 consecutive failures per worker).
+
+        A run with no budget, no faults and no failures is bit-identical
+        to ``render_eps(..., tile_size=..., workers=...)``.
+        """
+        if trace is not None:
+            with trace_to(trace):
+                return self.render_eps_anytime(
+                    eps, method, atol=atol, tile_size=tile_size, workers=workers,
+                    budget=budget, cancel=cancel, resume_from=resume_from,
+                    checkpoint=checkpoint, faults=faults, retry=retry,
+                )
+        if atol is None:
+            atol = 1e-9 * self.weight
+        fitted = self._tiled_method(method, "eps")
+        return self._render_anytime(
+            fitted, "eps", eps=float(eps), atol=float(atol), tau=None,
+            tile_size=tile_size, workers=workers, budget=budget, cancel=cancel,
+            resume_from=resume_from, checkpoint=checkpoint, faults=faults,
+            retry=retry,
+        )
+
+    def render_tau_anytime(
+        self,
+        tau: float,
+        method: str | Method = "quad",
+        *,
+        tile_size: int | tuple[int, int] | None = None,
+        workers: int | None = None,
+        budget: Budget | None = None,
+        cancel: CancellationToken | None = None,
+        resume_from: str | os.PathLike[str] | None = None,
+        checkpoint: str | os.PathLike[str] | None = None,
+        faults: FaultsLike = None,
+        retry: RetryPolicy | None = None,
+        trace: TraceTarget = None,
+    ) -> RenderOutcome:
+        """τKDV as an anytime render (see :meth:`render_eps_anytime`).
+
+        The outcome image is the boolean hot mask ``LB >= τ``:
+        conservative under degradation, since a pixel whose interval
+        still straddles ``τ`` renders cold until proven hot. The
+        resolved mask marks pixels whose decision is certain.
+        """
+        if trace is not None:
+            with trace_to(trace):
+                return self.render_tau_anytime(
+                    tau, method, tile_size=tile_size, workers=workers,
+                    budget=budget, cancel=cancel, resume_from=resume_from,
+                    checkpoint=checkpoint, faults=faults, retry=retry,
+                )
+        fitted = self._tiled_method(method, "tau")
+        return self._render_anytime(
+            fitted, "tau", eps=None, atol=None, tau=float(tau),
+            tile_size=tile_size, workers=workers, budget=budget, cancel=cancel,
+            resume_from=resume_from, checkpoint=checkpoint, faults=faults,
+            retry=retry,
+        )
+
+    def _render_signature(
+        self,
+        fitted: IndexedMethod,
+        op: str,
+        params: dict[str, float],
+        tile_shape: tuple[int, int],
+    ) -> dict[str, Any]:
+        """Checkpoint signature: everything that shapes per-tile values.
+
+        Two renders with equal signatures produce bit-identical tile
+        values (dataset, kernel, bandwidth, grid geometry, method and
+        its options, operation parameters, and the tile partitioning
+        that defines tile indices), so resuming across them is safe.
+        """
+        return {
+            "format": "repro-render-v1",
+            "points_sha1": hashlib.sha1(self.points.tobytes()).hexdigest(),
+            "n": int(self.points.shape[0]),
+            "kernel": self.kernel.name,
+            "gamma": float(self.gamma),
+            "weight": float(self.weight),
+            "grid": [
+                int(self.grid.width),
+                int(self.grid.height),
+                [float(v) for v in self.grid.low],
+                [float(v) for v in self.grid.high],
+            ],
+            "method": fitted.name,
+            "method_options": {
+                key: repr(value)
+                for key, value in sorted(self.method_options.items())
+            },
+            "op": op,
+            "params": params,
+            "tile": [int(tile_shape[0]), int(tile_shape[1])],
+        }
+
+    def _render_anytime(
+        self,
+        fitted: IndexedMethod,
+        op: str,
+        *,
+        eps: float | None,
+        atol: float | None,
+        tau: float | None,
+        tile_size: int | tuple[int, int] | None,
+        workers: int | None,
+        budget: Budget | None,
+        cancel: CancellationToken | None,
+        resume_from: str | os.PathLike[str] | None,
+        checkpoint: str | os.PathLike[str] | None,
+        faults: FaultsLike,
+        retry: RetryPolicy | None,
+    ) -> RenderOutcome:
+        """Shared anytime ε/τ implementation over the resilient runner."""
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.method_scope(fitted.name):
+                return self._render_anytime_impl(
+                    fitted, op, eps=eps, atol=atol, tau=tau,
+                    tile_size=tile_size, workers=workers, budget=budget,
+                    cancel=cancel, resume_from=resume_from,
+                    checkpoint=checkpoint, faults=faults, retry=retry,
+                    tracer=tracer,
+                )
+        return self._render_anytime_impl(
+            fitted, op, eps=eps, atol=atol, tau=tau, tile_size=tile_size,
+            workers=workers, budget=budget, cancel=cancel,
+            resume_from=resume_from, checkpoint=checkpoint, faults=faults,
+            retry=retry, tracer=None,
+        )
+
+    def _render_anytime_impl(
+        self,
+        fitted: IndexedMethod,
+        op: str,
+        *,
+        eps: float | None,
+        atol: float | None,
+        tau: float | None,
+        tile_size: int | tuple[int, int] | None,
+        workers: int | None,
+        budget: Budget | None,
+        cancel: CancellationToken | None,
+        resume_from: str | os.PathLike[str] | None,
+        checkpoint: str | os.PathLike[str] | None,
+        faults: FaultsLike,
+        retry: RetryPolicy | None,
+        tracer: Any,
+    ) -> RenderOutcome:
+        start = time.perf_counter()
+        centers = self.grid.centers()
+        n_pixels = self.grid.num_pixels
+        if tile_size is None:
+            tile_size = DEFAULT_TILE_SIZE
+        tile_shape = (
+            (int(tile_size), int(tile_size))
+            if np.isscalar(tile_size)
+            else (int(tile_size[0]), int(tile_size[1]))  # type: ignore[index]
+        )
+        tile_list = list(self.grid.tiles(tile_size))
+        n_tiles = len(tile_list)
+        n_workers = None if workers is None else int(workers)
+
+        token = cancel
+        if token is None:
+            token = budget.token() if budget is not None else CancellationToken()
+        token.start()
+
+        injector: FaultInjector | None
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        else:
+            plan: FaultPlan | None
+            if isinstance(faults, FaultPlan):
+                plan = faults
+            elif isinstance(faults, str):
+                plan = FaultPlan.parse(faults)
+            else:
+                plan = FaultPlan.from_env()
+            injector = (
+                FaultInjector(plan, tracer)
+                if plan is not None and not plan.empty
+                else None
+            )
+
+        # The initial envelope is the root node's bounds over every
+        # pixel: valid before any refinement runs, so even a render
+        # cancelled on its very first tile returns LB <= F <= UB
+        # everywhere.
+        engine0 = fitted.engine
+        assert engine0 is not None
+        provider = engine0.provider
+        node_bounds = (
+            provider.checked_node_bounds_batch
+            if invariants_enabled()
+            else provider.node_bounds_batch
+        )
+        centers_sq = np.einsum("ij,ij->i", centers, centers)
+        root_lb, root_ub = node_bounds(engine0.tree.root, centers, centers_sq)
+        lower = np.array(root_lb, dtype=np.float64, copy=True)
+        upper = np.array(root_ub, dtype=np.float64, copy=True)
+        completed_flags = np.zeros(n_tiles, dtype=bool)
+
+        if op == "eps":
+            assert eps is not None and atol is not None
+            params = {"eps": eps, "atol": atol}
+            one_plus_eps = 1.0 + eps
+
+            def evaluate(
+                engine: BatchRefinementEngine, pixels: IntArray
+            ) -> tuple[FloatArray, FloatArray]:
+                return engine.query_eps_bounds(
+                    centers[pixels], eps, atol=atol, cancel=token
+                )
+
+            def resolved_rows(lo: FloatArray, up: FloatArray) -> BoolArray:
+                return stopping.eps_stop_mask(lo, up, one_plus_eps, 0.0, atol)
+
+        else:
+            assert tau is not None
+            params = {"tau": tau}
+
+            def evaluate(
+                engine: BatchRefinementEngine, pixels: IntArray
+            ) -> tuple[FloatArray, FloatArray]:
+                return engine.query_tau_bounds(centers[pixels], tau, cancel=token)
+
+            def resolved_rows(lo: FloatArray, up: FloatArray) -> BoolArray:
+                return stopping.tau_stop_mask(lo, up, tau)
+
+        signature = self._render_signature(fitted, op, params, tile_shape)
+        skip: set[int] | None = None
+        if resume_from is not None:
+            ledger = TileLedger.load(resume_from)
+            ledger.require_signature(signature)
+            skip = ledger.completed_tiles()
+            for index in skip:
+                pixels = tile_list[index]
+                lower[pixels] = ledger.lower[pixels]
+                upper[pixels] = ledger.upper[pixels]
+                completed_flags[index] = True
+
+        def store(
+            index: int, pixels: IntArray, lo: FloatArray, up: FloatArray
+        ) -> None:
+            lower[pixels] = lo
+            upper[pixels] = up
+            if bool(resolved_rows(lo, up).all()):
+                completed_flags[index] = True
+
+        def tile_complete(lo: FloatArray, up: FloatArray) -> bool:
+            return bool(resolved_rows(lo, up).all())
+
+        worker_stats: list[QueryStats] = []
+
+        def make_engine(worker_id: int) -> BatchRefinementEngine:
+            if n_workers is None or n_workers <= 1:
+                engine = fitted.batch_engine
+                assert engine is not None
+                return engine
+            stats = QueryStats()
+            worker_stats.append(stats)
+            return fitted.make_batch_engine(stats)
+
+        report = None
+        try:
+            report = run_tiles(
+                tile_list, evaluate, store, tile_complete, make_engine,
+                token=token, retry=retry, faults=injector, tracer=tracer,
+                workers=n_workers, skip=skip, op=op,
+            )
+        finally:
+            # Stats merge unconditionally (unlike the strict tiled
+            # path's all-or-nothing merge): partial work is this path's
+            # deliverable, so the ledger must account for it. The
+            # checkpoint is written even when a fatal error propagates,
+            # so completed tiles survive a crash.
+            for stats in worker_stats:
+                fitted.stats.merge(stats)
+            if checkpoint is not None:
+                TileLedger(signature, lower, upper, completed_flags).save(checkpoint)
+
+        if op == "eps":
+            values: np.ndarray = 0.5 * (lower + upper)
+        else:
+            values = stopping.tau_hot_mask(lower, tau)  # type: ignore[arg-type]
+        resolved_mask = resolved_rows(lower, upper)
+        resolved = int(resolved_mask.sum())
+        if resolved == n_pixels:
+            worst_gap = 0.0
+        else:
+            worst_gap = float(np.max((upper - lower)[~resolved_mask]))
+
+        if token.triggered:
+            reason: str | None = token.reason
+        elif report.failed or report.partial or report.unprocessed:
+            reason = STOP_TILE_FAILURES
+        else:
+            reason = None
+
+        elapsed = time.perf_counter() - start
+        degraded: DegradedResult | None = None
+        if reason is not None:
+            budget_dict = None
+            if budget is not None:
+                budget_dict = budget.as_dict()
+            elif token.budget is not None:
+                budget_dict = token.budget.as_dict()
+            degraded = DegradedResult(
+                reason=reason,
+                pixels_total=n_pixels,
+                pixels_resolved=resolved,
+                worst_gap=worst_gap,
+                tiles_total=n_tiles,
+                tiles_completed=int(completed_flags.sum()),
+                tiles_failed=[
+                    {"tile": index, "error": message}
+                    for index, message in sorted(report.failed.items())
+                ],
+                retries=report.retries,
+                faults_injected=report.faults_injected,
+                quarantined_workers=report.quarantined,
+                elapsed_s=elapsed,
+                budget=budget_dict,
+            )
+        elif (
+            op == "eps"
+            and invariants_enabled()
+            and fitted.deterministic_guarantee
+        ):
+            # Complete anytime renders honour the same eps-agreement
+            # contract check as the strict tiled path.
+            assert eps is not None and atol is not None
+            fitted._check_eps_agreement(centers, values, eps, atol)
+
+        if tracer is not None:
+            tracer.render(
+                op=op,
+                pixels=n_pixels,
+                tiles=n_tiles,
+                workers=n_workers if n_workers is not None else 1,
+                seconds=elapsed,
+            )
+
+        return RenderOutcome(
+            image=self.grid.to_image(values),
+            lower=self.grid.to_image(lower),
+            upper=self.grid.to_image(upper),
+            resolved=self.grid.to_image(resolved_mask),
+            degraded=degraded,
+            stats=None,
+            checkpoint_path=None if checkpoint is None else str(checkpoint),
+        )
 
     # -- interactive viewport operations ------------------------------------
 

@@ -28,6 +28,7 @@ from repro.errors import InvalidParameterError
 from repro.methods.base import Method
 from repro.methods.registry import create_method
 from repro.obs.runtime import current_tracer
+from repro.resilience.budget import STOP_INTERRUPT, Budget, CancellationToken
 from repro.utils.validation import check_points, check_positive, check_probability_like
 from repro.visual.grid import PixelGrid
 
@@ -36,7 +37,19 @@ if TYPE_CHECKING:
 
     Region = tuple[int, int, int, int]
 
-__all__ = ["quadtree_regions", "ProgressiveRenderer", "ProgressiveResult", "Snapshot"]
+__all__ = [
+    "quadtree_regions",
+    "ProgressiveRenderer",
+    "ProgressiveResult",
+    "Snapshot",
+    "STOP_TIME_BUDGET",
+    "STOP_MAX_PIXELS",
+]
+
+#: ``run(time_budget=...)`` elapsed before the stream drained.
+STOP_TIME_BUDGET = "time-budget"
+#: ``run(max_pixels=...)`` was reached before the stream drained.
+STOP_MAX_PIXELS = "max-pixels"
 
 
 def quadtree_regions(width: int, height: int) -> Iterator[Region]:
@@ -122,9 +135,22 @@ class ProgressiveResult:
         Wall-clock seconds.
     snapshots:
         List of :class:`Snapshot`, in capture order.
+    stop_reason:
+        Why the run stopped early — :data:`STOP_TIME_BUDGET`,
+        :data:`STOP_MAX_PIXELS`, or a
+        :class:`~repro.resilience.budget.CancellationToken` reason
+        (deadline / kernel budget / keyboard interrupt) — or ``None``
+        when the stream drained completely.
     """
 
-    __slots__ = ("image", "pixels_evaluated", "total_pixels", "elapsed", "snapshots")
+    __slots__ = (
+        "image",
+        "pixels_evaluated",
+        "total_pixels",
+        "elapsed",
+        "snapshots",
+        "stop_reason",
+    )
 
     def __init__(
         self,
@@ -133,12 +159,14 @@ class ProgressiveResult:
         total_pixels: int,
         elapsed: float,
         snapshots: list[Snapshot],
+        stop_reason: str | None = None,
     ) -> None:
         self.image = image
         self.pixels_evaluated = pixels_evaluated
         self.total_pixels = total_pixels
         self.elapsed = elapsed
         self.snapshots = snapshots
+        self.stop_reason = stop_reason
 
     @property
     def complete(self) -> bool:
@@ -148,7 +176,8 @@ class ProgressiveResult:
     def __repr__(self) -> str:
         return (
             f"ProgressiveResult(pixels={self.pixels_evaluated}/{self.total_pixels}, "
-            f"elapsed={self.elapsed:.4f}s, snapshots={len(self.snapshots)})"
+            f"elapsed={self.elapsed:.4f}s, snapshots={len(self.snapshots)}, "
+            f"stop_reason={self.stop_reason!r})"
         )
 
 
@@ -236,6 +265,9 @@ class ProgressiveRenderer:
         max_pixels: int | None = None,
         snapshot_times: Sequence[float] = (),
         snapshot_pixels: Sequence[int] = (),
+        *,
+        budget: Budget | None = None,
+        cancel: CancellationToken | None = None,
     ) -> ProgressiveResult:
         """Run the stream under a budget, capturing snapshots.
 
@@ -252,6 +284,19 @@ class ProgressiveRenderer:
             Capture a snapshot when the evaluated-pixel count first
             reaches each value — the deterministic twin of
             ``snapshot_times`` used by tests and quality experiments.
+        budget:
+            A :class:`~repro.resilience.budget.Budget` checked between
+            pixel evaluations (per-pixel kernel evaluations are charged
+            against its eval cap from the method's stats when the
+            method exposes them).
+        cancel:
+            An externally owned cancellation token (overrides
+            ``budget``'s token).
+
+        The run is always anytime: a tripped budget/token — or a
+        ``KeyboardInterrupt`` during evaluation — returns the partial
+        coarse-to-fine image accumulated so far, with
+        :attr:`ProgressiveResult.stop_reason` naming the cause.
 
         Returns
         -------
@@ -262,27 +307,58 @@ class ProgressiveRenderer:
         pending_pixels = sorted(int(p) for p in snapshot_pixels)
         snapshots: list[Snapshot] = []
         pixels_evaluated = 0
+        stop_reason: str | None = None
+        token = cancel
+        if token is None and budget is not None:
+            token = budget.token()
+        if token is not None:
+            token.start()
+        stats = getattr(self.method, "stats", None)
+        evals_seen = stats.point_evaluations if stats is not None else 0
         tracer = current_tracer()
         start = time.perf_counter()
         elapsed = 0.0
-        for region, value, pixels_evaluated in self.stream():
-            x0, y0, w, h = region
-            image[y0 : y0 + h, x0 : x0 + w] = value
+        try:
+            for region, value, pixels_evaluated in self.stream():
+                x0, y0, w, h = region
+                image[y0 : y0 + h, x0 : x0 + w] = value
+                elapsed = time.perf_counter() - start
+                while pending_times and elapsed >= pending_times[0]:
+                    label = pending_times.pop(0)
+                    snapshots.append(
+                        Snapshot(label, image.copy(), pixels_evaluated, elapsed)
+                    )
+                    if tracer is not None:
+                        tracer.snapshot(
+                            pixels=pixels_evaluated, elapsed=elapsed, label=label
+                        )
+                while pending_pixels and pixels_evaluated >= pending_pixels[0]:
+                    label = pending_pixels.pop(0)
+                    snapshots.append(
+                        Snapshot(label, image.copy(), pixels_evaluated, elapsed)
+                    )
+                    if tracer is not None:
+                        tracer.snapshot(
+                            pixels=pixels_evaluated, elapsed=elapsed, label=label
+                        )
+                if time_budget is not None and elapsed >= time_budget:
+                    stop_reason = STOP_TIME_BUDGET
+                    break
+                if max_pixels is not None and pixels_evaluated >= max_pixels:
+                    stop_reason = STOP_MAX_PIXELS
+                    break
+                if token is not None:
+                    if stats is not None:
+                        token.charge(stats.point_evaluations - evals_seen)
+                        evals_seen = stats.point_evaluations
+                    stop_reason = token.stop_reason()
+                    if stop_reason is not None:
+                        break
+        except KeyboardInterrupt:
             elapsed = time.perf_counter() - start
-            while pending_times and elapsed >= pending_times[0]:
-                label = pending_times.pop(0)
-                snapshots.append(Snapshot(label, image.copy(), pixels_evaluated, elapsed))
-                if tracer is not None:
-                    tracer.snapshot(pixels=pixels_evaluated, elapsed=elapsed, label=label)
-            while pending_pixels and pixels_evaluated >= pending_pixels[0]:
-                label = pending_pixels.pop(0)
-                snapshots.append(Snapshot(label, image.copy(), pixels_evaluated, elapsed))
-                if tracer is not None:
-                    tracer.snapshot(pixels=pixels_evaluated, elapsed=elapsed, label=label)
-            if time_budget is not None and elapsed >= time_budget:
-                break
-            if max_pixels is not None and pixels_evaluated >= max_pixels:
-                break
+            stop_reason = STOP_INTERRUPT
+            if token is not None:
+                token.cancel(STOP_INTERRUPT)
         # Budgets larger than the full run: record the completed image
         # under the remaining labels so consumers get one snapshot per
         # request.
@@ -303,4 +379,5 @@ class ProgressiveRenderer:
             total_pixels=self.grid.num_pixels,
             elapsed=elapsed,
             snapshots=snapshots,
+            stop_reason=stop_reason,
         )

@@ -207,3 +207,45 @@ class TestPCA:
             pca_project(highdim_points, 0)
         with pytest.raises(InvalidParameterError):
             pca_project(highdim_points, 99)
+
+
+class TestDegenerateBandwidth:
+    """Regression: near-zero/overflowing spreads must yield finite gamma.
+
+    Before the clamp, ``scott_gamma`` raised ``ZeroDivisionError`` when
+    ``h * h`` underflowed to zero (coordinates differing by ~1e-170) and
+    returned ``gamma == 0`` (rejected downstream) when ``h`` overflowed.
+    """
+
+    def test_underflowing_spread_gamma_finite(self):
+        points = np.array([[0.0, 0.0], [1e-170, 1e-170], [2e-170, 0.0]])
+        gamma = scott_gamma(points, "gaussian")
+        assert math.isfinite(gamma) and gamma > 0
+
+    def test_overflowing_spread_gamma_finite(self):
+        points = np.array([[0.0, 0.0], [1e160, 1e160], [2e160, 0.0]])
+        for kernel in ("gaussian", "triangular"):
+            gamma = scott_gamma(points, kernel)
+            assert math.isfinite(gamma) and gamma > 0
+
+    def test_normal_data_gamma_bit_identical_to_formula(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(500, 2))
+        h = points.std(axis=0, ddof=1).mean() * 500 ** (-1.0 / 6.0)
+        # The clamp must not perturb the non-degenerate path at all.
+        assert scott_gamma(points, "gaussian") == 1.0 / (2.0 * h * h)
+
+    def test_degenerate_data_renders_finite_image(self):
+        from repro.visual.kdv import KDVRenderer
+
+        points = np.array([[0.0, 0.0], [1e-170, 1e-170], [2e-170, 0.0]])
+        image = KDVRenderer(points, resolution=(8, 6)).render_eps(0.1)
+        assert np.isfinite(image).all()
+
+    def test_gamma_for_radius_extremes_finite(self):
+        from repro.data.bandwidth import gamma_for_radius
+
+        for radius in (1e-200, 1e200):
+            for kernel in ("gaussian", "triangular", "cosine"):
+                gamma = gamma_for_radius(radius, kernel)
+                assert math.isfinite(gamma) and gamma > 0

@@ -142,3 +142,34 @@ def test_gaussian_profile_matches_exp_property(x):
 )
 def test_profiles_nonnegative_property(x, name):
     assert get_kernel(name).profile_scalar(x) >= 0.0
+
+
+class TestGammaClamp:
+    def test_clamp_gamma_bounds(self):
+        from repro.core.kernels import GAMMA_MAX, GAMMA_MIN, clamp_gamma
+
+        assert clamp_gamma(1e-300) == GAMMA_MIN
+        assert clamp_gamma(1e300) == GAMMA_MAX
+        assert clamp_gamma(0.5) == 0.5
+
+    def test_extreme_gamma_evaluate_stays_finite(self):
+        """Regression: gamma near the clamp limits must not overflow
+        ``gamma * distance`` into Inf/NaN kernel values (or warnings
+        under ``-W error``)."""
+        from repro.core.kernels import GAMMA_MAX, GAMMA_MIN, available_kernels, get_kernel
+
+        sq_dists = np.array([0.0, 1e-8, 1.0, 1e200])
+        for name in available_kernels():
+            kernel = get_kernel(name)
+            for gamma in (GAMMA_MIN, 1.0, GAMMA_MAX):
+                values = kernel.evaluate(sq_dists, gamma)
+                assert np.isfinite(values).all(), (name, gamma)
+                assert (values >= 0.0).all() and (values <= 1.0).all()
+
+    def test_clip_does_not_change_ordinary_values(self):
+        from repro.core.kernels import get_kernel
+
+        sq_dists = np.linspace(0.0, 25.0, 101)
+        kernel = get_kernel("gaussian")
+        expected = np.exp(-0.7 * sq_dists)
+        assert np.array_equal(kernel.evaluate(sq_dists, 0.7), expected)

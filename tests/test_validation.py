@@ -114,3 +114,58 @@ class TestCheckQuery:
     def test_rejects_nan(self):
         with pytest.raises(InvalidParameterError):
             check_query([1.0, float("nan")], 2)
+
+
+class TestCleanPoints:
+    def test_passthrough_on_clean_data(self):
+        from repro.utils.validation import clean_points
+
+        points = np.random.default_rng(0).normal(size=(50, 2))
+        out = clean_points(points)
+        assert np.array_equal(out, points)
+
+    def test_nonfinite_raises_structured_error(self):
+        from repro.errors import DataValidationError
+        from repro.utils.validation import clean_points
+
+        bad = np.array([[0.0, 1.0], [np.nan, 2.0], [np.inf, 3.0], [4.0, 5.0]])
+        with pytest.raises(DataValidationError) as info:
+            clean_points(bad)
+        assert info.value.nonfinite_rows == 2
+        assert info.value.total_rows == 4
+
+    def test_drop_nonfinite_warns_and_drops(self):
+        from repro.errors import DataQualityWarning
+        from repro.utils.validation import clean_points
+
+        bad = np.array([[0.0, 1.0], [np.nan, 2.0], [4.0, 5.0]])
+        with pytest.warns(DataQualityWarning, match="dropped 1"):
+            out = clean_points(bad, drop_nonfinite=True)
+        assert out.shape == (2, 2)
+        assert np.isfinite(out).all()
+
+    def test_all_rows_dropped_raises(self):
+        from repro.errors import DataValidationError
+        from repro.utils.validation import clean_points
+
+        with pytest.raises(DataValidationError):
+            with pytest.warns():
+                clean_points([[np.nan, np.nan]], drop_nonfinite=True)
+
+    def test_duplicate_heavy_dataset_warns(self):
+        from repro.errors import DataQualityWarning
+        from repro.utils.validation import clean_points
+
+        points = np.vstack(
+            [np.tile([[1.0, 2.0]], (80, 1)),
+             np.random.default_rng(0).normal(size=(20, 2))]
+        )
+        with pytest.warns(DataQualityWarning, match="duplicates"):
+            clean_points(points)
+
+    def test_duplicate_check_can_be_disabled(self, recwarn):
+        from repro.utils.validation import clean_points
+
+        points = np.tile([[1.0, 2.0]], (80, 1))
+        clean_points(points, duplicate_warn_fraction=1.0)
+        assert not recwarn.list

@@ -36,6 +36,13 @@ that keep that contract auditable:
     No ``except`` handler whose body is only ``pass`` / ``...`` —
     a swallowed error is the same silent failure mode the contracts
     exist to prevent.
+``bare-except``
+    No ``except:`` without an exception type. A bare except catches
+    ``KeyboardInterrupt`` and ``SystemExit``, which breaks the
+    resilience layer's cooperative-cancellation contract (Ctrl-C must
+    reach the tile runner, not die in a helper). Catch ``Exception``
+    — or the precise type — instead; the rare deliberate case carries
+    ``# lint: allow-bare-except``.
 
 False positives are suppressed with an inline marker on the same or the
 preceding line::
@@ -389,6 +396,24 @@ def _check_silent_except(
         )
 
 
+def _check_bare_except(
+    path: Path, tree: ast.Module, markers: dict[int, set[str]]
+) -> Iterator[Violation]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or node.type is not None:
+            continue
+        if _suppressed(markers, node.lineno, "bare-except"):
+            continue
+        yield Violation(
+            path,
+            node.lineno,
+            "bare-except",
+            "bare 'except:' also catches KeyboardInterrupt/SystemExit and "
+            "defeats cooperative cancellation; catch Exception or the "
+            "precise type, or add '# lint: allow-bare-except'",
+        )
+
+
 _CHECKS = (
     _check_float_eq,
     _check_unclipped_exp,
@@ -398,6 +423,7 @@ _CHECKS = (
     _check_missing_all,
     _check_return_annotation,
     _check_silent_except,
+    _check_bare_except,
 )
 
 
