@@ -28,6 +28,7 @@ from repro.ml.kernel_regression import KernelRegressor
 from repro.visual.grid import PixelGrid
 from repro.visual.kdv import KDVRenderer
 from repro.visual.progressive import ProgressiveRenderer
+from repro.visual.request import RenderOptions, RenderRequest
 from repro.visual.streaming import StreamingKDV
 
 __version__ = "1.0.0"
@@ -41,6 +42,8 @@ __all__ = [
     "KDVRenderer",
     "ProgressiveRenderer",
     "PixelGrid",
+    "RenderRequest",
+    "RenderOptions",
     "exact_density",
     "scott_gamma",
     "get_kernel",

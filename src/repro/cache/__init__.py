@@ -1,0 +1,5 @@
+"""Multi-level render caches shared by the tile service."""
+
+from repro.cache.tiles import TileCache, partial_fingerprint
+
+__all__ = ["TileCache", "partial_fingerprint"]

@@ -9,8 +9,16 @@ Subcommands
     per-method refinement summary.
 ``experiment``
     Run one of the paper's experiments and print its result table.
+``serve``
+    Start the KDV tile server (:mod:`repro.serve`): slippy-map tiles at
+    ``/tile/{dataset}/{z}/{x}/{y}.png`` with the multi-level density
+    cache, plus ``/stats``.
 ``list``
     Show the registered kernels, methods, datasets and experiments.
+
+All rendering routes through the unified
+:class:`~repro.visual.request.RenderRequest` API (``docs/api.md`` maps
+the legacy keyword surface onto it).
 
 Invalid numeric inputs (``--eps <= 0``, non-finite ``--tau-offset``,
 non-positive ``--width``/``--height``/``--n``) are rejected at parse
@@ -169,6 +177,53 @@ def build_parser() -> argparse.ArgumentParser:
         "at the end instead of aborting the batch",
     )
 
+    serve = sub.add_parser("serve", help="start the KDV tile server")
+    serve.add_argument(
+        "--dataset",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="dataset to serve as 'name[:n[:seed]]' (repeatable; "
+        "default: crime:10000:0)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8699)
+    serve.add_argument("--tile-px", type=_positive_int, default=256)
+    serve.add_argument("--method", default="quad", choices=available_methods())
+    serve.add_argument(
+        "--eps", type=_positive_float, default=0.05, help="default εKDV tolerance"
+    )
+    serve.add_argument(
+        "--tau",
+        type=_finite_float,
+        default=None,
+        help="serve τKDV hotspot masks at this threshold instead of εKDV",
+    )
+    serve.add_argument("--colormap", default="density")
+    serve.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=10_000.0,
+        help="per-request render deadline",
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=_positive_int,
+        default=64,
+        help="byte budget per cache level (PNG / density / bounds)",
+    )
+    serve.add_argument(
+        "--ttl-s", type=_positive_float, default=None, help="cache entry TTL"
+    )
+    serve.add_argument("--workers", type=_positive_int, default=4)
+    serve.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=32,
+        help="max in-flight renders before requests get 503",
+    )
+    serve.add_argument("--max-zoom", type=_positive_int, default=18)
+
     sub.add_parser("list", help="show registered components")
     return parser
 
@@ -180,6 +235,7 @@ def _command_render(args: argparse.Namespace) -> int:
     from repro.data.synthetic import load_dataset
     from repro.resilience import STOP_INTERRUPT, STOP_TILE_FAILURES, Budget
     from repro.visual.kdv import KDVRenderer
+    from repro.visual.request import RenderOptions, RenderRequest
 
     from contextlib import nullcontext
 
@@ -216,29 +272,25 @@ def _command_render(args: argparse.Namespace) -> int:
         if args.trace_out
         else nullcontext()
     )
+    options = RenderOptions(
+        tile_size=args.tile_size,
+        workers=args.workers,
+        budget=budget,
+        resume_from=args.resume_from,
+        checkpoint=args.checkpoint,
+        faults=args.faults,
+        anytime=resilient,
+    )
     degraded = None
     with scope:
         if args.tau_offset is None:
+            request = RenderRequest.for_eps(args.eps, args.method, options=options)
+            result = renderer.render(request)
             if resilient:
-                outcome = renderer.render_eps_anytime(
-                    args.eps,
-                    args.method,
-                    tile_size=args.tile_size,
-                    workers=args.workers,
-                    budget=budget,
-                    resume_from=args.resume_from,
-                    checkpoint=args.checkpoint,
-                    faults=args.faults,
-                )
-                image = outcome.image
-                degraded = outcome.degraded
+                image = result.image
+                degraded = result.degraded
             else:
-                image = renderer.render_eps(
-                    args.eps,
-                    args.method,
-                    tile_size=args.tile_size,
-                    workers=args.workers,
-                )
+                image = result
             path = renderer.save_density_png(image, args.out, colormap=args.colormap)
         else:
             mu, sigma = renderer.density_stats()
@@ -246,23 +298,13 @@ def _command_render(args: argparse.Namespace) -> int:
             if not math.isfinite(tau):
                 print(f"error: computed tau {tau!r} is not finite", file=sys.stderr)
                 return 2
+            request = RenderRequest.for_tau(tau, args.method, options=options)
+            result = renderer.render(request)
             if resilient:
-                outcome = renderer.render_tau_anytime(
-                    tau,
-                    args.method,
-                    tile_size=args.tile_size,
-                    workers=args.workers,
-                    budget=budget,
-                    resume_from=args.resume_from,
-                    checkpoint=args.checkpoint,
-                    faults=args.faults,
-                )
-                mask = outcome.image.astype(bool)
-                degraded = outcome.degraded
+                mask = result.image.astype(bool)
+                degraded = result.degraded
             else:
-                mask = renderer.render_tau(
-                    tau, args.method, tile_size=args.tile_size, workers=args.workers
-                )
+                mask = result
             path = renderer.save_mask_png(mask, args.out)
     print(f"wrote {path}")
     if degraded is not None:
@@ -323,6 +365,51 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_dataset_spec(spec: str) -> tuple[str, int, int]:
+    """``name[:n[:seed]]`` -> ``(name, n, seed)`` with defaults 10000, 0."""
+    parts = spec.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise ReproError(f"bad dataset spec {spec!r}; expected name[:n[:seed]]")
+    try:
+        n = int(parts[1]) if len(parts) > 1 and parts[1] else 10_000
+        seed = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+    except ValueError:
+        raise ReproError(
+            f"bad dataset spec {spec!r}; n and seed must be integers"
+        ) from None
+    if n <= 0:
+        raise ReproError(f"bad dataset spec {spec!r}; n must be positive")
+    return parts[0], n, seed
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.data.synthetic import load_dataset
+    from repro.serve import ServiceConfig, TileService, run_server
+
+    megabyte = 1024 * 1024
+    config = ServiceConfig(
+        tile_px=args.tile_px,
+        eps=args.eps,
+        tau=args.tau,
+        colormap=args.colormap,
+        deadline_ms=args.deadline_ms,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_zoom=args.max_zoom,
+        png_cache_bytes=args.cache_mb * megabyte,
+        aux_cache_bytes=args.cache_mb * megabyte,
+        cache_ttl_s=args.ttl_s,
+    )
+    service = TileService(config=config)
+    for spec in args.dataset or ["crime:10000:0"]:
+        name, n, seed = _parse_dataset_spec(spec)
+        points = load_dataset(name, n=n, seed=seed)
+        service.registry.register(name, points, method=args.method)
+        print(f"repro serve: registered {name!r} (n={n}, seed={seed})")
+    run_server(service, host=args.host, port=args.port)
+    return 0
+
+
 def _command_list(args: argparse.Namespace) -> int:
     from repro.data.synthetic import available_datasets
 
@@ -340,6 +427,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "render": _command_render,
         "experiment": _command_experiment,
+        "serve": _command_serve,
         "list": _command_list,
     }
     try:

@@ -103,6 +103,33 @@ class BatchRefinementEngine:
         self.ordering = ordering
         self.stats = stats if stats is not None else QueryStats()
 
+    def root_envelope(
+        self, queries: FloatArray, queries_sq: FloatArray | None = None
+    ) -> tuple[FloatArray, FloatArray]:
+        """Zero-refinement ``(lb, ub)`` envelopes: the root node's bounds.
+
+        Valid before any frontier work runs (``LB <= F <= UB`` holds for
+        every query from the quadratic bounds alone), so anytime renders
+        use it as the initial per-pixel envelope and the tile service as
+        the cheap whole-tile classifier (a tile whose root UB is already
+        below τ is all-cold without refining a single node). Honours
+        ``REPRO_CHECK_INVARIANTS`` by routing through the checked bound
+        variant. ``queries_sq`` optionally carries precomputed per-row
+        squared norms.
+        """
+        if queries_sq is None:
+            queries_sq = np.einsum("ij,ij->i", queries, queries)
+        node_bounds = (
+            self.provider.checked_node_bounds_batch
+            if invariants_enabled()
+            else self.provider.node_bounds_batch
+        )
+        lb, ub = node_bounds(self.tree.root, queries, queries_sq)
+        return (
+            np.array(lb, dtype=np.float64, copy=True),
+            np.array(ub, dtype=np.float64, copy=True),
+        )
+
     # -- shared batched refinement loop -----------------------------------
 
     def _refine_batch(

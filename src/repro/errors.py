@@ -18,6 +18,9 @@ __all__ = [
     "InvariantViolation",
     "CheckpointError",
     "DataQualityWarning",
+    "DatasetNotFoundError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -113,6 +116,31 @@ class NotFittedError(ReproError, RuntimeError):
 
 class UnknownNameError(ReproError, KeyError):
     """A registry lookup (kernel, method, dataset, experiment) failed."""
+
+
+class DatasetNotFoundError(UnknownNameError):
+    """The tile service was asked for a dataset id it does not hold.
+
+    Subclasses :class:`UnknownNameError` so registry-style callers keep
+    working; the HTTP layer maps it to a 404.
+    """
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The tile service's bounded render queue is full (backpressure).
+
+    The HTTP layer maps it to a 503 with ``Retry-After``; callers should
+    back off rather than retry immediately.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A tile render exceeded its per-request deadline budget.
+
+    The degraded (partial-envelope) image is *not* returned — and never
+    cached — because the service contract is that every served tile is a
+    complete render. The HTTP layer maps it to a 504.
+    """
 
 
 class InvariantViolation(ReproError, AssertionError):

@@ -14,6 +14,7 @@ import numpy as np
 from repro.experiments.common import ExperimentResult, get_scale
 from repro.experiments.workload import make_renderer, strip_private
 from repro.visual.metrics import average_relative_error, threshold_confusion
+from repro.visual.request import RenderRequest
 
 __all__ = ["run"]
 
@@ -31,10 +32,10 @@ def run(
     renderer = make_renderer(dataset, scale.n_points, scale.resolution, seed=seed)
     exact = renderer.render_exact()
     floor = 1e-6 * float(exact.max())
-    eps_image = renderer.render_eps(eps, "quad")
+    eps_image = renderer.render(RenderRequest.for_eps(eps, "quad"))
     mu, sigma = renderer.density_stats()
     tau = mu + tau_offset * sigma
-    mask = renderer.render_tau(tau, "quad")
+    mask = renderer.render(RenderRequest.for_tau(tau, "quad"))
     confusion = threshold_confusion(mask, exact >= tau)
     rows = [
         {

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.data.synthetic import load_dataset
 from repro.experiments.common import timed
 from repro.visual.kdv import KDVRenderer
+from repro.visual.request import RenderRequest
 
 if TYPE_CHECKING:
     from repro.methods.base import Method
@@ -92,7 +93,7 @@ def eps_row(
     stats = getattr(method, "stats", None)
     if stats is not None:
         stats.reset()
-    image, seconds = timed(renderer.render_eps, eps, method)
+    image, seconds = timed(renderer.render, RenderRequest.for_eps(eps, method))
     row = {
         "method": method.name,
         "eps": eps,
@@ -119,7 +120,7 @@ def tau_row(
     stats = getattr(method, "stats", None)
     if stats is not None:
         stats.reset()
-    mask, seconds = timed(renderer.render_tau, tau, method)
+    mask, seconds = timed(renderer.render, RenderRequest.for_tau(tau, method))
     row = {
         "method": method.name,
         "tau": tau_label,

@@ -15,7 +15,13 @@ from repro.methods.tkdc import TKDCMethod
 from repro.methods.base import Method
 from repro.methods.zorder import ZOrderMethod
 
-__all__ = ["METHOD_REGISTRY", "create_method", "available_methods", "capability_table"]
+__all__ = [
+    "METHOD_REGISTRY",
+    "canonical_method_options",
+    "create_method",
+    "available_methods",
+    "capability_table",
+]
 
 #: Registry name -> method class (the paper's Table 6 column order).
 METHOD_REGISTRY: dict[str, type[Method]] = {
@@ -32,6 +38,14 @@ METHOD_REGISTRY: dict[str, type[Method]] = {
 }
 
 
+def _lookup(name: str) -> type[Method]:
+    try:
+        return METHOD_REGISTRY[str(name).lower()]
+    except KeyError:
+        known = ", ".join(METHOD_REGISTRY)
+        raise UnknownNameError(f"unknown method {name!r}; available: {known}") from None
+
+
 def create_method(name: str, **kwargs: Any) -> Method:
     """Instantiate a method by registry name.
 
@@ -41,14 +55,34 @@ def create_method(name: str, **kwargs: Any) -> Method:
     option set can configure a heterogeneous sweep of methods — the
     pattern every experiment in Section 7 uses.
     """
-    try:
-        cls = METHOD_REGISTRY[str(name).lower()]
-    except KeyError:
-        known = ", ".join(METHOD_REGISTRY)
-        raise UnknownNameError(f"unknown method {name!r}; available: {known}") from None
+    cls = _lookup(name)
     accepted = inspect.signature(cls.__init__).parameters
     applicable = {key: value for key, value in kwargs.items() if key in accepted}
     return cls(**applicable)
+
+
+def canonical_method_options(
+    name: str, options: dict[str, Any]
+) -> tuple[tuple[str, str], ...]:
+    """The constructor-applicable subset of ``options``, canonicalised.
+
+    Applies the same keyword filter as :func:`create_method` (options
+    the method's constructor does not declare are dropped), then renders
+    each surviving value with ``repr`` and sorts by key — a stable,
+    hashable form used by
+    :meth:`~repro.visual.request.RenderRequest.fingerprint`, where an
+    option that would not reach the constructor must not split the cache
+    key.
+    """
+    cls = _lookup(name)
+    accepted = inspect.signature(cls.__init__).parameters
+    return tuple(
+        sorted(
+            (key, repr(value))
+            for key, value in options.items()
+            if key in accepted
+        )
+    )
 
 
 def available_methods(

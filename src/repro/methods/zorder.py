@@ -15,8 +15,7 @@ not known in advance).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.core.exact import exact_density
 from repro.methods.base import Method
@@ -25,6 +24,7 @@ from repro.sampling.zorder_sample import (
     sample_size_for_eps,
     zorder_sample,
 )
+from repro.utils.cache import LRUCache
 from repro.utils.validation import check_probability_like
 
 if TYPE_CHECKING:
@@ -79,7 +79,9 @@ class ZOrderMethod(Method):
         self.delta = check_probability_like(delta, "delta")
         self.size_constant = float(size_constant)
         self.bits = int(bits)
-        self._samples: OrderedDict[float, tuple[FloatArray, float]] = OrderedDict()
+        self._samples: LRUCache[float, Tuple[FloatArray, float]] = LRUCache(
+            max_entries=SAMPLE_CACHE_SIZE
+        )
 
     def _fit_impl(self) -> None:
         if self.point_weights is not None:
@@ -89,13 +91,15 @@ class ZOrderMethod(Method):
                 "zorder pre-sampling does not support per-point input weights; "
                 "weight the sample it produces instead"
             )
-        self._samples = OrderedDict()
+        self._samples = LRUCache(max_entries=SAMPLE_CACHE_SIZE)
 
     def sample_for(self, eps: float) -> tuple[FloatArray, float]:
         """The ``(sample, weight_multiplier)`` pair for a given ``eps``.
 
-        Cached per canonicalised ``eps`` (12 significant digits), LRU,
-        at most :data:`SAMPLE_CACHE_SIZE` entries.
+        Cached per canonicalised ``eps`` (12 significant digits) in a
+        shared :class:`~repro.utils.cache.LRUCache` of at most
+        :data:`SAMPLE_CACHE_SIZE` entries — the same cache utility the
+        tile service uses, instead of a second hand-rolled LRU.
         """
         self._require_fitted()
         eps = _canonical_eps(check_probability_like(eps, "eps"))
@@ -105,11 +109,7 @@ class ZOrderMethod(Method):
                 self.points.shape[0], eps, self.delta, constant=self.size_constant
             )
             cached = zorder_sample(self.points, m, bits=self.bits)
-            self._samples[eps] = cached
-            while len(self._samples) > SAMPLE_CACHE_SIZE:
-                self._samples.popitem(last=False)
-        else:
-            self._samples.move_to_end(eps)
+            self._samples.put(eps, cached)
         return cached
 
     def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:

@@ -1,0 +1,45 @@
+"""KDV tile service: dataset registry, multi-level cache, HTTP server.
+
+The serving stack, bottom-up:
+
+* :mod:`repro.serve.tiles` — slippy-map tile addressing over a
+  dataset's base viewport (seam-free ``2^z × 2^z`` pyramids);
+* :mod:`repro.serve.registry` — datasets loaded, validated and indexed
+  exactly once, shared across requests, versioned on append;
+* :mod:`repro.serve.service` — request planning, the three-level
+  :class:`~repro.cache.TileCache` (PNG bytes / density arrays / root
+  bound envelopes), single-flight render dedup, worker pool,
+  backpressure and deadline handling;
+* :mod:`repro.serve.http` — a stdlib-asyncio HTTP front end exposing
+  ``GET /tile/{dataset}/{z}/{x}/{y}.png`` and ``GET /stats``.
+
+All rendering goes through the unified
+:class:`~repro.visual.request.RenderRequest` API — the invariant linter
+forbids legacy ``render_eps`` / ``render_tau`` calls in this package.
+"""
+
+from repro.serve.http import TileServer, run_server
+from repro.serve.registry import DatasetEntry, DatasetRegistry
+from repro.serve.service import ServiceConfig, TilePlan, TileService
+from repro.serve.tiles import (
+    DEFAULT_TILE_PX,
+    MAX_ZOOM,
+    tile_count,
+    tile_grid,
+    validate_tile,
+)
+
+__all__ = [
+    "DEFAULT_TILE_PX",
+    "MAX_ZOOM",
+    "DatasetEntry",
+    "DatasetRegistry",
+    "ServiceConfig",
+    "TilePlan",
+    "TileServer",
+    "TileService",
+    "run_server",
+    "tile_count",
+    "tile_grid",
+    "validate_tile",
+]

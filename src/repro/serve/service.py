@@ -1,0 +1,528 @@
+"""The tile service: request planning, caching, rendering, backpressure.
+
+:class:`TileService` is the synchronous heart of ``repro serve`` — the
+asyncio HTTP layer (:mod:`repro.serve.http`) is a thin adapter over it,
+and tests drive it directly. One tile request flows through:
+
+1. **Plan** — :meth:`TileService.plan_tile` resolves the dataset entry,
+   derives the tile's :class:`~repro.visual.grid.PixelGrid`, builds the
+   canonical :class:`~repro.visual.request.RenderRequest` and computes
+   the three cache keys (PNG / density / root-bounds levels).
+2. **L1 lookup** — :meth:`TileService.cached_png` is a dictionary-cheap
+   check the HTTP layer runs on the event loop itself, so warm tiles
+   never wait behind cold renders in the worker pool.
+3. **Render** — :meth:`TileService.render_tile` runs on the worker
+   pool, deduplicated per PNG key by a
+   :class:`~repro.utils.cache.SingleFlight` (a thundering herd of
+   identical tile requests does one render), consults the density and
+   bounds cache levels, renders through the one
+   ``KDVRenderer.render(request)`` entrypoint under a per-request
+   :class:`~repro.resilience.budget.Budget` deadline, and never caches
+   a degraded result: a tripped deadline raises
+   :class:`~repro.errors.DeadlineExceededError` (HTTP 504).
+4. **Backpressure** — admission control is a counting semaphore over
+   render slots (:meth:`try_acquire_slot`); when the bounded queue is
+   full the HTTP layer answers 503 instead of stacking work.
+
+Every cache event and request/render latency is mirrored into a
+:class:`~repro.obs.metrics.MetricsRegistry` exposed at ``/stats``.
+
+Renders always run the anytime tiled path with a fixed internal batch
+partition (`RENDER_TILE_SIZE`), so the bytes a request produces are
+independent of who rendered it, with what deadline, and whether any
+cache level helped — the property the byte-identity tests pin down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.tiles import TileCache, TileKey, partial_fingerprint
+from repro.core import stopping
+from repro.core.exact import exact_density
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServiceOverloadedError,
+)
+from repro.methods.base import IndexedMethod
+from repro.obs.metrics import DEFAULT_SECONDS_BOUNDS, MetricsRegistry
+from repro.resilience.budget import STOP_TILE_FAILURES, Budget
+from repro.resilience.retry import TransientTileError
+from repro.serve.registry import DatasetEntry, DatasetRegistry
+from repro.serve.tiles import DEFAULT_TILE_PX, tile_grid, validate_tile
+from repro.utils.cache import SingleFlight
+from repro.visual.colormap import get_colormap, two_color_map
+from repro.visual.image import png_bytes
+from repro.visual.request import OP_EPS, OP_TAU, RenderOptions, RenderRequest
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray
+
+__all__ = ["RENDER_TILE_SIZE", "ServiceConfig", "TilePlan", "TileService"]
+
+#: Fixed internal batch partition for every service render. Part of the
+#: request fingerprint (batch composition shapes per-pixel ε answers),
+#: so it must be one service-wide constant for cached bytes to be
+#: reusable across requests.
+RENDER_TILE_SIZE = 64
+
+#: Resolution of the coarse exact-density pass that fixes each
+#: dataset's colour normalisation range (see ``TileService._entry_vmax``).
+_VMAX_GRID_WIDTH = 64
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of a :class:`TileService` (all have serving defaults)."""
+
+    tile_px: int = DEFAULT_TILE_PX
+    eps: float = 0.05
+    tau: Optional[float] = None
+    colormap: str = "density"
+    deadline_ms: Optional[float] = 10_000.0
+    workers: int = 4
+    queue_limit: int = 32
+    max_zoom: int = 18
+    png_cache_bytes: int = 64 * 1024 * 1024
+    aux_cache_bytes: int = 64 * 1024 * 1024
+    cache_ttl_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if int(self.tile_px) < 1:
+            raise InvalidParameterError(f"tile_px must be >= 1, got {self.tile_px!r}")
+        if int(self.workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {self.workers!r}")
+        if int(self.queue_limit) < 1:
+            raise InvalidParameterError(
+                f"queue_limit must be >= 1, got {self.queue_limit!r}"
+            )
+
+
+@dataclass
+class TilePlan:
+    """A fully planned tile request: resolved render request + cache keys."""
+
+    entry: DatasetEntry
+    versioned_id: str
+    tile: Tuple[int, int, int]
+    resolved: RenderRequest
+    colormap: str
+    deadline_ms: Optional[float]
+    indexed: bool
+    png_key: TileKey = field(init=False)
+    density_key: TileKey = field(init=False)
+    bounds_key: TileKey = field(init=False)
+
+    def __post_init__(self) -> None:
+        dataset_id = self.entry.dataset_id
+        z, x, y = self.tile
+        base_extra = {"dataset": self.versioned_id, "tile": [z, x, y]}
+        self.png_key = (
+            dataset_id,
+            "png",
+            self.resolved.fingerprint(extra={**base_extra, "colormap": self.colormap}),
+        )
+        self.density_key = (
+            dataset_id,
+            "density",
+            partial_fingerprint(self.resolved, extra=base_extra),
+        )
+        self.bounds_key = (
+            dataset_id,
+            "bounds",
+            partial_fingerprint(
+                self.resolved,
+                drop=("op", "eps", "tau", "atol", "tile_size"),
+                extra=base_extra,
+            ),
+        )
+
+    @property
+    def op(self) -> str:
+        """The render operation (``"eps"`` or ``"tau"``)."""
+        return self.resolved.op
+
+
+class TileService:
+    """Serve slippy-map KDV tiles from a shared registry + cache.
+
+    Parameters
+    ----------
+    registry:
+        An existing :class:`~repro.serve.registry.DatasetRegistry`, or
+        ``None`` to create one wired to this service's cache
+        invalidation. When passing your own registry, construct it with
+        ``on_invalidate=service.invalidate_dataset`` yourself (or
+        append through :meth:`append_points`) so appends invalidate the
+        cache.
+    config:
+        A :class:`ServiceConfig`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = TileCache(
+            png_bytes=self.config.png_cache_bytes,
+            aux_bytes=self.config.aux_cache_bytes,
+            ttl_s=self.config.cache_ttl_s,
+            metrics=self.metrics,
+        )
+        self._owns_registry = registry is None
+        self.registry = (
+            registry
+            if registry is not None
+            else DatasetRegistry(on_invalidate=self.invalidate_dataset)
+        )
+        self._flight: SingleFlight[TileKey, bytes] = SingleFlight()
+        self._slots = threading.BoundedSemaphore(int(self.config.queue_limit))
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._vmax: Dict[str, float] = {}
+        self._vmax_lock = threading.Lock()
+        self.pool = ThreadPoolExecutor(
+            max_workers=int(self.config.workers), thread_name_prefix="repro-tile"
+        )
+        self.started_at = time.time()
+
+    # -- backpressure -------------------------------------------------------
+
+    def try_acquire_slot(self) -> bool:
+        """Claim a render slot; ``False`` means the queue is full (503)."""
+        acquired = self._slots.acquire(blocking=False)
+        if acquired:
+            with self._active_lock:
+                self._active += 1
+        else:
+            self.metrics.counter("tiles.rejected").add(1)
+        return acquired
+
+    def acquire_slot(self) -> None:
+        """Claim a render slot or raise :class:`ServiceOverloadedError`."""
+        if not self.try_acquire_slot():
+            raise ServiceOverloadedError(
+                f"render queue full ({self.config.queue_limit} slots); retry later"
+            )
+
+    def release_slot(self) -> None:
+        """Return a slot claimed with :meth:`try_acquire_slot`."""
+        with self._active_lock:
+            self._active -= 1
+        self._slots.release()
+
+    @property
+    def active_requests(self) -> int:
+        """Render slots currently claimed."""
+        with self._active_lock:
+            return self._active
+
+    # -- planning -----------------------------------------------------------
+
+    def plan_tile(
+        self,
+        dataset: str,
+        z: int,
+        x: int,
+        y: int,
+        *,
+        eps: Optional[float] = None,
+        tau: Optional[float] = None,
+        method: Optional[str] = None,
+        colormap: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> TilePlan:
+        """Resolve one tile request into a :class:`TilePlan`.
+
+        ``eps`` / ``tau`` select the operation (τ wins when both are
+        given; with neither, the config defaults apply). ``method`` and
+        ``colormap`` default from the dataset entry / config; the
+        request is validated and resolved here, so a plan that comes
+        back is renderable.
+        """
+        entry = self.registry.get(dataset)
+        z, x, y = validate_tile(z, x, y, max_zoom=self.config.max_zoom)
+        grid = tile_grid(entry.base_grid, z, x, y, self.config.tile_px)
+        method_name = str(method if method is not None else entry.method).lower()
+        colormap_name = str(
+            colormap if colormap is not None else self.config.colormap
+        ).lower()
+        get_colormap(colormap_name)  # fail fast on unknown names (400, not 500)
+        if tau is not None:
+            request = RenderRequest.for_tau(float(tau), method_name, grid=grid)
+        elif eps is not None:
+            request = RenderRequest.for_eps(float(eps), method_name, grid=grid)
+        elif self.config.tau is not None:
+            request = RenderRequest.for_tau(float(self.config.tau), method_name, grid=grid)
+        else:
+            request = RenderRequest.for_eps(float(self.config.eps), method_name, grid=grid)
+        fitted = entry.renderer.get_method(method_name)
+        indexed = isinstance(fitted, IndexedMethod)
+        fitted._require(request.op)
+        options = (
+            RenderOptions(tile_size=RENDER_TILE_SIZE, anytime=True)
+            if indexed
+            else RenderOptions()
+        )
+        resolved = request.replace(options=options).resolve(entry.renderer)
+        return TilePlan(
+            entry=entry,
+            versioned_id=entry.versioned_id(),
+            tile=(z, x, y),
+            resolved=resolved,
+            colormap=colormap_name,
+            deadline_ms=(
+                deadline_ms if deadline_ms is not None else self.config.deadline_ms
+            ),
+            indexed=indexed,
+        )
+
+    # -- serving ------------------------------------------------------------
+
+    def cached_png(self, plan: TilePlan) -> Optional[bytes]:
+        """L1 lookup only — cheap enough for the HTTP event loop."""
+        return self.cache.get_png(plan.png_key)
+
+    def render_tile(self, plan: TilePlan) -> bytes:
+        """Render (or join the in-flight render of) one planned tile."""
+        data, leader = self._flight.do(plan.png_key, lambda: self._render_uncached(plan))
+        if not leader:
+            self.metrics.counter("tiles.shared").add(1)
+        return data
+
+    def get_tile(
+        self, dataset: str, z: int, x: int, y: int, **params: Any
+    ) -> Tuple[bytes, Dict[str, Any]]:
+        """Plan + serve one tile; returns ``(png, info)``.
+
+        The synchronous convenience the HTTP layer mirrors (it splits
+        the same steps across the event loop and worker pool). ``info``
+        carries the cache disposition (``"hit"`` / ``"miss"``), the
+        versioned dataset id and the request fingerprint.
+        """
+        start = time.perf_counter()
+        self.metrics.counter("tiles.requests").add(1)
+        plan = self.plan_tile(dataset, z, x, y, **params)
+        data = self.cached_png(plan)
+        if data is not None:
+            disposition = "hit"
+            self.metrics.counter("tiles.l1_hits").add(1)
+        else:
+            disposition = "miss"
+            data = self.render_tile(plan)
+        elapsed = time.perf_counter() - start
+        self.metrics.histogram("tiles.request_s", DEFAULT_SECONDS_BOUNDS).observe(elapsed)
+        return data, {
+            "cache": disposition,
+            "dataset": plan.versioned_id,
+            "tile": list(plan.tile),
+            "op": plan.op,
+            "fingerprint": plan.png_key[2],
+            "elapsed_s": elapsed,
+        }
+
+    # -- rendering internals -------------------------------------------------
+
+    def _render_uncached(self, plan: TilePlan) -> bytes:
+        """Single-flight leader body: L2 levels, render, encode, fill L1."""
+        # Re-check L1: a previous flight may have landed between the
+        # caller's lookup and this leader starting.
+        data = self.cache.get_png(plan.png_key)
+        if data is not None:
+            return data
+        start = time.perf_counter()
+        values = self.cache.get_density(plan.density_key)
+        if values is None:
+            values = self._compute_values(plan)
+            self.cache.put_density(plan.density_key, values)
+        data = self._encode(plan, values)
+        self.cache.put_png(plan.png_key, data)
+        self.metrics.counter("tiles.renders").add(1)
+        self.metrics.histogram("tiles.render_s", DEFAULT_SECONDS_BOUNDS).observe(
+            time.perf_counter() - start
+        )
+        return data
+
+    def _compute_values(self, plan: TilePlan) -> np.ndarray:
+        """The tile's value array (density image or τ mask), full quality.
+
+        Tries the cached root-bounds envelope first: when it already
+        resolves every pixel, the answer is assembled straight from the
+        bounds — bit-identical to the engine's output, because the
+        batched engine starts from these exact root bounds and refines
+        only rows the stopping test leaves active (an all-stopped batch
+        is returned untouched).
+        """
+        resolved = plan.resolved
+        grid = resolved.grid
+        assert grid is not None
+        if plan.indexed:
+            envelope = self.cache.get_bounds(plan.bounds_key)
+            if envelope is None:
+                fitted = plan.entry.renderer.get_method(resolved.method)
+                assert isinstance(fitted, IndexedMethod)
+                engine = fitted.batch_engine
+                if engine is not None:
+                    envelope = engine.root_envelope(grid.centers())
+                    self.cache.put_bounds(plan.bounds_key, envelope)
+            if envelope is not None:
+                shortcut = self._from_envelope(resolved, envelope)
+                if shortcut is not None:
+                    self.metrics.counter("tiles.bounds_shortcircuit").add(1)
+                    return np.asarray(grid.to_image(shortcut))
+        return self._render_full(plan)
+
+    def _from_envelope(
+        self, resolved: RenderRequest, envelope: Tuple["FloatArray", "FloatArray"]
+    ) -> Optional[np.ndarray]:
+        """Flat tile values decided by root bounds alone, else ``None``."""
+        lower, upper = envelope
+        if resolved.op == OP_TAU:
+            tau = float(resolved.tau)  # type: ignore[arg-type]
+            if bool(stopping.tau_stop_mask(lower, upper, tau).all()):
+                return np.asarray(stopping.tau_hot_mask(lower, tau))
+            return None
+        eps = float(resolved.eps)  # type: ignore[arg-type]
+        atol = float(resolved.atol)  # type: ignore[arg-type]
+        if bool(stopping.eps_stop_mask(lower, upper, 1.0 + eps, 0.0, atol).all()):
+            return 0.5 * (lower + upper)
+        return None
+
+    def _render_full(self, plan: TilePlan) -> np.ndarray:
+        """Render through ``KDVRenderer.render`` under the deadline budget."""
+        resolved = plan.resolved
+        if not plan.indexed:
+            # Non-indexed methods have no anytime path (and no
+            # cooperative deadline); they render plain.
+            return np.asarray(plan.entry.renderer.render(resolved))
+        budget = (
+            Budget.from_deadline_ms(plan.deadline_ms)
+            if plan.deadline_ms is not None
+            else None
+        )
+        run = resolved.replace(options=resolved.options.replace(budget=budget))
+        outcome = plan.entry.renderer.render(run)
+        degraded = outcome.degraded  # type: ignore[union-attr]
+        if degraded is not None:
+            self.metrics.counter("tiles.degraded").add(1)
+            if degraded.reason == STOP_TILE_FAILURES:
+                raise TransientTileError(
+                    f"tile {plan.tile} lost {len(degraded.tiles_failed)} "
+                    "tile batch(es) after retries"
+                )
+            raise DeadlineExceededError(
+                f"tile {plan.tile} exceeded its deadline "
+                f"({plan.deadline_ms} ms): stopped on {degraded.reason!r} with "
+                f"{degraded.pixels_resolved}/{degraded.pixels_total} pixels "
+                "resolved; partial tiles are never served or cached"
+            )
+        return np.asarray(outcome.image)  # type: ignore[union-attr]
+
+    def _encode(self, plan: TilePlan, values: np.ndarray) -> bytes:
+        """Colour-map + PNG-encode a value array (deterministic bytes)."""
+        if plan.op == OP_TAU:
+            rgb = two_color_map(values.astype(bool))
+        else:
+            vmax = self._entry_vmax(plan.entry)
+            rgb = get_colormap(plan.colormap).apply(
+                values, vmin=0.0, vmax=vmax, log_scale=True
+            )
+        return png_bytes(rgb)
+
+    def _entry_vmax(self, entry: DatasetEntry) -> float:
+        """Colour normalisation ceiling for one dataset version.
+
+        The peak of a coarse exact-density pass over the base viewport
+        — one shared range per dataset version, so adjacent tiles (and
+        zoom levels) colour consistently instead of each tile
+        normalising to its own maximum. Cached per versioned id;
+        deterministic, so every server instance agrees on tile bytes.
+        """
+        key = entry.versioned_id()
+        with self._vmax_lock:
+            cached = self._vmax.get(key)
+        if cached is not None:
+            return cached
+        base = entry.base_grid
+        coarse = base.scaled(_VMAX_GRID_WIDTH / float(base.width))
+        renderer = entry.renderer
+        values = exact_density(
+            renderer.points,
+            coarse.centers(),
+            renderer.kernel,
+            renderer.gamma,
+            renderer.weight,
+        )
+        vmax = float(values.max()) if values.size else 1.0
+        if vmax <= 0.0:
+            vmax = 1.0
+        with self._vmax_lock:
+            self._vmax[key] = vmax
+        return vmax
+
+    # -- dataset lifecycle ---------------------------------------------------
+
+    def append_points(self, dataset: str, points: Any) -> int:
+        """Append to a dataset through the registry (invalidates cache)."""
+        count = self.registry.append(dataset, points)
+        if not self._owns_registry:
+            # An externally built registry may not be wired to this
+            # service's cache; invalidate explicitly (idempotent).
+            self.invalidate_dataset(dataset)
+        return count
+
+    def invalidate_dataset(self, dataset_id: str) -> int:
+        """Drop every cache level for one dataset id."""
+        dropped = self.cache.invalidate_dataset(dataset_id)
+        self.metrics.counter("tiles.invalidations").add(1)
+        with self._vmax_lock:
+            stale = [key for key in self._vmax if key.split("@v")[0] == dataset_id]
+            for key in stale:
+                del self._vmax[key]
+        return dropped
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: datasets, cache levels, metrics, load."""
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "datasets": self.registry.as_dict(),
+            "cache": self.cache.as_dict(),
+            "metrics": self.metrics.as_dict(),
+            "load": {
+                "active_requests": self.active_requests,
+                "queue_limit": int(self.config.queue_limit),
+                "in_flight_renders": self._flight.in_flight(),
+            },
+            "config": {
+                "tile_px": int(self.config.tile_px),
+                "eps": float(self.config.eps),
+                "tau": None if self.config.tau is None else float(self.config.tau),
+                "colormap": self.config.colormap,
+                "deadline_ms": self.config.deadline_ms,
+                "workers": int(self.config.workers),
+                "max_zoom": int(self.config.max_zoom),
+            },
+        }
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self.pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"TileService(datasets={self.registry.ids()!r}, "
+            f"active={self.active_requests})"
+        )
+

@@ -1,14 +1,19 @@
-"""Small shared helpers (argument validation, chunked iteration)."""
+"""Small shared helpers (argument validation, chunked iteration, caching)."""
 
+from repro.utils.cache import CacheStats, LRUCache, SingleFlight, default_sizeof
+from repro.utils.chunking import chunk_slices
 from repro.utils.validation import (
     check_points,
     check_positive,
     check_probability_like,
     check_query,
 )
-from repro.utils.chunking import chunk_slices
 
 __all__ = [
+    "CacheStats",
+    "LRUCache",
+    "SingleFlight",
+    "default_sizeof",
     "check_points",
     "check_positive",
     "check_probability_like",

@@ -1,0 +1,322 @@
+"""Shared cache primitives: bounded LRU with TTL and single-flight.
+
+Before this module existed the codebase grew one hand-rolled LRU per
+need (:class:`~repro.methods.zorder.ZOrderMethod`'s per-eps sample
+cache, and the tile service would have added another). This is the one
+implementation both use:
+
+* :class:`LRUCache` — least-recently-used eviction bounded by entry
+  count and/or a byte budget, with optional per-entry TTL, hit / miss /
+  eviction / expiration counters (:class:`CacheStats`) and explicit
+  invalidation (single key, predicate, or everything).
+* :class:`SingleFlight` — concurrent callers of the same key share one
+  execution: the first caller (the *leader*) computes, everyone else
+  blocks on the leader's future. The tile service uses this to collapse
+  a thundering herd of identical tile requests into one render.
+
+Both classes are thread-safe; the cache takes one lock per operation
+(cache lookups are not a per-pixel hot path anywhere in the library).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["CacheStats", "LRUCache", "SingleFlight", "default_sizeof"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def default_sizeof(value: object) -> int:
+    """Best-effort byte size of a cached value.
+
+    ``bytes``-like values report their length, numpy arrays their
+    ``nbytes``, tuples/lists the sum over their items; everything else
+    falls back to ``sys.getsizeof``. The point is a *consistent* charge
+    for the byte budget, not allocator-exact accounting.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(value, (tuple, list)):
+        return sum(default_sizeof(item) for item in value)
+    import sys
+
+    return int(sys.getsizeof(value))
+
+
+class CacheStats:
+    """Counters one :class:`LRUCache` maintains (monotone, lock-guarded)."""
+
+    __slots__ = ("hits", "misses", "inserts", "evictions", "expirations", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot as a plain dictionary."""
+        return {name: int(getattr(self, name)) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CacheStats({parts})"
+
+
+class _Entry(Generic[V]):
+    __slots__ = ("value", "size", "expires_at")
+
+    def __init__(self, value: V, size: int, expires_at: Optional[float]) -> None:
+        self.value = value
+        self.size = size
+        self.expires_at = expires_at
+
+
+class LRUCache(Generic[K, V]):
+    """A thread-safe LRU cache bounded by entries and/or bytes, with TTL.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of entries kept (``None`` = unbounded by count).
+    max_bytes:
+        Byte budget over the ``sizeof`` charges of the kept values
+        (``None`` = unbounded by size). Inserting while over budget
+        evicts least-recently-used entries first; a single value larger
+        than the whole budget is not kept at all.
+    ttl_s:
+        Optional time-to-live in seconds; an entry older than this
+        counts as a miss (and is dropped) on its next access.
+    sizeof:
+        Byte-charge function for values (default
+        :func:`default_sizeof`); a ``put`` with an explicit
+        ``size_bytes`` bypasses it.
+    clock:
+        Monotonic time source (injectable for TTL tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        *,
+        sizeof: Callable[[object], int] = default_sizeof,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries is not None and int(max_entries) < 1:
+            raise InvalidParameterError(f"max_entries must be >= 1, got {max_entries!r}")
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise InvalidParameterError(f"max_bytes must be >= 1, got {max_bytes!r}")
+        if ttl_s is not None and not float(ttl_s) > 0.0:
+            raise InvalidParameterError(f"ttl_s must be > 0, got {ttl_s!r}")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.ttl_s = None if ttl_s is None else float(ttl_s)
+        self._sizeof = sizeof
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[K, _Entry[V]]" = OrderedDict()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """The cached value, promoting it to most-recently-used.
+
+        An expired or absent entry counts as a miss and returns
+        ``default``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            if entry.expires_at is not None and self._clock() >= entry.expires_at:
+                self._drop(key, entry)
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def put(self, key: K, value: V, *, size_bytes: Optional[int] = None) -> None:
+        """Insert (or replace) ``key`` and evict until within budget."""
+        size = int(self._sizeof(value)) if size_bytes is None else int(size_bytes)
+        if size < 0:
+            raise InvalidParameterError(f"size_bytes must be >= 0, got {size}")
+        expires_at = None if self.ttl_s is None else self._clock() + self.ttl_s
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.size
+            self._entries[key] = _Entry(value, size, expires_at)
+            self._bytes += size
+            self.stats.inserts += 1
+            self._shrink()
+
+    def _drop(self, key: K, entry: _Entry[V]) -> None:
+        del self._entries[key]
+        self._bytes -= entry.size
+
+    def _shrink(self) -> None:
+        """Evict least-recently-used entries until within every budget."""
+        while self._entries and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            __, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.size
+            self.stats.evictions += 1
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, key: K) -> bool:
+        """Drop one key; returns whether it was present."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.size
+            self.stats.invalidations += 1
+            return True
+
+    def invalidate_where(self, predicate: Callable[[K], bool]) -> int:
+        """Drop every key matching ``predicate``; returns the count."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                self._drop(key, self._entries[key])
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self.stats.invalidations += count
+            return count
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def current_bytes(self) -> int:
+        """Sum of the byte charges of the kept entries."""
+        with self._lock:
+            return self._bytes
+
+    def keys(self) -> List[K]:
+        """Snapshot of the kept keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate a snapshot of the keys, least-recently-used first."""
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        """Non-promoting, non-counting membership test (honours TTL)."""
+        with self._lock:
+            entry = self._entries.get(key)  # type: ignore[arg-type]
+            if entry is None:
+                return False
+            if entry.expires_at is not None and self._clock() >= entry.expires_at:
+                return False
+            return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stats plus occupancy and limits, JSON-ready."""
+        with self._lock:
+            snapshot: Dict[str, Any] = self.stats.as_dict()
+            snapshot.update(
+                entries=len(self._entries),
+                bytes=self._bytes,
+                max_entries=self.max_entries,
+                max_bytes=self.max_bytes,
+                ttl_s=self.ttl_s,
+            )
+            return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(entries={len(self)}, bytes={self.current_bytes}, "
+            f"max_entries={self.max_entries}, max_bytes={self.max_bytes})"
+        )
+
+
+class SingleFlight(Generic[K, V]):
+    """Deduplicate concurrent computations of the same key.
+
+    :meth:`do` returns ``(value, leader)``: the leader actually ran the
+    supplier, followers received the leader's result (or its exception
+    — a failed flight propagates to everyone who joined it, and the key
+    is immediately retryable afterwards).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[K, "Future[V]"] = {}
+
+    def do(self, key: K, supplier: Callable[[], V]) -> Tuple[V, bool]:
+        """Run ``supplier`` once per concurrent ``key``; share the result."""
+        with self._lock:
+            future = self._flights.get(key)
+            if future is not None:
+                leader = False
+            else:
+                future = Future()
+                self._flights[key] = future
+                leader = True
+        if not leader:
+            return future.result(), False
+        try:
+            value = supplier()
+        except BaseException as error:
+            with self._lock:
+                self._flights.pop(key, None)
+            future.set_exception(error)
+            raise
+        with self._lock:
+            self._flights.pop(key, None)
+        future.set_result(value)
+        return value, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def __repr__(self) -> str:
+        return f"SingleFlight(in_flight={self.in_flight()})"

@@ -9,6 +9,7 @@ from repro.visual.metrics import (
     max_relative_error,
     threshold_confusion,
 )
+from repro.visual.request import RenderOptions, RenderRequest
 from repro.visual.streaming import StreamingKDV
 from repro.visual.progressive import (
     ProgressiveRenderer,
@@ -18,6 +19,8 @@ from repro.visual.progressive import (
 
 __all__ = [
     "PixelGrid",
+    "RenderOptions",
+    "RenderRequest",
     "Colormap",
     "get_colormap",
     "two_color_map",

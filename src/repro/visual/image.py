@@ -21,7 +21,7 @@ if TYPE_CHECKING:
 
     from repro._types import PointLike
 
-__all__ = ["write_png", "write_ppm"]
+__all__ = ["png_bytes", "write_png", "write_ppm"]
 
 
 def _as_rgb8(image: PointLike) -> np.ndarray:
@@ -40,6 +40,38 @@ def _png_chunk(tag: bytes, payload: bytes) -> bytes:
     return struct.pack(">I", len(payload)) + chunk + struct.pack(">I", zlib.crc32(chunk))
 
 
+def png_bytes(image: PointLike) -> bytes:
+    """Encode an RGB image array as PNG bytes.
+
+    Deterministic: equal pixel arrays encode to identical bytes (fixed
+    filter, fixed :mod:`zlib` level, no timestamps), which is what lets
+    the tile service assert byte-identity between cached and freshly
+    rendered tiles.
+
+    Parameters
+    ----------
+    image:
+        Array of shape ``(height, width, 3)``; non-``uint8`` input is
+        clipped and converted.
+    """
+    image = _as_rgb8(image)
+    height, width = image.shape[:2]
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    # Scanlines with filter byte 0 (None) prepended.
+    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = image.reshape(height, width * 3)
+    payload = zlib.compress(raw.tobytes(), level=6)
+    return b"".join(
+        (
+            b"\x89PNG\r\n\x1a\n",
+            _png_chunk(b"IHDR", header),
+            _png_chunk(b"IDAT", payload),
+            _png_chunk(b"IEND", b""),
+        )
+    )
+
+
 def write_png(path: str | os.PathLike[str], image: PointLike) -> Path:
     """Write an RGB image array to a PNG file.
 
@@ -56,21 +88,9 @@ def write_png(path: str | os.PathLike[str], image: PointLike) -> Path:
     pathlib.Path
         The written path.
     """
-    image = _as_rgb8(image)
-    height, width = image.shape[:2]
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
-    # Scanlines with filter byte 0 (None) prepended.
-    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
-    raw[:, 0] = 0
-    raw[:, 1:] = image.reshape(height, width * 3)
-    payload = zlib.compress(raw.tobytes(), level=6)
-    with path.open("wb") as handle:
-        handle.write(b"\x89PNG\r\n\x1a\n")
-        handle.write(_png_chunk(b"IHDR", header))
-        handle.write(_png_chunk(b"IDAT", payload))
-        handle.write(_png_chunk(b"IEND", b""))
+    path.write_bytes(png_bytes(image))
     return path
 
 

@@ -6,12 +6,23 @@ returns the density image (εKDV) or hotspot mask (τKDV). Fitted methods
 are cached per renderer, so sweeping ε or τ (as the experiments do)
 pays the index build once — matching how the paper separates offline and
 online stages.
+
+:meth:`KDVRenderer.render` is the single entrypoint: it consumes a
+frozen :class:`~repro.visual.request.RenderRequest` (what to render)
+carrying :class:`~repro.visual.request.RenderOptions` (how to run it).
+The historical ``render_eps`` / ``render_tau`` /
+``render_eps_anytime`` / ``render_tau_anytime`` signatures remain as
+thin shims over it; passing execution keywords (``tile_size``,
+``workers``, ``trace``, ``budget``, ...) through the ε/τ shims emits a
+:class:`DeprecationWarning` — those belong on ``RenderOptions`` now
+(see ``docs/api.md`` for the mapping table).
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -40,6 +51,7 @@ from repro.utils.validation import check_points, check_positive
 from repro.visual.colormap import get_colormap, two_color_map
 from repro.visual.grid import PixelGrid
 from repro.visual.image import write_png
+from repro.visual.request import OP_EPS, OP_TAU, RenderOptions, RenderRequest
 
 if TYPE_CHECKING:
     import os
@@ -303,6 +315,184 @@ class KDVRenderer:
         plan = FaultPlan.from_env()
         return plan is not None and not plan.empty
 
+    # -- unified entrypoint --------------------------------------------------
+
+    def render(
+        self, request: RenderRequest
+    ) -> FloatArray | BoolArray | RenderOutcome:
+        """Render one :class:`~repro.visual.request.RenderRequest`.
+
+        The single entrypoint every public render path funnels through.
+        The request is :meth:`~repro.visual.request.RenderRequest.resolve`-d
+        against this renderer first (filling kernel/bandwidth/grid
+        defaults, rejecting mismatches), then dispatched:
+
+        * ``op="eps"`` returns the density image (``float64``,
+          ``(height, width)``);
+        * ``op="tau"`` returns the hotspot mask (``bool``);
+        * ``options.anytime=True`` returns the full
+          :class:`~repro.resilience.result.RenderOutcome` instead.
+
+        A request targeting a different ``grid`` renders through a
+        shared-index clone (:meth:`with_grid`), so viewport/tile
+        requests pay no extra index build. Semantics of the individual
+        paths (plain, strict tiled, resilient anytime) are exactly those
+        documented on the legacy wrappers.
+        """
+        resolved = request.resolve(self)
+        options = resolved.options
+        if options.trace is not None:
+            with trace_to(options.trace):
+                return self._render_resolved(
+                    resolved.replace(options=options.replace(trace=None))
+                )
+        return self._render_resolved(resolved)
+
+    def _render_resolved(
+        self, request: RenderRequest
+    ) -> FloatArray | BoolArray | RenderOutcome:
+        target = self if request.grid is self.grid else self.with_grid(request.grid)
+        if request.op == OP_EPS:
+            return target._render_eps_resolved(request)
+        return target._render_tau_resolved(request)
+
+    def _render_eps_resolved(
+        self, request: RenderRequest
+    ) -> FloatArray | RenderOutcome:
+        options = request.options
+        assert request.eps is not None and request.atol is not None
+        eps = float(request.eps)
+        atol = float(request.atol)
+        method = request.method
+        if options.anytime or self._resilience_engaged(
+            options.tile_size, options.workers, options.budget, options.cancel,
+            options.resume_from, options.checkpoint, options.faults, options.retry,
+        ):
+            fitted = self._tiled_method(method, "eps")
+            outcome = self._render_anytime(
+                fitted, "eps", eps=eps, atol=atol, tau=None,
+                tile_size=options.tile_size, workers=options.workers,
+                budget=options.budget, cancel=options.cancel,
+                resume_from=options.resume_from, checkpoint=options.checkpoint,
+                faults=options.faults, retry=options.retry,
+            )
+            if options.anytime:
+                return outcome
+            degraded = outcome.degraded
+            if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
+                raise TransientTileError(
+                    f"eps render lost {len(degraded.tiles_failed)} tile(s) "
+                    "after retries; render with anytime=True for the partial "
+                    "envelopes"
+                )
+            return outcome.image
+        if options.tile_size is None and options.workers is None:
+            fitted = self.get_method(method)
+            tracer = current_tracer()
+            start = time.perf_counter()
+            values = fitted.batch_eps(self.grid.centers(), eps, atol=atol)
+            if tracer is not None:
+                with tracer.method_scope(fitted.name):
+                    tracer.render(
+                        op="eps",
+                        pixels=self.grid.num_pixels,
+                        tiles=0,
+                        workers=1,
+                        seconds=time.perf_counter() - start,
+                    )
+            return self.grid.to_image(values)
+        tiled = self._tiled_method(method, "eps")
+
+        def evaluate(engine: BatchRefinementEngine, tile: FloatArray) -> np.ndarray:
+            return engine.query_eps_batch(tile, eps, atol=atol)
+
+        values = self._render_with_scope(
+            tiled,
+            evaluate,
+            np.float64,
+            DEFAULT_TILE_SIZE if options.tile_size is None else options.tile_size,
+            options.workers,
+            "eps",
+        )
+        if invariants_enabled() and tiled.deterministic_guarantee:
+            tiled._check_eps_agreement(self.grid.centers(), values, eps, atol)
+        return self.grid.to_image(values)
+
+    def _render_tau_resolved(
+        self, request: RenderRequest
+    ) -> BoolArray | RenderOutcome:
+        options = request.options
+        assert request.tau is not None
+        tau = float(request.tau)
+        method = request.method
+        if options.anytime or self._resilience_engaged(
+            options.tile_size, options.workers, options.budget, options.cancel,
+            options.resume_from, options.checkpoint, options.faults, options.retry,
+        ):
+            fitted = self._tiled_method(method, "tau")
+            outcome = self._render_anytime(
+                fitted, "tau", eps=None, atol=None, tau=tau,
+                tile_size=options.tile_size, workers=options.workers,
+                budget=options.budget, cancel=options.cancel,
+                resume_from=options.resume_from, checkpoint=options.checkpoint,
+                faults=options.faults, retry=options.retry,
+            )
+            if options.anytime:
+                return outcome
+            degraded = outcome.degraded
+            if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
+                raise TransientTileError(
+                    f"tau render lost {len(degraded.tiles_failed)} tile(s) "
+                    "after retries; render with anytime=True for the partial "
+                    "envelopes"
+                )
+            mask: BoolArray = outcome.image.astype(bool)
+            return mask
+        if options.tile_size is None and options.workers is None:
+            fitted = self.get_method(method)
+            tracer = current_tracer()
+            start = time.perf_counter()
+            plain_mask = fitted.batch_tau(self.grid.centers(), tau)
+            if tracer is not None:
+                with tracer.method_scope(fitted.name):
+                    tracer.render(
+                        op="tau",
+                        pixels=self.grid.num_pixels,
+                        tiles=0,
+                        workers=1,
+                        seconds=time.perf_counter() - start,
+                    )
+            return self.grid.to_image(plain_mask)
+        tiled = self._tiled_method(method, "tau")
+
+        def evaluate(engine: BatchRefinementEngine, tile: FloatArray) -> np.ndarray:
+            return engine.query_tau_batch(tile, tau)
+
+        tiled_mask = self._render_with_scope(
+            tiled,
+            evaluate,
+            np.bool_,
+            DEFAULT_TILE_SIZE if options.tile_size is None else options.tile_size,
+            options.workers,
+            "tau",
+        )
+        return self.grid.to_image(tiled_mask)
+
+    # -- legacy wrappers -----------------------------------------------------
+
+    def _warn_legacy_kwargs(self, name: str, **kwargs: Any) -> None:
+        """Deprecation shim: execution kwargs moved to ``RenderOptions``."""
+        used = sorted(key for key, value in kwargs.items() if value is not None)
+        if used:
+            warnings.warn(
+                f"KDVRenderer.{name}({', '.join(used)}=...): passing execution "
+                "keywords here is deprecated; put them on RenderOptions and "
+                "call KDVRenderer.render(RenderRequest(...)) instead "
+                "(see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
     def render_eps(
         self,
         eps: float = 0.01,
@@ -320,6 +510,12 @@ class KDVRenderer:
         retry: RetryPolicy | None = None,
     ) -> FloatArray:
         """εKDV colour-map values, shape ``(height, width)``.
+
+        Thin wrapper over :meth:`render`; the bare
+        ``render_eps(eps, method)`` form is stable, but every
+        execution keyword below is deprecated here — put it on
+        :class:`~repro.visual.request.RenderOptions` instead (a
+        :class:`DeprecationWarning` is emitted when one is passed).
 
         ``atol`` defaults to a vanishing fraction of a single point's
         weight (``1e-9 * w``), which caps the work spent on pixels whose
@@ -348,67 +544,25 @@ class KDVRenderer:
         path and returns its best-so-far image; a render degraded by
         unrecovered tile failures raises
         :class:`~repro.resilience.retry.TransientTileError` instead of
-        silently returning an image with unfinished tiles. Use
-        :meth:`render_eps_anytime` directly when the degradation
-        metadata and per-pixel envelopes are wanted.
+        silently returning an image with unfinished tiles. Render with
+        ``RenderOptions(anytime=True)`` when the degradation metadata
+        and per-pixel envelopes are wanted.
         """
-        if trace is not None:
-            with trace_to(trace):
-                return self.render_eps(
-                    eps, method, atol=atol, tile_size=tile_size, workers=workers,
-                    budget=budget, cancel=cancel, resume_from=resume_from,
-                    checkpoint=checkpoint, faults=faults, retry=retry,
-                )
-        if self._resilience_engaged(
-            tile_size, workers, budget, cancel, resume_from, checkpoint, faults, retry
-        ):
-            outcome = self.render_eps_anytime(
-                eps, method, atol=atol, tile_size=tile_size, workers=workers,
+        self._warn_legacy_kwargs(
+            "render_eps", tile_size=tile_size, workers=workers, trace=trace,
+            budget=budget, cancel=cancel, resume_from=resume_from,
+            checkpoint=checkpoint, faults=faults, retry=retry,
+        )
+        request = RenderRequest(
+            op=OP_EPS, eps=eps, method=method, atol=atol,
+            options=RenderOptions(
+                tile_size=tile_size, workers=workers, trace=trace,
                 budget=budget, cancel=cancel, resume_from=resume_from,
                 checkpoint=checkpoint, faults=faults, retry=retry,
-            )
-            degraded = outcome.degraded
-            if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
-                raise TransientTileError(
-                    f"eps render lost {len(degraded.tiles_failed)} tile(s) "
-                    "after retries; use render_eps_anytime for the partial "
-                    "envelopes"
-                )
-            return outcome.image
-        if atol is None:
-            atol = 1e-9 * self.weight
-        if tile_size is None and workers is None:
-            fitted = self.get_method(method)
-            tracer = current_tracer()
-            start = time.perf_counter()
-            values = fitted.batch_eps(self.grid.centers(), eps, atol=atol)
-            if tracer is not None:
-                with tracer.method_scope(fitted.name):
-                    tracer.render(
-                        op="eps",
-                        pixels=self.grid.num_pixels,
-                        tiles=0,
-                        workers=1,
-                        seconds=time.perf_counter() - start,
-                    )
-            return self.grid.to_image(values)
-        tiled = self._tiled_method(method, "eps")
-        resolved_atol = atol
-
-        def evaluate(engine: BatchRefinementEngine, tile: FloatArray) -> np.ndarray:
-            return engine.query_eps_batch(tile, eps, atol=resolved_atol)
-
-        values = self._render_with_scope(
-            tiled,
-            evaluate,
-            np.float64,
-            DEFAULT_TILE_SIZE if tile_size is None else tile_size,
-            workers,
-            "eps",
+            ),
         )
-        if invariants_enabled() and tiled.deterministic_guarantee:
-            tiled._check_eps_agreement(self.grid.centers(), values, eps, atol)
-        return self.grid.to_image(values)
+        image: FloatArray = self.render(request)  # type: ignore[assignment]
+        return image
 
     def render_tau(
         self,
@@ -427,65 +581,30 @@ class KDVRenderer:
     ) -> BoolArray:
         """τKDV hotspot mask, boolean, shape ``(height, width)``.
 
-        ``tile_size`` / ``workers`` opt into tiled batched rendering and
-        ``trace`` scopes a tracer around the render, exactly as in
+        Thin wrapper over :meth:`render`, with the same deprecation
+        shim as :meth:`render_eps`: the bare ``render_tau(tau, method)``
+        form is stable, execution keywords warn. ``tile_size`` /
+        ``workers`` opt into tiled batched rendering and ``trace``
+        scopes a tracer around the render, exactly as in
         :meth:`render_eps`. The resilience keywords likewise route
-        through :meth:`render_tau_anytime`; pixels a tripped budget left
+        through the anytime path; pixels a tripped budget left
         undecided render conservatively as cold.
         """
-        if trace is not None:
-            with trace_to(trace):
-                return self.render_tau(
-                    tau, method, tile_size=tile_size, workers=workers,
-                    budget=budget, cancel=cancel, resume_from=resume_from,
-                    checkpoint=checkpoint, faults=faults, retry=retry,
-                )
-        if self._resilience_engaged(
-            tile_size, workers, budget, cancel, resume_from, checkpoint, faults, retry
-        ):
-            outcome = self.render_tau_anytime(
-                tau, method, tile_size=tile_size, workers=workers,
+        self._warn_legacy_kwargs(
+            "render_tau", tile_size=tile_size, workers=workers, trace=trace,
+            budget=budget, cancel=cancel, resume_from=resume_from,
+            checkpoint=checkpoint, faults=faults, retry=retry,
+        )
+        request = RenderRequest(
+            op=OP_TAU, tau=tau, method=method,
+            options=RenderOptions(
+                tile_size=tile_size, workers=workers, trace=trace,
                 budget=budget, cancel=cancel, resume_from=resume_from,
                 checkpoint=checkpoint, faults=faults, retry=retry,
-            )
-            degraded = outcome.degraded
-            if degraded is not None and degraded.reason == STOP_TILE_FAILURES:
-                raise TransientTileError(
-                    f"tau render lost {len(degraded.tiles_failed)} tile(s) "
-                    "after retries; use render_tau_anytime for the partial "
-                    "envelopes"
-                )
-            mask: BoolArray = outcome.image.astype(bool)
-            return mask
-        if tile_size is None and workers is None:
-            fitted = self.get_method(method)
-            tracer = current_tracer()
-            start = time.perf_counter()
-            mask = fitted.batch_tau(self.grid.centers(), tau)
-            if tracer is not None:
-                with tracer.method_scope(fitted.name):
-                    tracer.render(
-                        op="tau",
-                        pixels=self.grid.num_pixels,
-                        tiles=0,
-                        workers=1,
-                        seconds=time.perf_counter() - start,
-                    )
-            return self.grid.to_image(mask)
-        tiled = self._tiled_method(method, "tau")
-
-        def evaluate(engine: BatchRefinementEngine, tile: FloatArray) -> np.ndarray:
-            return engine.query_tau_batch(tile, tau)
-
-        mask = self._render_with_scope(
-            tiled,
-            evaluate,
-            np.bool_,
-            DEFAULT_TILE_SIZE if tile_size is None else tile_size,
-            workers,
-            "tau",
+            ),
         )
-        return self.grid.to_image(mask)
+        mask: BoolArray = self.render(request)  # type: ignore[assignment]
+        return mask
 
     def _render_with_scope(
         self,
@@ -565,23 +684,21 @@ class KDVRenderer:
 
         A run with no budget, no faults and no failures is bit-identical
         to ``render_eps(..., tile_size=..., workers=...)``.
+
+        Thin wrapper over :meth:`render` with
+        ``RenderOptions(anytime=True)``.
         """
-        if trace is not None:
-            with trace_to(trace):
-                return self.render_eps_anytime(
-                    eps, method, atol=atol, tile_size=tile_size, workers=workers,
-                    budget=budget, cancel=cancel, resume_from=resume_from,
-                    checkpoint=checkpoint, faults=faults, retry=retry,
-                )
-        if atol is None:
-            atol = 1e-9 * self.weight
-        fitted = self._tiled_method(method, "eps")
-        return self._render_anytime(
-            fitted, "eps", eps=float(eps), atol=float(atol), tau=None,
-            tile_size=tile_size, workers=workers, budget=budget, cancel=cancel,
-            resume_from=resume_from, checkpoint=checkpoint, faults=faults,
-            retry=retry,
+        request = RenderRequest(
+            op=OP_EPS, eps=eps, method=method, atol=atol,
+            options=RenderOptions(
+                tile_size=tile_size, workers=workers, trace=trace,
+                budget=budget, cancel=cancel, resume_from=resume_from,
+                checkpoint=checkpoint, faults=faults, retry=retry,
+                anytime=True,
+            ),
         )
+        outcome: RenderOutcome = self.render(request)  # type: ignore[assignment]
+        return outcome
 
     def render_tau_anytime(
         self,
@@ -604,21 +721,21 @@ class KDVRenderer:
         conservative under degradation, since a pixel whose interval
         still straddles ``τ`` renders cold until proven hot. The
         resolved mask marks pixels whose decision is certain.
+
+        Thin wrapper over :meth:`render` with
+        ``RenderOptions(anytime=True)``.
         """
-        if trace is not None:
-            with trace_to(trace):
-                return self.render_tau_anytime(
-                    tau, method, tile_size=tile_size, workers=workers,
-                    budget=budget, cancel=cancel, resume_from=resume_from,
-                    checkpoint=checkpoint, faults=faults, retry=retry,
-                )
-        fitted = self._tiled_method(method, "tau")
-        return self._render_anytime(
-            fitted, "tau", eps=None, atol=None, tau=float(tau),
-            tile_size=tile_size, workers=workers, budget=budget, cancel=cancel,
-            resume_from=resume_from, checkpoint=checkpoint, faults=faults,
-            retry=retry,
+        request = RenderRequest(
+            op=OP_TAU, tau=tau, method=method,
+            options=RenderOptions(
+                tile_size=tile_size, workers=workers, trace=trace,
+                budget=budget, cancel=cancel, resume_from=resume_from,
+                checkpoint=checkpoint, faults=faults, retry=retry,
+                anytime=True,
+            ),
         )
+        outcome: RenderOutcome = self.render(request)  # type: ignore[assignment]
+        return outcome
 
     def _render_signature(
         self,
@@ -750,18 +867,9 @@ class KDVRenderer:
         # pixel: valid before any refinement runs, so even a render
         # cancelled on its very first tile returns LB <= F <= UB
         # everywhere.
-        engine0 = fitted.engine
+        engine0 = fitted.batch_engine
         assert engine0 is not None
-        provider = engine0.provider
-        node_bounds = (
-            provider.checked_node_bounds_batch
-            if invariants_enabled()
-            else provider.node_bounds_batch
-        )
-        centers_sq = np.einsum("ij,ij->i", centers, centers)
-        root_lb, root_ub = node_bounds(engine0.tree.root, centers, centers_sq)
-        lower = np.array(root_lb, dtype=np.float64, copy=True)
-        upper = np.array(root_ub, dtype=np.float64, copy=True)
+        lower, upper = engine0.root_envelope(centers)
         completed_flags = np.zeros(n_tiles, dtype=bool)
 
         if op == "eps":

@@ -1,0 +1,239 @@
+"""Tests for the shared cache primitives and the tile cache.
+
+Covers :mod:`repro.utils.cache` (LRU eviction by entries and bytes, TTL
+via an injected clock, stats counters, invalidation, single-flight
+dedup under real thread concurrency) and :mod:`repro.cache.tiles`
+(level separation, metrics mirroring, per-dataset invalidation).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache.tiles import TileCache
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.cache import LRUCache, SingleFlight, default_sizeof
+
+
+class FakeClock:
+    """Deterministic injectable clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDefaultSizeof:
+    def test_bytes_report_length(self):
+        assert default_sizeof(b"x" * 17) == 17
+
+    def test_arrays_report_nbytes(self):
+        values = np.zeros(10, dtype=np.float64)
+        assert default_sizeof(values) == 80
+
+    def test_tuples_sum_items(self):
+        pair = (np.zeros(4, dtype=np.float64), np.zeros(4, dtype=np.float64))
+        assert default_sizeof(pair) == 64
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_entry_budget_evicts_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # promote a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_evicts_until_within(self):
+        cache = LRUCache(max_bytes=100)
+        cache.put("a", b"x" * 60)
+        cache.put("b", b"x" * 60)  # 120 > 100: a evicted
+        assert "a" not in cache
+        assert "b" in cache
+        assert cache.current_bytes == 60
+
+    def test_value_larger_than_budget_not_kept(self):
+        cache = LRUCache(max_bytes=10)
+        cache.put("huge", b"x" * 50)
+        assert "huge" not in cache
+        assert cache.current_bytes == 0
+
+    def test_replace_adjusts_byte_accounting(self):
+        cache = LRUCache(max_bytes=100)
+        cache.put("a", b"x" * 40)
+        cache.put("a", b"x" * 10)
+        assert cache.current_bytes == 10
+
+    def test_ttl_expires_via_injected_clock(self):
+        clock = FakeClock()
+        cache = LRUCache(ttl_s=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(4.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+
+    def test_invalidate_single_and_predicate(self):
+        cache = LRUCache()
+        for key in ("x1", "x2", "y1"):
+            cache.put(key, 0)
+        assert cache.invalidate("x1") is True
+        assert cache.invalidate("x1") is False
+        assert cache.invalidate_where(lambda k: k.startswith("x")) == 1
+        assert cache.keys() == ["y1"]
+        assert cache.stats.invalidations == 2
+
+    def test_clear_resets_bytes(self):
+        cache = LRUCache()
+        cache.put("a", b"x" * 30)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(InvalidParameterError):
+            LRUCache(max_entries=0)
+        with pytest.raises(InvalidParameterError):
+            LRUCache(max_bytes=0)
+        with pytest.raises(InvalidParameterError):
+            LRUCache(ttl_s=0.0)
+
+    def test_as_dict_is_json_ready(self):
+        cache = LRUCache(max_entries=3)
+        cache.put("a", 1)
+        snapshot = cache.as_dict()
+        assert snapshot["entries"] == 1
+        assert snapshot["inserts"] == 1
+        assert snapshot["max_entries"] == 3
+
+
+class TestSingleFlight:
+    def test_sequential_callers_each_lead(self):
+        flight = SingleFlight()
+        value, leader = flight.do("k", lambda: 41)
+        assert (value, leader) == (41, True)
+        value, leader = flight.do("k", lambda: 42)
+        assert (value, leader) == (42, True)
+
+    def test_concurrent_callers_share_one_execution(self):
+        import time
+
+        flight = SingleFlight()
+        n_threads = 8
+        arrived = threading.Semaphore(0)
+        release = threading.Event()
+        calls = []
+        calls_lock = threading.Lock()
+
+        def supplier():
+            with calls_lock:
+                calls.append(threading.get_ident())
+            release.wait(timeout=10.0)
+            return "rendered"
+
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            arrived.release()
+            outcome = flight.do("tile", supplier)
+            with results_lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        # Hold the leader inside the supplier until every thread has
+        # reached (or is a few instructions from) flight.do, so they all
+        # join the same flight.
+        for _ in range(n_threads):
+            assert arrived.acquire(timeout=5.0)
+        time.sleep(0.1)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert len(calls) == 1, "exactly one caller may execute the supplier"
+        assert len(results) == n_threads
+        assert all(value == "rendered" for value, _ in results)
+        assert sum(1 for _, leader in results if leader) == 1
+        assert flight.in_flight() == 0
+
+    def test_failed_flight_propagates_and_is_retryable(self):
+        flight = SingleFlight()
+
+        def boom():
+            raise RuntimeError("render failed")
+
+        with pytest.raises(RuntimeError):
+            flight.do("k", boom)
+        value, leader = flight.do("k", lambda: "ok")
+        assert (value, leader) == ("ok", True)
+
+
+class TestTileCache:
+    def test_levels_are_independent(self):
+        cache = TileCache()
+        key_png = ("d", "png", "abc")
+        key_density = ("d", "density", "abc")
+        cache.put_png(key_png, b"png-bytes")
+        assert cache.get_png(key_png) == b"png-bytes"
+        assert cache.get_density(key_density) is None
+
+    def test_metrics_mirroring(self):
+        metrics = MetricsRegistry()
+        cache = TileCache(metrics=metrics)
+        key = ("d", "png", "abc")
+        cache.get_png(key)  # miss
+        cache.put_png(key, b"data")
+        cache.get_png(key)  # hit
+        assert metrics.counter("tile_cache.png.misses").value == 1
+        assert metrics.counter("tile_cache.png.inserts").value == 1
+        assert metrics.counter("tile_cache.png.hits").value == 1
+
+    def test_eviction_under_byte_pressure_is_counted(self):
+        metrics = MetricsRegistry()
+        cache = TileCache(png_bytes=100, metrics=metrics)
+        for index in range(5):
+            cache.put_png(("d", "png", f"k{index}"), b"x" * 40)
+        assert metrics.counter("tile_cache.png.evictions").value >= 3
+        assert cache.as_dict()["png"]["bytes"] <= 100
+
+    def test_invalidate_dataset_sweeps_every_level(self):
+        cache = TileCache()
+        cache.put_png(("a", "png", "1"), b"p")
+        cache.put_density(("a", "density", "1"), np.zeros(4))
+        cache.put_bounds(("a", "bounds", "1"), (np.zeros(4), np.ones(4)))
+        cache.put_png(("b", "png", "1"), b"keep")
+        assert cache.invalidate_dataset("a") == 3
+        assert cache.get_png(("b", "png", "1")) == b"keep"
+        assert cache.get_png(("a", "png", "1")) is None
+
+    def test_clear_empties_all_levels(self):
+        cache = TileCache()
+        cache.put_png(("a", "png", "1"), b"p")
+        cache.put_density(("a", "density", "1"), np.zeros(2))
+        assert cache.clear() == 2
+        snapshot = cache.as_dict()
+        assert all(snapshot[level]["entries"] == 0 for level in TileCache.LEVELS)

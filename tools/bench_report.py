@@ -78,6 +78,7 @@ def run_benchmark(
 
     from repro.data.synthetic import load_dataset
     from repro.visual.kdv import KDVRenderer
+    from repro.visual.request import RenderOptions, RenderRequest
 
     points = load_dataset(dataset, n=n, seed=seed)
     renderer = KDVRenderer(
@@ -85,6 +86,8 @@ def run_benchmark(
     )
     method = renderer.get_method("quad")  # offline stage, outside timing
     atol = 1e-9 * renderer.weight
+    tiled = RenderOptions(tile_size=tile_size)
+    tiled_workers = RenderOptions(tile_size=tile_size, workers=workers)
 
     def measure(label: str, fn: Callable[[], Any]) -> tuple[Any, dict[str, Any]]:
         method.stats.reset()
@@ -95,14 +98,17 @@ def run_benchmark(
 
     print(f"workload: {dataset} n={n} {resolution[0]}x{resolution[1]} eps={eps}")
     scalar_img, scalar_rep = measure(
-        "eps scalar", lambda: renderer.render_eps(eps, "quad")
+        "eps scalar", lambda: renderer.render(RenderRequest.for_eps(eps, "quad"))
     )
     batch_img, batch_rep = measure(
-        "eps batched", lambda: renderer.render_eps(eps, "quad", tile_size=tile_size)
+        "eps batched",
+        lambda: renderer.render(RenderRequest.for_eps(eps, "quad", options=tiled)),
     )
     workers_img, workers_rep = measure(
         f"eps workers={workers}",
-        lambda: renderer.render_eps(eps, "quad", tile_size=tile_size, workers=workers),
+        lambda: renderer.render(
+            RenderRequest.for_eps(eps, "quad", options=tiled_workers)
+        ),
     )
     batch_rep["speedup_vs_scalar"] = round(
         scalar_rep["seconds"] / batch_rep["seconds"], 3
@@ -126,10 +132,11 @@ def run_benchmark(
 
     tau = max(float(np.median(exact)), float(np.finfo(np.float64).tiny))
     scalar_mask, tau_scalar_rep = measure(
-        "tau scalar", lambda: renderer.render_tau(tau, "quad")
+        "tau scalar", lambda: renderer.render(RenderRequest.for_tau(tau, "quad"))
     )
     batch_mask, tau_batch_rep = measure(
-        "tau batched", lambda: renderer.render_tau(tau, "quad", tile_size=tile_size)
+        "tau batched",
+        lambda: renderer.render(RenderRequest.for_tau(tau, "quad", options=tiled)),
     )
     tau_batch_rep["speedup_vs_scalar"] = round(
         tau_scalar_rep["seconds"] / tau_batch_rep["seconds"], 3
@@ -147,8 +154,8 @@ def run_benchmark(
         from repro.obs.runtime import trace_to
 
         with trace_to() as tracer:
-            renderer.render_eps(eps, "quad", tile_size=tile_size)
-            renderer.render_tau(tau, "quad", tile_size=tile_size)
+            renderer.render(RenderRequest.for_eps(eps, "quad", options=tiled))
+            renderer.render(RenderRequest.for_tau(tau, "quad", options=tiled))
         trace_summary = summarize_events(tracer.events())
 
     return {

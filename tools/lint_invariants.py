@@ -36,6 +36,12 @@ that keep that contract auditable:
     No ``except`` handler whose body is only ``pass`` / ``...`` —
     a swallowed error is the same silent failure mode the contracts
     exist to prevent.
+``legacy-render``
+    No ``render_eps(`` / ``render_tau(`` calls inside ``serve/``. The
+    tile service must go through the unified
+    ``KDVRenderer.render(request)`` entrypoint — the cache keys are
+    request fingerprints, so a render that bypasses the request object
+    bypasses the cache-key discipline with it.
 ``bare-except``
     No ``except:`` without an exception type. A bare except catches
     ``KeyboardInterrupt`` and ``SystemExit``, which breaks the
@@ -396,6 +402,39 @@ def _check_silent_except(
         )
 
 
+#: Legacy entrypoints forbidden inside the serve package.
+_LEGACY_RENDER_CALLS = frozenset(
+    {"render_eps", "render_tau", "render_eps_anytime", "render_tau_anytime"}
+)
+
+
+def _serve_scoped(path: Path) -> bool:
+    return "serve" in path.parts
+
+
+def _check_legacy_render(
+    path: Path, tree: ast.Module, markers: dict[int, set[str]]
+) -> Iterator[Violation]:
+    if not _serve_scoped(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node.func)
+        if name not in _LEGACY_RENDER_CALLS:
+            continue
+        if _suppressed(markers, node.lineno, "legacy-render"):
+            continue
+        yield Violation(
+            path,
+            node.lineno,
+            "legacy-render",
+            f"{name}() is forbidden in serve/; build a RenderRequest and "
+            "call renderer.render(request) so the cache-key fingerprint "
+            "covers exactly what was rendered",
+        )
+
+
 def _check_bare_except(
     path: Path, tree: ast.Module, markers: dict[int, set[str]]
 ) -> Iterator[Violation]:
@@ -423,6 +462,7 @@ _CHECKS = (
     _check_missing_all,
     _check_return_annotation,
     _check_silent_except,
+    _check_legacy_render,
     _check_bare_except,
 )
 

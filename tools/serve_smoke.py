@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI smoke test for the tile server: cache effectiveness + byte identity.
+
+Starts the real asyncio server on an ephemeral port, requests a 2x2
+pyramid (z=0 plus the four z=1 tiles) twice over HTTP, and asserts:
+
+* every response is a valid PNG with status 200;
+* the second pass is served from cache (>= 90% X-Cache: hit);
+* second-pass bytes are identical to the first pass, tile for tile;
+* the warm pass is at least MIN_SPEEDUP x faster than the cold pass
+  (the multi-level cache actually short-circuits the render);
+* the /stats counters agree with what was observed on the wire.
+
+Exits 0 on success, 1 on any violated expectation. Run as::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Tuple
+
+__all__ = ["main"]
+
+PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+TILES: List[Tuple[int, int, int]] = [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 0, 1), (1, 1, 1)]
+MIN_HIT_RATE = 0.9
+MIN_SPEEDUP = 10.0
+DATASET = "crime"
+N_POINTS = 8_000
+TILE_PX = 256
+
+
+def _fetch(url: str) -> Tuple[int, Dict[str, str], bytes]:
+    try:
+        response = urllib.request.urlopen(url, timeout=120)
+        return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+async def _run() -> None:
+    from repro.data.synthetic import load_dataset
+    from repro.serve import ServiceConfig, TileServer, TileService
+
+    service = TileService(
+        config=ServiceConfig(tile_px=TILE_PX, eps=0.05, workers=2)
+    )
+    service.registry.register(DATASET, load_dataset(DATASET, n=N_POINTS, seed=0))
+    server = await TileServer(service, port=0).start()
+    loop = asyncio.get_running_loop()
+    print(f"serve_smoke: server on {server.url}, dataset {DATASET} n={N_POINTS}")
+
+    async def pass_over_pyramid(label: str) -> Tuple[Dict[Tuple[int, int, int], bytes], int, float]:
+        blobs: Dict[Tuple[int, int, int], bytes] = {}
+        hits = 0
+        started = time.perf_counter()
+        for z, x, y in TILES:
+            status, headers, body = await loop.run_in_executor(
+                None, _fetch, f"{server.url}/tile/{DATASET}/{z}/{x}/{y}.png"
+            )
+            if status != 200:
+                _fail(f"{label}: tile {z}/{x}/{y} returned {status}: {body[:200]!r}")
+            if not body.startswith(PNG_SIGNATURE):
+                _fail(f"{label}: tile {z}/{x}/{y} is not a PNG")
+            if headers.get("X-Cache") == "hit":
+                hits += 1
+            blobs[(z, x, y)] = body
+        return blobs, hits, time.perf_counter() - started
+
+    cold, cold_hits, cold_s = await pass_over_pyramid("cold")
+    warm, warm_hits, warm_s = await pass_over_pyramid("warm")
+    await server.stop()
+    service.close()
+
+    print(
+        f"serve_smoke: cold {cold_s:.3f}s ({cold_hits} hits), "
+        f"warm {warm_s:.3f}s ({warm_hits}/{len(TILES)} hits), "
+        f"speedup {cold_s / max(warm_s, 1e-9):.1f}x"
+    )
+
+    if cold_hits != 0:
+        _fail(f"cold pass unexpectedly hit cache ({cold_hits} hits)")
+    hit_rate = warm_hits / len(TILES)
+    if hit_rate < MIN_HIT_RATE:
+        _fail(f"warm hit rate {hit_rate:.0%} < {MIN_HIT_RATE:.0%}")
+    for key in TILES:
+        if cold[key] != warm[key]:
+            _fail(f"tile {key} bytes differ between passes")
+    if cold_s < MIN_SPEEDUP * warm_s:
+        _fail(
+            f"warm pass only {cold_s / max(warm_s, 1e-9):.1f}x faster "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+
+    # Cross-check the wire observations against the service's own counters.
+    counters = service.metrics.as_dict()["counters"]
+    if counters.get("tiles.renders", 0) != len(TILES):
+        _fail(
+            f"expected exactly {len(TILES)} renders, "
+            f"counters say {counters.get('tiles.renders', 0)}"
+        )
+    if counters.get("tile_cache.png.hits", 0) < warm_hits:
+        _fail("png cache hit counter disagrees with observed X-Cache headers")
+    print("serve_smoke: counters agree:", json.dumps(
+        {k: v for k, v in sorted(counters.items()) if k.startswith("tiles.")}
+    ))
+    print("serve_smoke: OK")
+
+
+def main() -> int:
+    """Run the smoke scenario; returns the process exit code."""
+    asyncio.run(_run())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
