@@ -6,16 +6,28 @@ bounds, same ``(1 ± eps)`` contract — only the refinement schedule
 differs — so any timing gap is pure engine overhead. The batched path
 should stay several times faster than scalar; ``tools/bench_report.py``
 records the canonical numbers in ``BENCH_engine.json``.
+
+The parallel-scaling group sweeps worker count x executor x compute
+backend over the same tiled workload. Worker counts and executors
+change only *where* each tile batch runs, never what it computes, so
+every parametrisation asserts the image equals the single-worker
+render bit for bit. Unavailable backends (numba without the ``[perf]``
+extra) are skipped, not failed.
 """
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import get_renderer, prepare
+from repro.core.backends import available_backends
+from repro.visual.request import RenderOptions, RenderRequest
 
 DATASETS = ("crime", "home")
 EPS = 0.01
 MODES = ("scalar", "tiled", "tiled-workers")
+SCALING_WORKERS = (1, 2, 4, 8)
+SCALING_EXECUTORS = ("thread", "process")
+SCALING_BACKENDS = ("numpy", "numba")
 
 
 def _render_kwargs(mode):
@@ -61,3 +73,27 @@ def test_tau_engine_batching(benchmark, dataset, mode):
     # The threshold decision is schedule-independent: every mode must
     # reproduce the exact-density mask pixel for pixel.
     assert np.array_equal(mask, renderer.render_exact() >= tau)
+
+
+@pytest.mark.parametrize("backend", SCALING_BACKENDS)
+@pytest.mark.parametrize("executor", SCALING_EXECUTORS)
+@pytest.mark.parametrize("workers", SCALING_WORKERS)
+def test_eps_parallel_scaling(benchmark, workers, executor, backend):
+    if backend not in available_backends():
+        pytest.skip(f"compute backend {backend!r} not installed ([perf] extra)")
+    renderer = get_renderer("crime")
+    prepare(renderer, "quad")
+    benchmark.group = f"parallel scaling eps crime eps={EPS} backend={backend}"
+    options = RenderOptions(
+        tile_size=64, workers=workers, executor=executor, backend=backend
+    )
+    request = RenderRequest.for_eps(EPS, "quad", options=options)
+    image = benchmark.pedantic(
+        renderer.render, args=(request,), rounds=2, iterations=1
+    )
+    # Executors and worker counts move tile batches between threads or
+    # processes without changing their contents, so the parallel image
+    # must equal the single-worker one bit for bit.
+    single = RenderOptions(tile_size=64, workers=1, backend=backend)
+    reference = renderer.render(RenderRequest.for_eps(EPS, "quad", options=single))
+    assert np.array_equal(image, reference)

@@ -59,3 +59,14 @@ def prepare(renderer, method):
 @pytest.fixture(scope="session")
 def bench_scale():
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _close_process_pools():
+    """Release process pools / shared-memory segments the benches spun up."""
+    yield
+    for renderer in _renderers.values():
+        for fitted in renderer._methods.values():
+            closer = getattr(fitted, "close_executors", None)
+            if closer is not None:
+                closer()

@@ -35,6 +35,7 @@ containment/tightening validation.
 
 from __future__ import annotations
 
+from functools import partial
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable
 
@@ -46,6 +47,7 @@ from repro.contracts.runtime import (
     invariants_enabled,
 )
 from repro.core import stopping
+from repro.core.backends import resolve_backend
 from repro.core.engine import QueryStats, exhausted_exact
 from repro.errors import InvalidParameterError
 from repro.obs.runtime import current_tracer
@@ -85,6 +87,15 @@ class BatchRefinementEngine:
         into — pass the scalar engine's stats object to keep one unified
         work ledger, or leave ``None`` for a private one (used by the
         tiled renderer's per-worker engines, merged afterwards).
+    backend:
+        Compute-backend selection for the batched bound/leaf kernels: a
+        :class:`~repro.core.backends.ComputeBackend` instance, a name
+        (``"numpy"``, ``"numba"``), or ``None`` to honour the
+        ``REPRO_BACKEND`` environment variable (default ``"numpy"``,
+        bit-identical to the pre-backend engine). The scalar
+        τ-canonicalisation path stays on the provider regardless of
+        backend — that is what keeps τ masks bit-identical across
+        backends.
     """
 
     def __init__(
@@ -93,6 +104,7 @@ class BatchRefinementEngine:
         provider: BoundProvider,
         ordering: str = "gap",
         stats: QueryStats | None = None,
+        backend: str | None = None,
     ) -> None:
         if ordering not in ("gap", "fifo"):
             raise InvalidParameterError(
@@ -102,6 +114,7 @@ class BatchRefinementEngine:
         self.provider = provider
         self.ordering = ordering
         self.stats = stats if stats is not None else QueryStats()
+        self.backend = resolve_backend(backend)
 
     def root_envelope(
         self, queries: FloatArray, queries_sq: FloatArray | None = None
@@ -119,10 +132,12 @@ class BatchRefinementEngine:
         """
         if queries_sq is None:
             queries_sq = np.einsum("ij,ij->i", queries, queries)
-        node_bounds = (
-            self.provider.checked_node_bounds_batch
+        backend = self.backend
+        node_bounds = partial(
+            backend.checked_node_bounds_batch
             if invariants_enabled()
-            else self.provider.node_bounds_batch
+            else backend.node_bounds_batch,
+            self.provider,
         )
         lb, ub = node_bounds(self.tree.root, queries, queries_sq)
         return (
@@ -170,13 +185,17 @@ class BatchRefinementEngine:
         batch_sq = np.einsum("ij,ij->i", batch, batch)
 
         # Like the scalar engine, the checking branch is chosen once per
-        # batch; the hot path calls the unchecked batch bound variants.
+        # batch; the hot path calls the unchecked batch variants of the
+        # active compute backend (numpy delegates to the provider).
         check = invariants_enabled()
-        node_bounds = (
-            provider.checked_node_bounds_batch if check else provider.node_bounds_batch
+        backend = self.backend
+        node_bounds = partial(
+            backend.checked_node_bounds_batch if check else backend.node_bounds_batch,
+            provider,
         )
-        leaf_exact = (
-            provider.checked_leaf_exact_batch if check else provider.leaf_exact_batch
+        leaf_exact = partial(
+            backend.checked_leaf_exact_batch if check else backend.leaf_exact_batch,
+            provider,
         )
         bound_name = type(provider).__name__
 

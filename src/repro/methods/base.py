@@ -233,6 +233,7 @@ class IndexedMethod(Method):
         ordering: str = "gap",
         index: str = "kd",
         engine: str = "scalar",
+        backend: str | None = None,
     ) -> None:
         super().__init__()
         from repro.errors import InvalidParameterError
@@ -247,14 +248,23 @@ class IndexedMethod(Method):
         self.ordering = ordering
         self.index = index
         self.engine_mode = engine
+        # Compute-backend selection for the batched engines (None defers
+        # to REPRO_BACKEND / the numpy reference); the scalar engine is
+        # backend-independent by design.
+        self.backend = backend
         self.provider_options: dict[str, Any] = {}
         self.tree: KDTree | BallTree | None = None
         self.engine: RefinementEngine | None = None
         self.batch_engine: BatchRefinementEngine | None = None
+        # Cached process-pool tile executors, keyed by (workers, backend).
+        # Lazily built by process_executor(); invalidated on refit since
+        # the worker processes hold a snapshot of the fitted tree.
+        self._process_executors: dict[tuple[int, str | None], Any] = {}
 
     def _fit_impl(self) -> None:
         from repro.core.bounds import make_bound_provider
 
+        self.close_executors()
         if self.index == "ball":
             from repro.index.balltree import BallTree
 
@@ -277,7 +287,11 @@ class IndexedMethod(Method):
         # ``method.stats`` is one unified work ledger regardless of which
         # refinement schedule answered a query.
         self.batch_engine = BatchRefinementEngine(
-            self.tree, provider, ordering=self.ordering, stats=self.engine.stats
+            self.tree,
+            provider,
+            ordering=self.ordering,
+            stats=self.engine.stats,
+            backend=self.backend,
         )
 
     @property
@@ -287,20 +301,61 @@ class IndexedMethod(Method):
         assert self.engine is not None
         return self.engine.stats
 
-    def make_batch_engine(self, stats: QueryStats | None = None) -> BatchRefinementEngine:
+    def make_batch_engine(
+        self,
+        stats: QueryStats | None = None,
+        backend: str | None = None,
+    ) -> BatchRefinementEngine:
         """A fresh batched engine over this method's tree and bounds.
 
         Each call returns an independent engine accumulating into its
         own ``stats`` (or the one given) — the building block for
         tile-parallel rendering, where every worker refines with a
         private engine and the owner merges the per-worker stats.
+        ``backend`` overrides this method's compute backend for the new
+        engine (``None`` inherits it).
         """
         self._require_fitted()
         engine = self.engine
         assert engine is not None
         return BatchRefinementEngine(
-            engine.tree, engine.provider, ordering=self.ordering, stats=stats
+            engine.tree,
+            engine.provider,
+            ordering=self.ordering,
+            stats=stats,
+            backend=self.backend if backend is None else backend,
         )
+
+    def process_executor(self, workers: int, backend: str | None = None) -> Any:
+        """The cached process-pool tile executor for this fitted method.
+
+        Builds (and caches) a
+        :class:`~repro.visual.executors.ProcessTileExecutor` whose
+        worker processes attach the fitted tree from shared memory —
+        one publication feeds every render until the method is refitted
+        or :meth:`close_executors` runs. Keyed by ``(workers, backend)``
+        so a renderer can mix configurations without thrashing pools.
+        """
+        self._require_fitted()
+        key = (int(workers), backend if backend is not None else self.backend)
+        pool = self._process_executors.get(key)
+        if pool is None or pool.closed:
+            from repro.visual.executors import ProcessTileExecutor
+
+            pool = ProcessTileExecutor(self, workers=key[0], backend=key[1])
+            self._process_executors[key] = pool
+        return pool
+
+    def close_executors(self) -> None:
+        """Shut down cached process pools and free their shared memory.
+
+        Idempotent; called automatically on refit. Anyone embedding a
+        long-lived method (the serve registry) must call this — or rely
+        on the executors' own finalizers — before dropping the method.
+        """
+        executors, self._process_executors = self._process_executors, {}
+        for pool in executors.values():
+            pool.close()
 
     def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
         if self.engine_mode == "batch":

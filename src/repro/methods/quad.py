@@ -42,7 +42,7 @@ class QUADMethod(IndexedMethod):
 
     def __init__(
         self, leaf_size=None, ordering="gap", tangent="mean", index="kd",
-        engine="scalar",
+        engine="scalar", backend=None,
     ):
         from repro.index.kdtree import DEFAULT_LEAF_SIZE
 
@@ -51,6 +51,7 @@ class QUADMethod(IndexedMethod):
             ordering=ordering,
             index=index,
             engine=engine,
+            backend=backend,
         )
         self.tangent = tangent
 

@@ -41,6 +41,14 @@ if TYPE_CHECKING:
 __all__ = ["DatasetEntry", "DatasetRegistry"]
 
 
+def _close_renderer_methods(renderer: KDVRenderer) -> None:
+    """Shut down process pools cached on a renderer's fitted methods."""
+    for fitted in renderer._methods.values():
+        closer = getattr(fitted, "close_executors", None)
+        if closer is not None:
+            closer()
+
+
 class DatasetEntry:
     """One served dataset: points, fitted renderer, version.
 
@@ -113,6 +121,7 @@ class DatasetEntry:
             )
         with self._lock:
             merged = np.vstack([self.points, extra])
+            stale = self.renderer
             self.renderer = KDVRenderer(
                 merged,
                 kernel=self.renderer.kernel,
@@ -122,7 +131,16 @@ class DatasetEntry:
             )
             self.version += 1
             self.renderer.get_method(self.method)
+            # The replaced renderer's fitted methods may hold process
+            # pools + shared-memory tree segments; release them now
+            # rather than waiting on garbage collection.
+            _close_renderer_methods(stale)
             return int(merged.shape[0])
+
+    def close(self) -> None:
+        """Release per-method process pools / shared memory (idempotent)."""
+        with self._lock:
+            _close_renderer_methods(self.renderer)
 
     def as_dict(self) -> Dict[str, Any]:
         """Entry snapshot for ``/stats``."""
@@ -227,8 +245,10 @@ class DatasetRegistry:
         """Drop a dataset (and invalidate); returns whether it existed."""
         with self._lock:
             entry = self._entries.pop(str(dataset_id), None)
-        if entry is not None and self._on_invalidate is not None:
-            self._on_invalidate(entry.dataset_id)
+        if entry is not None:
+            entry.close()
+            if self._on_invalidate is not None:
+                self._on_invalidate(entry.dataset_id)
         return entry is not None
 
     def ids(self) -> List[str]:

@@ -80,7 +80,17 @@ _VMAX_GRID_WIDTH = 64
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables of a :class:`TileService` (all have serving defaults)."""
+    """Tunables of a :class:`TileService` (all have serving defaults).
+
+    ``workers`` sizes the *request* pool (threads running plan/cache/
+    encode); ``render_workers`` + ``executor`` + ``backend`` shape each
+    render itself: ``render_workers=N`` with ``executor="process"``
+    drains every tile render through the fitted method's shared-memory
+    process pool (true parallelism past the GIL), and ``backend``
+    selects the compute backend (``None`` defers to ``REPRO_BACKEND``).
+    Cache keys are unaffected — every executor/backend combination
+    produces bit-identical tile bytes.
+    """
 
     tile_px: int = DEFAULT_TILE_PX
     eps: float = 0.05
@@ -88,6 +98,9 @@ class ServiceConfig:
     colormap: str = "density"
     deadline_ms: Optional[float] = 10_000.0
     workers: int = 4
+    render_workers: Optional[int] = None
+    executor: Optional[str] = None
+    backend: Optional[str] = None
     queue_limit: int = 32
     max_zoom: int = 18
     png_cache_bytes: int = 64 * 1024 * 1024
@@ -99,6 +112,14 @@ class ServiceConfig:
             raise InvalidParameterError(f"tile_px must be >= 1, got {self.tile_px!r}")
         if int(self.workers) < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {self.workers!r}")
+        if self.render_workers is not None and int(self.render_workers) < 1:
+            raise InvalidParameterError(
+                f"render_workers must be >= 1, got {self.render_workers!r}"
+            )
+        if self.executor not in (None, "thread", "process"):
+            raise InvalidParameterError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
         if int(self.queue_limit) < 1:
             raise InvalidParameterError(
                 f"queue_limit must be >= 1, got {self.queue_limit!r}"
@@ -270,7 +291,13 @@ class TileService:
         indexed = isinstance(fitted, IndexedMethod)
         fitted._require(request.op)
         options = (
-            RenderOptions(tile_size=RENDER_TILE_SIZE, anytime=True)
+            RenderOptions(
+                tile_size=RENDER_TILE_SIZE,
+                anytime=True,
+                workers=self.config.render_workers,
+                executor=self.config.executor,
+                backend=self.config.backend,
+            )
             if indexed
             else RenderOptions()
         )
@@ -512,13 +539,29 @@ class TileService:
                 "colormap": self.config.colormap,
                 "deadline_ms": self.config.deadline_ms,
                 "workers": int(self.config.workers),
+                "render_workers": (
+                    None
+                    if self.config.render_workers is None
+                    else int(self.config.render_workers)
+                ),
+                "executor": self.config.executor,
+                "backend": self.config.backend,
                 "max_zoom": int(self.config.max_zoom),
             },
         }
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and per-method render pools (idempotent)."""
         self.pool.shutdown(wait=True, cancel_futures=True)
+        from repro.errors import DatasetNotFoundError
+
+        for dataset_id in self.registry.ids():
+            try:
+                self.registry.get(dataset_id).close()
+            # lint: allow-silent-except -- a concurrent remove() already
+            # closed the entry; nothing left to release.
+            except DatasetNotFoundError:
+                pass
 
     def __repr__(self) -> str:
         return (

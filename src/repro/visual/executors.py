@@ -1,0 +1,419 @@
+"""Process-pool tile executor — true parallel rendering past the GIL.
+
+The thread-tiled paths in :mod:`repro.visual.kdv` interleave rather than
+parallelise when the compute backend holds the GIL (the numpy reference
+backend does; the whole refinement loop is Python + small-batch numpy).
+:class:`ProcessTileExecutor` escapes that by draining tiles into worker
+*processes*:
+
+* the fitted kd-tree is published **once** into POSIX shared memory
+  (:func:`repro.index.shared.publish_tree`); every worker attaches
+  zero-copy views at pool start instead of unpickling megabytes of tree
+  per render;
+* each worker rebuilds the method's bound provider from a tiny picklable
+  spec and answers tiles with a private
+  :class:`~repro.core.batch_engine.BatchRefinementEngine` — the same
+  engine, bounds and backend dispatch as in-process rendering, so tile
+  values are **bit-identical** to the sequential/thread paths;
+* per-tile :class:`~repro.core.engine.QueryStats` travel back as plain
+  dicts and are merged through the usual ``QueryStats.merge`` ledger;
+  the parent re-emits ``tile`` trace events into the ambient obs sinks
+  (worker processes have no tracer), so observability is unchanged;
+* cancellation crosses the process boundary through a shared byte slot
+  (:mod:`repro.resilience.process`): Ctrl-C, deadlines and kernel
+  budgets trip the parent token, a watcher thread mirrors the latch
+  into the slot, and workers stop at their next frontier poll and
+  return valid best-so-far envelopes — no orphaned processes, no
+  zombie work.
+
+Pools are cached per fitted method by
+:meth:`repro.methods.base.IndexedMethod.process_executor`, so a render
+sweep pays the fork + attach cost once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from typing import TYPE_CHECKING, Any, NamedTuple, Optional
+
+import numpy as np
+
+from repro.contracts.runtime import invariants_enabled, set_invariants
+from repro.core.engine import QueryStats
+from repro.errors import InvalidParameterError
+from repro.index.shared import attach_tree, publish_tree
+from repro.resilience.budget import STOP_INTERRUPT, CancellationToken
+from repro.resilience.process import CancelSlots, CancelWatcher, SlotCancellationToken
+
+if TYPE_CHECKING:
+    from repro._types import FloatArray, IntArray
+    from repro.methods.base import IndexedMethod
+
+__all__ = ["ProcessTileExecutor", "TileJob", "ProcessRunOutcome"]
+
+#: Environment override for the multiprocessing start method
+#: (``fork`` / ``spawn`` / ``forkserver``). The default prefers ``fork``
+#: where available: workers inherit the parent's modules, so pool
+#: start-up is milliseconds instead of a fresh interpreter per worker.
+MP_START_ENV_VAR = "REPRO_MP_START"
+
+
+class TileJob(NamedTuple):
+    """One tile's work order: its index, pixel ids, and query centers.
+
+    ``centers`` is the materialised ``grid.centers()[pixels]`` slice —
+    shipping the actual coordinates (a few tens of KB per tile)
+    guarantees the worker refines *exactly* the same float64 inputs as
+    an in-process render, which is what makes the bit-identity claim
+    hold without re-deriving grid geometry in the worker.
+    """
+
+    index: int
+    pixels: IntArray
+    centers: FloatArray
+
+
+class ProcessRunOutcome:
+    """What one :meth:`ProcessTileExecutor.run` produced.
+
+    Attributes
+    ----------
+    payloads:
+        ``{tile_index: payload}`` for every tile whose worker returned —
+        values/mask arrays in strict mode, ``(lower, upper)`` envelope
+        pairs in bounds mode. Tiles a tripped token cut short still
+        appear here (their envelopes are valid, just looser).
+    errors:
+        ``{tile_index: exception}`` for tiles whose worker raised. The
+        original exception objects, so strict callers re-raise with the
+        true type.
+    cancelled:
+        Tile indices whose worker observed the cancellation slot and
+        returned early (a subset of ``payloads`` keys in bounds mode).
+    unrun:
+        Tile indices never executed (future cancelled before start, or
+        the pool broke underneath them).
+    stats:
+        All workers' engine counters merged into one
+        :class:`~repro.core.engine.QueryStats`.
+    keyboard_interrupt:
+        ``True`` when a Ctrl-C landed during collection; the run drains
+        outstanding futures before returning, so the caller decides
+        whether to re-raise (strict) or degrade (anytime).
+    worker_seconds:
+        ``{ordinal_worker_id: busy_seconds}`` summed per worker.
+    """
+
+    __slots__ = (
+        "payloads",
+        "errors",
+        "cancelled",
+        "unrun",
+        "stats",
+        "keyboard_interrupt",
+        "worker_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.payloads: dict[int, Any] = {}
+        self.errors: dict[int, BaseException] = {}
+        self.cancelled: set[int] = set()
+        self.unrun: set[int] = set()
+        self.stats = QueryStats()
+        self.keyboard_interrupt = False
+        self.worker_seconds: dict[int, float] = {}
+
+
+# -- worker side -------------------------------------------------------------
+#
+# Module-level state, populated once per worker process by the pool
+# initializer. concurrent.futures passes ``initargs`` through the
+# multiprocessing Process machinery, which is the only legal route for
+# shared objects (the slot array) — they inherit, they do not pickle.
+
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _worker_init(tree_meta: dict[str, Any], spec: dict[str, Any], slot_array: Any) -> None:
+    from repro.core.bounds import make_bound_provider
+
+    tree = attach_tree(tree_meta)
+    provider = make_bound_provider(
+        spec["provider"],
+        spec["kernel"],
+        spec["gamma"],
+        spec["weight"],
+        **spec["provider_options"],
+    )
+    _WORKER_STATE["tree"] = tree
+    _WORKER_STATE["provider"] = provider
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["slots"] = slot_array
+
+
+def _run_tile(
+    index: int,
+    centers: FloatArray,
+    op: str,
+    params: dict[str, float],
+    bounds: bool,
+    slot: Optional[int],
+    check: bool,
+) -> tuple[int, Any, dict[str, int], float, bool, int]:
+    """Refine one tile in a worker; returns a picklable result tuple."""
+    from repro.core.batch_engine import BatchRefinementEngine
+
+    spec = _WORKER_STATE["spec"]
+    set_invariants(check)
+    stats = QueryStats()
+    engine = BatchRefinementEngine(
+        _WORKER_STATE["tree"],
+        _WORKER_STATE["provider"],
+        ordering=spec["ordering"],
+        stats=stats,
+        backend=spec["backend"],
+    )
+    token: CancellationToken | None = None
+    if slot is not None:
+        token = SlotCancellationToken(_WORKER_STATE["slots"], slot)
+        token.start()
+    start = time.perf_counter()
+    if op == "eps":
+        if bounds:
+            payload: Any = engine.query_eps_bounds(
+                centers, params["eps"], atol=params["atol"], cancel=token
+            )
+        else:
+            payload = engine.query_eps_batch(
+                centers, params["eps"], atol=params["atol"], cancel=token
+            )
+    else:
+        if bounds:
+            payload = engine.query_tau_bounds(centers, params["tau"], cancel=token)
+        else:
+            payload = engine.query_tau_batch(centers, params["tau"], cancel=token)
+    seconds = time.perf_counter() - start
+    was_cancelled = bool(token is not None and token.triggered)
+    return index, payload, stats.as_dict(), seconds, was_cancelled, os.getpid()
+
+
+def _close_pool(pool: Any, handle: Any) -> None:
+    pool.shutdown(wait=True, cancel_futures=True)
+    handle.close()
+
+
+class ProcessTileExecutor:
+    """A persistent worker-process pool bound to one fitted method.
+
+    Parameters
+    ----------
+    method:
+        A fitted :class:`~repro.methods.base.IndexedMethod` over a
+        kd-tree index (ball trees have no shared-memory packing and
+        raise :class:`~repro.errors.InvalidParameterError`).
+    workers:
+        Worker process count (>= 1).
+    backend:
+        Compute-backend name the workers dispatch through (``None``
+        inherits the method's backend / ``REPRO_BACKEND``).
+    """
+
+    def __init__(
+        self,
+        method: IndexedMethod,
+        workers: int,
+        backend: str | None = None,
+    ) -> None:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = int(workers)
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        engine = method.engine
+        if engine is None:
+            raise InvalidParameterError(
+                "method must be fitted before building a process executor"
+            )
+        provider = engine.provider
+        spec = {
+            "provider": method.provider_name,
+            "kernel": provider.kernel.name,
+            "gamma": float(provider.gamma),
+            "weight": float(provider.weight),
+            "provider_options": dict(method.provider_options),
+            "ordering": method.ordering,
+            "backend": backend if backend is not None else method.backend,
+        }
+        start_method = os.environ.get(MP_START_ENV_VAR)
+        if not start_method:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        ctx = mp.get_context(start_method)
+        self.workers = workers
+        self._handle = publish_tree(engine.tree)
+        try:
+            self._slots = CancelSlots(ctx)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(self._handle.meta, spec, self._slots.array),
+            )
+        except BaseException:
+            self._handle.close()
+            raise
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _close_pool, self._pool, self._handle
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared tree (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._finalizer()
+
+    def __enter__(self) -> ProcessTileExecutor:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- the drain loop ------------------------------------------------------
+
+    def run(
+        self,
+        jobs: list[TileJob],
+        *,
+        op: str,
+        params: dict[str, float],
+        bounds: bool,
+        token: CancellationToken | None = None,
+        tracer: Any = None,
+        on_result: Any = None,
+    ) -> ProcessRunOutcome:
+        """Drain ``jobs`` through the worker pool; never raises Ctrl-C.
+
+        Tiles are submitted all at once and drain from the pool's shared
+        call queue — idle workers steal the next tile, so an uneven tile
+        cost distribution self-balances. Per-tile results stream back
+        ``as_completed``:
+
+        * worker stats merge into ``outcome.stats`` and (when ``token``
+          carries a kernel budget) charge the parent token, so budgets
+          account cross-process work exactly like in-process work;
+        * ``tile`` trace events re-emit in the parent with stable
+          ordinal worker ids (pids map to 0..N-1 in first-seen order);
+        * ``on_result(index, payload)`` runs in submission-completion
+          order when given (the anytime path's ``store``).
+
+        A ``KeyboardInterrupt`` during collection cancels the token,
+        trips the cancellation slot (workers stop at their next frontier
+        poll), cancels not-yet-started futures, and *waits* for running
+        ones — their best-so-far envelopes are collected and no process
+        is orphaned. The interrupt is reported on the outcome rather
+        than re-raised, because strict and anytime callers disagree on
+        what to do with it.
+        """
+        from concurrent.futures import BrokenExecutor, CancelledError, as_completed
+
+        if self._closed:
+            raise InvalidParameterError("process executor is closed")
+        outcome = ProcessRunOutcome()
+        if not jobs:
+            return outcome
+        if token is None:
+            token = CancellationToken()
+        token.start()
+        check = invariants_enabled()
+        slot = self._slots.claim()
+        pid_to_worker: dict[int, int] = {}
+        try:
+            with CancelWatcher(self._slots, slot, token) as watcher:
+                futures = {
+                    self._pool.submit(
+                        _run_tile,
+                        job.index,
+                        job.centers,
+                        op,
+                        params,
+                        bounds,
+                        slot,
+                        check,
+                    ): job.index
+                    for job in jobs
+                }
+                pending = set(futures)
+                while pending:
+                    try:
+                        for future in as_completed(pending):
+                            pending.discard(future)
+                            tile_index = futures[future]
+                            try:
+                                result = future.result()
+                            except CancelledError:
+                                outcome.unrun.add(tile_index)
+                                continue
+                            except BrokenExecutor as error:
+                                # The pool died underneath us (a worker
+                                # was killed); everything still pending
+                                # is lost, and the pool is unusable.
+                                outcome.errors[tile_index] = error
+                                for other in pending:
+                                    outcome.unrun.add(futures[other])
+                                pending.clear()
+                                self.close()
+                                break
+                            except BaseException as error:
+                                outcome.errors[tile_index] = error
+                                continue
+                            index, payload, stats_dict, seconds, cancelled, pid = result
+                            worker_id = pid_to_worker.setdefault(
+                                pid, len(pid_to_worker)
+                            )
+                            tile_stats = QueryStats()
+                            for field, value in stats_dict.items():
+                                setattr(tile_stats, field, value)
+                            outcome.stats.merge(tile_stats)
+                            token.charge(tile_stats.point_evaluations)
+                            outcome.payloads[index] = payload
+                            if cancelled:
+                                outcome.cancelled.add(index)
+                            outcome.worker_seconds[worker_id] = (
+                                outcome.worker_seconds.get(worker_id, 0.0) + seconds
+                            )
+                            if tracer is not None:
+                                tracer.tile(
+                                    index=index,
+                                    rows=int(payload[0].shape[0])
+                                    if bounds
+                                    else int(np.shape(payload)[0]),
+                                    seconds=seconds,
+                                    worker=worker_id,
+                                    op=op,
+                                )
+                            if on_result is not None:
+                                on_result(index, payload)
+                    except KeyboardInterrupt:
+                        outcome.keyboard_interrupt = True
+                        token.cancel(STOP_INTERRUPT)
+                        watcher.trip()
+                        for future in list(pending):
+                            if future.cancel():
+                                pending.discard(future)
+                                outcome.unrun.add(futures[future])
+                        # Loop back into as_completed for the stragglers:
+                        # they observe the tripped slot and return their
+                        # best-so-far envelopes within a frontier pop.
+                        continue
+        finally:
+            self._slots.release(slot)
+        return outcome

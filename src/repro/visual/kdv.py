@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.contracts.runtime import invariants_enabled
 from repro.core import stopping
+from repro.core.backends import resolve_backend
 from repro.core.engine import QueryStats
 from repro.core.exact import exact_density
 from repro.core.kernels import get_kernel
@@ -78,6 +79,44 @@ DEFAULT_TAU_OFFSETS = (-0.3, -0.2, -0.1, 0.0, 0.1, 0.2, 0.3)
 #: give ~4k-pixel batches — wide enough to amortise per-node Python
 #: overhead, small enough that retired pixels stop costing quickly.
 DEFAULT_TILE_SIZE = 64
+
+#: One-shot latch for the GIL-bound thread-worker warning below.
+_gil_warning_emitted = False
+
+
+def _reset_gil_warning() -> None:
+    """Re-arm the one-shot thread-scaling warning (test hook)."""
+    global _gil_warning_emitted
+    _gil_warning_emitted = False
+
+
+def _maybe_warn_gil_threads(workers: int, backend_name: str | None) -> None:
+    """Warn (once) that thread workers cannot scale a GIL-bound backend.
+
+    The reference numpy backend holds the GIL through the whole
+    refinement loop, so ``workers=N`` threads *interleave* rather than
+    parallelise — the engine benchmark measures 2.78 s for a 4-thread
+    tiled render that takes 2.37 s single-threaded (the threads only add
+    scheduling overhead). Emitted once per process so render sweeps are
+    not drowned in repeats.
+    """
+    global _gil_warning_emitted
+    if _gil_warning_emitted:
+        return
+    backend = resolve_backend(backend_name)
+    if backend.releases_gil:
+        return
+    _gil_warning_emitted = True
+    warnings.warn(
+        f"workers={workers} with the GIL-bound {backend.name!r} backend runs "
+        "tiles on threads that cannot execute in parallel: the engine "
+        "benchmark measures 2.78 s for a 4-thread tiled render vs 2.37 s "
+        "single-threaded. Pass RenderOptions(executor='process') for real "
+        "parallelism, or install the [perf] extra and select the 'numba' "
+        "backend (REPRO_BACKEND=numba), whose kernels release the GIL",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class KDVRenderer:
@@ -169,15 +208,22 @@ class KDVRenderer:
         tile_size: int | tuple[int, int],
         workers: int | None,
         op: str,
+        params: dict[str, float] | None = None,
+        executor: str | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Evaluate every tile through a batched engine; return flat values.
 
         Sequential by default (one shared engine, unified stats); with
         ``workers=N`` the tiles drain from a shared deque into ``N``
         threads, each refining with a private engine and private
-        :class:`~repro.core.engine.QueryStats`. Tiles write disjoint
-        slices of the output, so no synchronisation of the value array
-        is needed.
+        :class:`~repro.core.engine.QueryStats`, or — with
+        ``executor="process"`` — into ``N`` worker *processes* through
+        the method's cached
+        :class:`~repro.visual.executors.ProcessTileExecutor` (same tile
+        partition, bit-identical values, no GIL contention). Tiles write
+        disjoint slices of the output, so no synchronisation of the
+        value array is needed.
 
         Error handling is all-or-nothing: the first tile that raises
         sets a shared cancel flag (so the remaining workers stop
@@ -185,14 +231,50 @@ class KDVRenderer:
         propagates to the caller, and **no** per-worker stats are merged
         into the method's ledger — a retried render therefore cannot
         double-count the work of workers that had already succeeded.
+        The process branch keeps the same contract: a failed or
+        interrupted run raises before any stats merge.
         """
         tracer = current_tracer()
         render_start = time.perf_counter()
         centers = self.grid.centers()
         out = np.empty(self.grid.num_pixels, dtype=dtype)
         tile_list = list(self.grid.tiles(tile_size))
+        if executor == "process" and workers is not None:
+            assert params is not None
+            from repro.visual.executors import TileJob
+
+            pool = fitted.process_executor(int(workers), backend)
+            jobs = [
+                TileJob(index, tile, centers[tile])
+                for index, tile in enumerate(tile_list)
+            ]
+            outcome = pool.run(
+                jobs, op=op, params=params, bounds=False, tracer=tracer
+            )
+            if outcome.keyboard_interrupt:
+                raise KeyboardInterrupt
+            if outcome.errors:
+                raise outcome.errors[min(outcome.errors)]
+            for index, tile in enumerate(tile_list):
+                out[tile] = outcome.payloads[index]
+            fitted.stats.merge(outcome.stats)
+            if tracer is not None:
+                ordinals = sorted(outcome.worker_seconds)
+                tracer.render(
+                    op=op,
+                    pixels=self.grid.num_pixels,
+                    tiles=len(tile_list),
+                    workers=pool.workers,
+                    seconds=time.perf_counter() - render_start,
+                    worker_busy=[outcome.worker_seconds[i] for i in ordinals],
+                )
+            return out
         if workers is None or int(workers) <= 1:
-            engine = fitted.batch_engine
+            engine = (
+                fitted.batch_engine
+                if backend is None
+                else fitted.make_batch_engine(fitted.stats, backend=backend)
+            )
             assert engine is not None
             for index, tile in enumerate(tile_list):
                 tile_start = time.perf_counter()
@@ -219,12 +301,15 @@ class KDVRenderer:
         from concurrent.futures import ThreadPoolExecutor
         from threading import Event
 
+        _maybe_warn_gil_threads(
+            int(workers), backend if backend is not None else fitted.backend
+        )
         pending = deque(enumerate(tile_list))
         cancel = Event()
 
         def drain(worker_id: int) -> tuple[QueryStats, float]:
             stats = QueryStats()
-            engine = fitted.make_batch_engine(stats)
+            engine = fitted.make_batch_engine(stats, backend=backend)
             busy = 0.0
             while not cancel.is_set():
                 try:
@@ -375,6 +460,7 @@ class KDVRenderer:
                 budget=options.budget, cancel=options.cancel,
                 resume_from=options.resume_from, checkpoint=options.checkpoint,
                 faults=options.faults, retry=options.retry,
+                executor=options.executor, backend=options.backend,
             )
             if options.anytime:
                 return outcome
@@ -386,7 +472,12 @@ class KDVRenderer:
                     "envelopes"
                 )
             return outcome.image
-        if options.tile_size is None and options.workers is None:
+        if (
+            options.tile_size is None
+            and options.workers is None
+            and options.backend is None
+            and options.executor is None
+        ):
             fitted = self.get_method(method)
             tracer = current_tracer()
             start = time.perf_counter()
@@ -413,6 +504,9 @@ class KDVRenderer:
             DEFAULT_TILE_SIZE if options.tile_size is None else options.tile_size,
             options.workers,
             "eps",
+            params={"eps": eps, "atol": atol},
+            executor=options.executor,
+            backend=options.backend,
         )
         if invariants_enabled() and tiled.deterministic_guarantee:
             tiled._check_eps_agreement(self.grid.centers(), values, eps, atol)
@@ -436,6 +530,7 @@ class KDVRenderer:
                 budget=options.budget, cancel=options.cancel,
                 resume_from=options.resume_from, checkpoint=options.checkpoint,
                 faults=options.faults, retry=options.retry,
+                executor=options.executor, backend=options.backend,
             )
             if options.anytime:
                 return outcome
@@ -448,7 +543,12 @@ class KDVRenderer:
                 )
             mask: BoolArray = outcome.image.astype(bool)
             return mask
-        if options.tile_size is None and options.workers is None:
+        if (
+            options.tile_size is None
+            and options.workers is None
+            and options.backend is None
+            and options.executor is None
+        ):
             fitted = self.get_method(method)
             tracer = current_tracer()
             start = time.perf_counter()
@@ -475,6 +575,9 @@ class KDVRenderer:
             DEFAULT_TILE_SIZE if options.tile_size is None else options.tile_size,
             options.workers,
             "tau",
+            params={"tau": tau},
+            executor=options.executor,
+            backend=options.backend,
         )
         return self.grid.to_image(tiled_mask)
 
@@ -614,13 +717,22 @@ class KDVRenderer:
         tile_size: int | tuple[int, int],
         workers: int | None,
         op: str,
+        params: dict[str, float] | None = None,
+        executor: str | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """:meth:`_render_tiled` with the method name attached to events."""
         tracer = current_tracer()
         if tracer is None:
-            return self._render_tiled(fitted, evaluate, dtype, tile_size, workers, op)
+            return self._render_tiled(
+                fitted, evaluate, dtype, tile_size, workers, op,
+                params=params, executor=executor, backend=backend,
+            )
         with tracer.method_scope(fitted.name):
-            return self._render_tiled(fitted, evaluate, dtype, tile_size, workers, op)
+            return self._render_tiled(
+                fitted, evaluate, dtype, tile_size, workers, op,
+                params=params, executor=executor, backend=backend,
+            )
 
     # -- anytime (resilient) rendering ---------------------------------------
 
@@ -774,6 +886,75 @@ class KDVRenderer:
             "tile": [int(tile_shape[0]), int(tile_shape[1])],
         }
 
+    def _run_tiles_process(
+        self,
+        fitted: IndexedMethod,
+        tile_list: list[IntArray],
+        centers: FloatArray,
+        op: str,
+        params: dict[str, float],
+        *,
+        skip: set[int] | None,
+        workers: int,
+        backend: str | None,
+        token: CancellationToken,
+        tracer: Any,
+        store: Callable[[int, IntArray, FloatArray, FloatArray], None],
+        tile_complete: Callable[[FloatArray, FloatArray], bool],
+        worker_stats: list[QueryStats],
+    ) -> Any:
+        """Anytime tile drain over the method's process pool.
+
+        The process-executor counterpart of
+        :func:`repro.resilience.runner.run_tiles` for the (no faults, no
+        retry) configuration: tiles drain from the pool's shared queue,
+        envelopes stream back through ``store`` as they complete, and
+        the parent token's latch (deadline, kernel budget, Ctrl-C)
+        propagates to the workers through the shared cancellation slot —
+        cut-short tiles land as *partial* with valid best-so-far
+        ``(LB, UB)``, never as failures. Returns the same
+        :class:`~repro.resilience.runner.TileRunReport` shape the thread
+        runner produces, so degradation metadata is uniform.
+        """
+        from repro.resilience.budget import STOP_INTERRUPT
+        from repro.resilience.runner import TileRunReport
+        from repro.visual.executors import TileJob
+
+        run_start = time.perf_counter()
+        pool = fitted.process_executor(int(workers), backend)
+        jobs = [
+            TileJob(index, tile_list[index], centers[tile_list[index]])
+            for index in range(len(tile_list))
+            if skip is None or index not in skip
+        ]
+
+        def on_result(index: int, payload: tuple[FloatArray, FloatArray]) -> None:
+            lo, up = payload
+            store(index, tile_list[index], lo, up)
+
+        outcome = pool.run(
+            jobs, op=op, params=params, bounds=True, token=token,
+            tracer=tracer, on_result=on_result,
+        )
+        worker_stats.append(outcome.stats)
+        if outcome.keyboard_interrupt and tracer is not None:
+            tracer.recovery(action="cancel", reason=STOP_INTERRUPT)
+        report = TileRunReport()
+        for job in jobs:
+            index = job.index
+            if index in outcome.errors:
+                report.failed[index] = str(outcome.errors[index])
+            elif index in outcome.payloads:
+                lo, up = outcome.payloads[index]
+                if tile_complete(lo, up):
+                    report.completed.append(index)
+                else:
+                    report.partial.append(index)
+            else:
+                report.unprocessed.append(index)
+        report.elapsed_s = time.perf_counter() - run_start
+        return report
+
     def _render_anytime(
         self,
         fitted: IndexedMethod,
@@ -790,6 +971,8 @@ class KDVRenderer:
         checkpoint: str | os.PathLike[str] | None,
         faults: FaultsLike,
         retry: RetryPolicy | None,
+        executor: str | None = None,
+        backend: str | None = None,
     ) -> RenderOutcome:
         """Shared anytime ε/τ implementation over the resilient runner."""
         tracer = current_tracer()
@@ -800,13 +983,13 @@ class KDVRenderer:
                     tile_size=tile_size, workers=workers, budget=budget,
                     cancel=cancel, resume_from=resume_from,
                     checkpoint=checkpoint, faults=faults, retry=retry,
-                    tracer=tracer,
+                    executor=executor, backend=backend, tracer=tracer,
                 )
         return self._render_anytime_impl(
             fitted, op, eps=eps, atol=atol, tau=tau, tile_size=tile_size,
             workers=workers, budget=budget, cancel=cancel,
             resume_from=resume_from, checkpoint=checkpoint, faults=faults,
-            retry=retry, tracer=None,
+            retry=retry, executor=executor, backend=backend, tracer=None,
         )
 
     def _render_anytime_impl(
@@ -825,6 +1008,8 @@ class KDVRenderer:
         checkpoint: str | os.PathLike[str] | None,
         faults: FaultsLike,
         retry: RetryPolicy | None,
+        executor: str | None,
+        backend: str | None,
         tracer: Any,
     ) -> RenderOutcome:
         start = time.perf_counter()
@@ -867,7 +1052,11 @@ class KDVRenderer:
         # pixel: valid before any refinement runs, so even a render
         # cancelled on its very first tile returns LB <= F <= UB
         # everywhere.
-        engine0 = fitted.batch_engine
+        engine0 = (
+            fitted.batch_engine
+            if backend is None
+            else fitted.make_batch_engine(fitted.stats, backend=backend)
+        )
         assert engine0 is not None
         lower, upper = engine0.root_envelope(centers)
         completed_flags = np.zeros(n_tiles, dtype=bool)
@@ -926,20 +1115,42 @@ class KDVRenderer:
 
         def make_engine(worker_id: int) -> BatchRefinementEngine:
             if n_workers is None or n_workers <= 1:
-                engine = fitted.batch_engine
-                assert engine is not None
-                return engine
+                assert engine0 is not None
+                return engine0
             stats = QueryStats()
             worker_stats.append(stats)
-            return fitted.make_batch_engine(stats)
+            return fitted.make_batch_engine(stats, backend=backend)
+
+        use_process = executor == "process" and n_workers is not None
+        if use_process and (injector is not None or retry is not None):
+            warnings.warn(
+                "faults/retry are features of the thread tile runner; "
+                "executor='process' falls back to thread workers for this "
+                "render",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            use_process = False
+        if not use_process and n_workers is not None and n_workers > 1:
+            _maybe_warn_gil_threads(
+                n_workers, backend if backend is not None else fitted.backend
+            )
 
         report = None
         try:
-            report = run_tiles(
-                tile_list, evaluate, store, tile_complete, make_engine,
-                token=token, retry=retry, faults=injector, tracer=tracer,
-                workers=n_workers, skip=skip, op=op,
-            )
+            if use_process:
+                report = self._run_tiles_process(
+                    fitted, tile_list, centers, op, params, skip=skip,
+                    workers=n_workers, backend=backend, token=token,
+                    tracer=tracer, store=store, tile_complete=tile_complete,
+                    worker_stats=worker_stats,
+                )
+            else:
+                report = run_tiles(
+                    tile_list, evaluate, store, tile_complete, make_engine,
+                    token=token, retry=retry, faults=injector, tracer=tracer,
+                    workers=n_workers, skip=skip, op=op,
+                )
         finally:
             # Stats merge unconditionally (unlike the strict tiled
             # path's all-or-nothing merge): partial work is this path's

@@ -117,6 +117,16 @@ class RenderOptions:
         Return the full :class:`~repro.resilience.result.RenderOutcome`
         (image + per-pixel envelopes + degradation metadata) instead of
         the bare image/mask.
+    backend:
+        Compute-backend name for the batched engines (``"numpy"`` /
+        ``"numba"``); ``None`` inherits the method's backend (itself
+        defaulting to ``REPRO_BACKEND`` or the numpy reference). Out of
+        the fingerprint: every backend is bit-identical by contract.
+    executor:
+        ``"thread"`` (default) or ``"process"`` for tiled/anytime
+        renders with ``workers > 1``. Process workers escape the GIL —
+        see ``docs/performance.md`` for when each wins. Out of the
+        fingerprint: tile values are bit-identical either way.
     """
 
     tile_size: Union[int, Tuple[int, int], None] = None
@@ -129,11 +139,17 @@ class RenderOptions:
     faults: "FaultsLike" = None
     retry: Optional["RetryPolicy"] = None
     anytime: bool = False
+    backend: Optional[str] = None
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         _normalize_tile_size(self.tile_size)  # validates
         if self.workers is not None and int(self.workers) < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {self.workers!r}")
+        if self.executor not in (None, "thread", "process"):
+            raise InvalidParameterError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
 
     def replace(self, **changes: Any) -> "RenderOptions":
         """A copy with the given fields replaced."""

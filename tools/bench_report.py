@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -49,6 +50,11 @@ FULL_WORKLOAD = {"n": 8000, "resolution": (320, 240)}
 #: CI-sized workload: same shape, seconds instead of minutes.
 SMOKE_WORKLOAD = {"n": 1500, "resolution": (80, 60)}
 
+#: Worker counts swept by the parallel-scaling section.
+SCALING_WORKERS = (1, 2, 4, 8)
+#: Executors swept by the parallel-scaling section.
+SCALING_EXECUTORS = ("thread", "process")
+
 
 def _timed_best(fn: Callable[[], Any], repeats: int) -> tuple[Any, float]:
     """Run ``fn`` ``repeats`` times; return (last result, best seconds)."""
@@ -59,6 +65,101 @@ def _timed_best(fn: Callable[[], Any], repeats: int) -> tuple[Any, float]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return result, best
+
+
+def _parallel_scaling(
+    renderer: Any,
+    method: Any,
+    *,
+    eps: float,
+    atol: float,
+    exact: Any,
+    tau: float,
+    scalar_mask: Any,
+    tile_size: int,
+    repeats: int,
+) -> dict[str, Any]:
+    """Sweep workers x executor x backend over the εKDV render.
+
+    Per-tile refinement is bit-identical across executors and worker
+    counts by construction (the tile partition fixes each batch), so
+    besides timing the sweep doubles as a cross-executor equality
+    check against the single-thread tiled image, and — once per
+    backend x executor — a τ-mask identity check against the scalar
+    schedule. Numbers are recorded as measured: on a single-core
+    runner the thread legs cannot exceed 1x and the process legs pay
+    pool and serialisation overhead, so sub-1x speedups are expected
+    and are not a failure.
+    """
+    import numpy as np
+
+    from repro.core.backends import available_backends, numba_available
+    from repro.visual.request import RenderOptions, RenderRequest
+
+    section: dict[str, Any] = {
+        "workers_swept": list(SCALING_WORKERS),
+        "executors_swept": list(SCALING_EXECUTORS),
+        "cpu_count": os.cpu_count(),
+        "numba_available": numba_available(),
+        "backends": {},
+    }
+
+    def render_eps(options: "RenderOptions") -> Any:
+        return renderer.render(RenderRequest.for_eps(eps, "quad", options=options))
+
+    for backend in available_backends():
+        single = RenderOptions(tile_size=tile_size, workers=1, backend=backend)
+        reference, base_seconds = _timed_best(lambda: render_eps(single), repeats)
+        rows = []
+        ok = True
+        for executor in SCALING_EXECUTORS:
+            for workers in SCALING_WORKERS:
+                options = RenderOptions(
+                    tile_size=tile_size, workers=workers,
+                    executor=executor, backend=backend,
+                )
+                image, seconds = _timed_best(lambda: render_eps(options), repeats)
+                error = np.abs(image - exact)
+                within = bool(np.all(error <= eps * exact + atol))
+                identical = bool(np.array_equal(image, reference))
+                ok = ok and within and identical
+                speedup = base_seconds / seconds if seconds > 0 else 0.0
+                rows.append({
+                    "executor": executor,
+                    "workers": workers,
+                    "seconds": round(seconds, 6),
+                    "speedup_vs_single_thread": round(speedup, 3),
+                    "parallel_efficiency": round(speedup / workers, 3),
+                    "identical_to_single_thread": identical,
+                    "within_envelope": within,
+                })
+                print(
+                    f"  scaling {backend:<6s} {executor:<8s} workers={workers} "
+                    f"{seconds:8.3f}s  ({speedup:5.2f}x)"
+                )
+        tau_masks = {}
+        for executor in SCALING_EXECUTORS:
+            options = RenderOptions(
+                tile_size=tile_size, workers=4, executor=executor, backend=backend
+            )
+            mask = renderer.render(
+                RenderRequest.for_tau(tau, "quad", options=options)
+            )
+            tau_masks[executor] = bool(np.array_equal(mask, scalar_mask))
+            ok = ok and tau_masks[executor]
+        section["backends"][backend] = {
+            "single_thread_seconds": round(base_seconds, 6),
+            "eps": rows,
+            "tau_masks_identical": tau_masks,
+            "all_identical_and_within_envelope": ok,
+        }
+
+    # Release the process pools (and their shared-memory tree segments)
+    # the sweep spun up on the fitted method.
+    closer = getattr(method, "close_executors", None)
+    if closer is not None:
+        closer()
+    return section
 
 
 def run_benchmark(
@@ -72,6 +173,9 @@ def run_benchmark(
     workers: int = 4,
     repeats: int = 1,
     trace: bool = True,
+    executor: str | None = None,
+    backend: str | None = None,
+    scaling: bool = True,
 ) -> dict[str, Any]:
     """Run the scalar/batched comparison; return the report dictionary."""
     import numpy as np
@@ -86,8 +190,10 @@ def run_benchmark(
     )
     method = renderer.get_method("quad")  # offline stage, outside timing
     atol = 1e-9 * renderer.weight
-    tiled = RenderOptions(tile_size=tile_size)
-    tiled_workers = RenderOptions(tile_size=tile_size, workers=workers)
+    tiled = RenderOptions(tile_size=tile_size, backend=backend)
+    tiled_workers = RenderOptions(
+        tile_size=tile_size, workers=workers, executor=executor, backend=backend
+    )
 
     def measure(label: str, fn: Callable[[], Any]) -> tuple[Any, dict[str, Any]]:
         method.stats.reset()
@@ -143,6 +249,14 @@ def run_benchmark(
     )
     masks_identical = bool(np.array_equal(scalar_mask, batch_mask))
 
+    scaling_section: dict[str, Any] | None = None
+    if scaling:
+        scaling_section = _parallel_scaling(
+            renderer, method,
+            eps=eps, atol=atol, exact=exact, tau=tau, scalar_mask=scalar_mask,
+            tile_size=tile_size, repeats=repeats,
+        )
+
     # Untimed traced pass: the timing runs above stay tracing-free (the
     # zero-overhead-when-off contract is part of what this report
     # documents), then one batched render of each op is re-run under a
@@ -173,11 +287,14 @@ def run_benchmark(
             "workers": workers,
             "repeats": repeats,
             "seed": seed,
+            "executor": executor,
+            "backend": backend,
         },
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "eps_render": {
             "scalar": scalar_rep,
@@ -190,7 +307,17 @@ def run_benchmark(
             "batch": tau_batch_rep,
             "masks_identical": masks_identical,
         },
-        "validation": {"eps_envelope": envelope, "tau_masks_identical": masks_identical},
+        "parallel_scaling": scaling_section,
+        "validation": {
+            "eps_envelope": envelope,
+            "tau_masks_identical": masks_identical,
+            "parallel_scaling_ok": (
+                None if scaling_section is None else all(
+                    entry["all_identical_and_within_envelope"]
+                    for entry in scaling_section["backends"].values()
+                )
+            ),
+        },
         "trace": trace_summary,
     }
 
@@ -208,6 +335,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--tile-size", type=int, default=64)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default=None,
+        help="tile executor for the workers measurement (default: thread)",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        help="compute backend for the tiled measurements "
+        "(default: REPRO_BACKEND or numpy)",
+    )
+    parser.add_argument(
+        "--no-scaling", action="store_true",
+        help="skip the parallel-scaling sweep "
+        "(workers x executor x backend)",
+    )
     parser.add_argument(
         "--no-trace", action="store_true",
         help="skip the untimed traced pass (report carries no trace summary)",
@@ -229,6 +370,9 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         repeats=args.repeats,
         trace=not args.no_trace,
+        executor=args.executor,
+        backend=args.backend,
+        scaling=not args.no_scaling,
     )
     report["smoke"] = args.smoke
 
@@ -247,6 +391,11 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"eps envelope violated by the {label} schedule")
     if not report["validation"]["tau_masks_identical"]:
         failures.append("tau masks differ between scalar and batched schedules")
+    if report["validation"]["parallel_scaling_ok"] is False:
+        failures.append(
+            "parallel-scaling sweep broke cross-executor identity or the "
+            "eps envelope (see the parallel_scaling section)"
+        )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     speedup = report["eps_render"]["batch"]["speedup_vs_scalar"]

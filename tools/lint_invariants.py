@@ -49,6 +49,16 @@ that keep that contract auditable:
     reach the tile runner, not die in a helper). Catch ``Exception``
     — or the precise type — instead; the rare deliberate case carries
     ``# lint: allow-bare-except``.
+``backend-dispatch``
+    No direct ``node_bounds_batch`` / ``leaf_exact_batch`` (or their
+    ``checked_`` variants) calls outside ``core/backends/`` and
+    ``core/bounds/``. Engine and renderer code must route batched
+    evaluations through the engine's resolved
+    :class:`~repro.core.backends.base.ComputeBackend` — a call that
+    goes straight to the provider silently pins the numpy path and
+    escapes the ``REPRO_BACKEND`` / ``RenderOptions.backend``
+    selection. The dispatch targets themselves carry
+    ``# lint: allow-backend-dispatch``.
 
 False positives are suppressed with an inline marker on the same or the
 preceding line::
@@ -435,6 +445,56 @@ def _check_legacy_render(
         )
 
 
+#: Batched evaluation entrypoints that must go through backend dispatch.
+_BACKEND_DISPATCH_CALLS = frozenset(
+    {
+        "node_bounds_batch",
+        "leaf_exact_batch",
+        "checked_node_bounds_batch",
+        "checked_leaf_exact_batch",
+    }
+)
+
+
+def _backend_dispatch_exempt(path: Path) -> bool:
+    """Whether a file legitimately calls the batch entrypoints directly.
+
+    ``core/backends/`` holds the dispatch targets and ``core/bounds/``
+    the provider implementations (including internal checked ->
+    unchecked delegation); everywhere else must route through the
+    engine's resolved backend.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1):
+        if parts[index] == "core" and parts[index + 1] in ("backends", "bounds"):
+            return True
+    return False
+
+
+def _check_backend_dispatch(
+    path: Path, tree: ast.Module, markers: dict[int, set[str]]
+) -> Iterator[Violation]:
+    if _backend_dispatch_exempt(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node.func)
+        if name not in _BACKEND_DISPATCH_CALLS:
+            continue
+        if _suppressed(markers, node.lineno, "backend-dispatch"):
+            continue
+        yield Violation(
+            path,
+            node.lineno,
+            "backend-dispatch",
+            f"direct {name}() call bypasses the compute-backend dispatch; "
+            "go through the engine's resolved backend "
+            "(backend.node_bounds_batch(provider, ...)) so REPRO_BACKEND "
+            "and RenderOptions.backend keep working",
+        )
+
+
 def _check_bare_except(
     path: Path, tree: ast.Module, markers: dict[int, set[str]]
 ) -> Iterator[Violation]:
@@ -464,6 +524,7 @@ _CHECKS = (
     _check_silent_except,
     _check_legacy_render,
     _check_bare_except,
+    _check_backend_dispatch,
 )
 
 
