@@ -123,6 +123,22 @@ class Kernel(ABC):
         """
         return math.inf
 
+    def lipschitz(self, gamma: float) -> float:
+        """Lipschitz constant of ``K(q, p)`` in the Euclidean distance.
+
+        The smallest ``L`` (up to closed-form tightness) such that
+        ``|K(q, p) - K(q, p')| <= L * |dist(q, p) - dist(q, p')|`` for
+        every query ``q`` — and hence, by the triangle inequality,
+        ``<= L * ||p - p'||``. This is the constant the weighted-coreset
+        error bound rests on (:mod:`repro.sampling.coreset`): moving
+        each point to its cell representative perturbs the density by at
+        most ``L`` times the weighted displacement sum.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} does not define a Lipschitz constant; "
+            "coreset construction requires one"
+        )
+
     def x_from_distance(
         self, dist: FloatArray | float, gamma: float
     ) -> FloatArray | float:
@@ -180,6 +196,11 @@ class GaussianKernel(Kernel):
     def profile_scalar(self, x: float) -> float:
         return math.exp(-min(x, _EXP_NEG_XMAX))
 
+    def lipschitz(self, gamma: float) -> float:
+        # |d/dd exp(-gamma d^2)| = 2 gamma d exp(-gamma d^2) peaks at
+        # d = 1/sqrt(2 gamma), giving sqrt(2 gamma) e^{-1/2}.
+        return math.sqrt(2.0 * float(gamma)) * math.exp(-0.5)
+
 
 class ExponentialKernel(Kernel):
     """``K(q, p) = exp(-gamma * dist(q, p))`` (Table 4, row 3)."""
@@ -197,6 +218,10 @@ class ExponentialKernel(Kernel):
     def profile_scalar(self, x: float) -> float:
         return math.exp(-min(x, _EXP_NEG_XMAX))
 
+    def lipschitz(self, gamma: float) -> float:
+        # |d/dd exp(-gamma d)| <= gamma, attained at d = 0.
+        return float(gamma)
+
 
 class TriangularKernel(Kernel):
     """``K(q, p) = max(1 - gamma * dist(q, p), 0)`` (Table 4, row 1)."""
@@ -212,6 +237,10 @@ class TriangularKernel(Kernel):
 
     def profile_scalar(self, x: float) -> float:
         return 1.0 - x if x < 1.0 else 0.0
+
+    def lipschitz(self, gamma: float) -> float:
+        # Slope is exactly -gamma inside the support, 0 outside.
+        return float(gamma)
 
 
 class CosineKernel(Kernel):
@@ -232,6 +261,10 @@ class CosineKernel(Kernel):
 
     def profile_scalar(self, x: float) -> float:
         return math.cos(x) if x <= math.pi / 2.0 else 0.0
+
+    def lipschitz(self, gamma: float) -> float:
+        # |d/dd cos(gamma d)| = gamma |sin(gamma d)| <= gamma.
+        return float(gamma)
 
 
 class EpanechnikovKernel(Kernel):
@@ -256,6 +289,11 @@ class EpanechnikovKernel(Kernel):
 
     def profile_scalar(self, x: float) -> float:
         return 1.0 - x * x if x < 1.0 else 0.0
+
+    def lipschitz(self, gamma: float) -> float:
+        # |d/dd (1 - (gamma d)^2)| = 2 gamma^2 d <= 2 gamma at the
+        # support edge gamma d = 1.
+        return 2.0 * float(gamma)
 
 
 class QuarticKernel(Kernel):
@@ -283,6 +321,11 @@ class QuarticKernel(Kernel):
             return 0.0
         inside = 1.0 - x * x
         return inside * inside
+
+    def lipschitz(self, gamma: float) -> float:
+        # |d/dd (1 - u^2)^2| with u = gamma d is 4 gamma u (1 - u^2),
+        # maximised at u = 1/sqrt(3): 8 gamma / (3 sqrt(3)).
+        return 8.0 * float(gamma) / (3.0 * math.sqrt(3.0))
 
 
 #: Registry of kernel name -> singleton instance.

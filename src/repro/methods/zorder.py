@@ -1,16 +1,28 @@
-"""Z-order — dataset sampling with probabilistic guarantee (Zheng et al.).
+"""Z-order — dataset sampling, heuristic or guarantee-carrying.
 
-The sampling-camp εKDV competitor: pre-sample the dataset along the
-Z-order curve to ``m = O(eps^-2 log delta^-1)`` points, re-weight, then
-answer queries with EXACT on the sample. The guarantee is probabilistic
-(``eps`` with probability ``1 - delta``), and — the paper's key point —
-the per-pixel cost is still a full scan of the sample, which dominates at
-small ``eps``.
+The sampling-camp εKDV competitor, in two modes:
 
-The sample depends on ``eps``, so it is built lazily per requested
-``eps`` and cached; building it is part of the online cost the first
-time, matching how the paper accounts for it (the visualised dataset is
-not known in advance).
+* ``mode="sample"`` (default, Zheng et al.): pre-sample the dataset
+  along the Z-order curve to ``m = O(eps^-2 log delta^-1)`` points,
+  re-weight, then answer queries with EXACT on the sample. The
+  guarantee is probabilistic (``eps`` with probability ``1 - delta``),
+  and — the paper's key point — the per-pixel cost is still a full
+  scan of the sample, which dominates at small ``eps``.
+* ``mode="coreset"`` (Phillips & Tai): replace the random sample with
+  a grid-based weighted coreset
+  (:func:`repro.sampling.coreset.coreset_for_delta`) whose KDE error
+  is *deterministically* bounded: the normalised error ``delta_z =
+  delta_abs / F_cap`` is driven below the requested ``eps``, so
+  ``|F_c(q) - F(q)| <= eps * F_cap`` for every query — an absolute
+  guarantee (relative to the density ceiling ``F_cap``) that holds
+  with certainty, unlike the sample mode's probabilistic one. Note
+  it is a different contract from QUAD's relative ``(1 ± eps) F``
+  bound, so ``deterministic_guarantee`` stays ``False``.
+
+The sample/coreset depends on ``eps``, so it is built lazily per
+requested ``eps`` and cached; building it is part of the online cost
+the first time, matching how the paper accounts for it (the visualised
+dataset is not known in advance).
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from typing import TYPE_CHECKING, Tuple
 
 from repro.core.exact import exact_density
 from repro.methods.base import Method
+from repro.sampling.coreset import Coreset, coreset_for_delta
 from repro.sampling.zorder_sample import (
     DEFAULT_SIZE_CONSTANT,
     sample_size_for_eps,
@@ -56,12 +69,17 @@ class ZOrderMethod(Method):
     Parameters
     ----------
     delta:
-        Failure probability of the error guarantee.
+        Failure probability of the error guarantee (``mode="sample"``
+        only; the coreset mode's bound is deterministic).
     size_constant:
         Leading constant of the sample-size bound; lower is faster but
-        weakens the guarantee constant.
+        weakens the guarantee constant (``mode="sample"`` only).
     bits:
-        Morton-code quantisation bits.
+        Morton-code quantisation bits (``mode="sample"`` only).
+    mode:
+        ``"sample"`` (probabilistic Z-order sampling, the default) or
+        ``"coreset"`` (deterministic grid-coreset bound — see the
+        module docstring).
     """
 
     name = "zorder"
@@ -74,12 +92,23 @@ class ZOrderMethod(Method):
         delta: float = 0.1,
         size_constant: float = DEFAULT_SIZE_CONSTANT,
         bits: int = 16,
+        mode: str = "sample",
     ) -> None:
         super().__init__()
+        if str(mode) not in ("sample", "coreset"):
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"mode must be 'sample' or 'coreset', got {mode!r}"
+            )
         self.delta = check_probability_like(delta, "delta")
         self.size_constant = float(size_constant)
         self.bits = int(bits)
+        self.mode = str(mode)
         self._samples: LRUCache[float, Tuple[FloatArray, float]] = LRUCache(
+            max_entries=SAMPLE_CACHE_SIZE
+        )
+        self._coresets: LRUCache[float, Coreset] = LRUCache(
             max_entries=SAMPLE_CACHE_SIZE
         )
 
@@ -92,6 +121,7 @@ class ZOrderMethod(Method):
                 "weight the sample it produces instead"
             )
         self._samples = LRUCache(max_entries=SAMPLE_CACHE_SIZE)
+        self._coresets = LRUCache(max_entries=SAMPLE_CACHE_SIZE)
 
     def sample_for(self, eps: float) -> tuple[FloatArray, float]:
         """The ``(sample, weight_multiplier)`` pair for a given ``eps``.
@@ -112,7 +142,37 @@ class ZOrderMethod(Method):
             self._samples.put(eps, cached)
         return cached
 
+    def coreset_for(self, eps: float) -> Coreset:
+        """The grid coreset whose normalised error is at most ``eps``.
+
+        ``mode="coreset"`` only. The returned
+        :class:`~repro.sampling.coreset.Coreset` carries the *achieved*
+        bound (``delta_z <= eps``, usually much smaller), so callers
+        can report the realised guarantee. Cached per canonicalised
+        ``eps`` like :meth:`sample_for`.
+        """
+        self._require_fitted()
+        eps = _canonical_eps(check_probability_like(eps, "eps"))
+        cached = self._coresets.get(eps)
+        if cached is None:
+            span = float((self.points.max(axis=0) - self.points.min(axis=0)).max())
+            # Start one power of two below the full span and let
+            # coreset_for_delta halve down to the requested bound.
+            initial = max(span * 0.5, 1e-300)
+            cached = coreset_for_delta(
+                self.points, self.kernel, self.gamma, self.weight,
+                cell_size=initial, delta_cap=eps,
+            )
+            self._coresets.put(eps, cached)
+        return cached
+
     def _batch_eps_impl(self, queries: FloatArray, eps: float, atol: float) -> FloatArray:
+        if self.mode == "coreset":
+            coreset = self.coreset_for(eps)
+            return exact_density(
+                coreset.points, queries, self.kernel, self.gamma, self.weight,
+                point_weights=coreset.weights,
+            )
         sample, multiplier = self.sample_for(eps)
         return exact_density(
             sample, queries, self.kernel, self.gamma, self.weight * multiplier

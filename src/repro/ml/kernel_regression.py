@@ -172,6 +172,8 @@ class KernelRegressor:
         for index, q in enumerate(queries):
             sq = point_sq - 2.0 * (points @ q) + float(q @ q)
             np.maximum(sq, 0.0, out=sq)
+            # lint: allow-backend-dispatch -- scalar per-query regression
+            # weights, not a batched density render; backend-independent.
             weights = self.kernel.evaluate(sq, self.gamma_)
             denominator = float(weights.sum())
             # A subnormal weight mass carries no usable precision (the
@@ -244,6 +246,8 @@ class KernelRegressor:
             __, __, node, node_dlb, node_dub, node_nlb, node_nub = heappop(heap)
             if node.is_leaf:
                 self.points_scanned += node.agg.n
+                # lint: allow-backend-dispatch -- single-query leaf scan
+                # inside the regression refinement; backend-independent.
                 weights = self.kernel.evaluate(
                     node.sq_norms - 2.0 * (node.points @ query) + q_sq, self.gamma_
                 )

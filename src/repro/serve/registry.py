@@ -32,13 +32,58 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.errors import DatasetNotFoundError, InvalidParameterError
+from repro.sampling.coreset import Coreset, coreset_for_delta
+from repro.serve.tiles import zoom_cell_size
 from repro.visual.kdv import KDVRenderer
 
 if TYPE_CHECKING:
     from repro._types import FloatArray, PointLike
     from repro.visual.grid import PixelGrid
 
-__all__ = ["DatasetEntry", "DatasetRegistry"]
+__all__ = ["CoresetTier", "DatasetEntry", "DatasetRegistry"]
+
+#: Default normalised coreset error budget per zoom (``delta_z``);
+#: must stay well below typical request ``eps`` (0.05 by default in
+#: :class:`~repro.serve.service.ServiceConfig`) so the folded
+#: ``eps_effective = eps - delta_z`` stays positive.
+DEFAULT_CORESET_DELTA_CAP = 0.01
+
+#: Default pixel-tile edge assumed by the pyramid's cell sizing; matches
+#: :data:`repro.serve.tiles.DEFAULT_TILE_PX`. A larger value only makes
+#: the coreset finer (more conservative), never less accurate.
+DEFAULT_CORESET_TILE_PX = 256
+
+
+class CoresetTier:
+    """One zoom level's coreset and the renderer serving it.
+
+    The renderer shares the entry's base viewport, kernel, bandwidth
+    and global weight, but evaluates over the coreset's weighted
+    representatives — every density it produces is within
+    ``coreset.delta_abs`` of the exact tier's, for every pixel.
+    """
+
+    __slots__ = ("zoom", "coreset", "renderer")
+
+    def __init__(self, zoom: int, coreset: Coreset, renderer: KDVRenderer) -> None:
+        self.zoom = zoom
+        self.coreset = coreset
+        self.renderer = renderer
+
+    @property
+    def delta_z(self) -> float:
+        """Normalised error bound folded into ``eps`` (see docs/bounds.md)."""
+        return self.coreset.delta_z
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "zoom": self.zoom,
+            "m": self.coreset.m,
+            "n_source": self.coreset.n_source,
+            "delta_abs": float(self.coreset.delta_abs),
+            "delta_z": float(self.coreset.delta_z),
+            "cell_size": float(self.coreset.cell_size),
+        }
 
 
 def _close_renderer_methods(renderer: KDVRenderer) -> None:
@@ -65,14 +110,84 @@ class DatasetEntry:
         *,
         gamma_given: Optional[float],
         method: str,
+        coreset_zoom: Optional[int] = None,
+        coreset_delta_cap: float = DEFAULT_CORESET_DELTA_CAP,
+        coreset_tile_px: int = DEFAULT_CORESET_TILE_PX,
     ) -> None:
+        if coreset_zoom is not None and int(coreset_zoom) < 1:
+            raise InvalidParameterError(
+                f"coreset_zoom must be >= 1 (or None to disable), got {coreset_zoom!r}"
+            )
+        if not float(coreset_delta_cap) > 0.0:
+            raise InvalidParameterError(
+                f"coreset_delta_cap must be > 0, got {coreset_delta_cap!r}"
+            )
         self.dataset_id = dataset_id
         self.renderer = renderer
         self.method = method
         self.version = 1
         self.created_at = time.time()
+        self.coreset_zoom = None if coreset_zoom is None else int(coreset_zoom)
+        self.coreset_delta_cap = float(coreset_delta_cap)
+        self.coreset_tile_px = int(coreset_tile_px)
         self._gamma_given = gamma_given
         self._lock = threading.RLock()
+        self._coreset_tiers: Dict[int, CoresetTier] = self._build_coreset_tiers()
+
+    def _build_coreset_tiers(self) -> Dict[int, CoresetTier]:
+        """Materialise one coreset + renderer per zoom below the threshold.
+
+        Called at registration and again after every :meth:`append`
+        (the representatives and their error bounds depend on the
+        points). Each tier renderer shares the base viewport and the
+        exact renderer's kernel/bandwidth/weight so its densities are
+        directly comparable — only the point set differs.
+        """
+        if self.coreset_zoom is None:
+            return {}
+        tiers: Dict[int, CoresetTier] = {}
+        previous: Optional[CoresetTier] = None
+        for zoom in range(self.coreset_zoom):
+            start_cell = zoom_cell_size(
+                self.renderer.grid, zoom, self.coreset_tile_px
+            )
+            if previous is not None and previous.coreset.cell_size <= start_cell:
+                # Successive zooms halve the starting cell, so each
+                # zoom's halving sequence is a suffix of the previous
+                # one's. Once a coarser tier has refined (delta_cap
+                # binding) to a cell at least as fine as this zoom's
+                # starting cell, this zoom would converge to the
+                # identical coreset — share it (and its fitted
+                # renderer) instead of storing another copy.
+                tiers[zoom] = CoresetTier(zoom, previous.coreset, previous.renderer)
+                previous = tiers[zoom]
+                continue
+            coreset = coreset_for_delta(
+                self.renderer.points,
+                self.renderer.kernel,
+                self.renderer.gamma,
+                self.renderer.weight,
+                cell_size=start_cell,
+                delta_cap=self.coreset_delta_cap,
+                point_weights=self.renderer.point_weights,
+            )
+            tier_renderer = KDVRenderer(
+                coreset.points,
+                kernel=self.renderer.kernel,
+                gamma=self.renderer.gamma,
+                weight=self.renderer.weight,
+                grid=self.renderer.grid,
+                point_weights=coreset.weights,
+                **self.renderer.method_options,
+            )
+            tiers[zoom] = CoresetTier(zoom, coreset, tier_renderer)
+            previous = tiers[zoom]
+        return tiers
+
+    def coreset_tier(self, zoom: int) -> Optional[CoresetTier]:
+        """The coreset tier serving ``zoom``, or ``None`` for exact."""
+        with self._lock:
+            return self._coreset_tiers.get(int(zoom))
 
     @property
     def points(self) -> "FloatArray":
@@ -100,7 +215,10 @@ class DatasetEntry:
         requests never race to build the same index.
         """
         with self._lock:
-            self.renderer.get_method(method if method is not None else self.method)
+            name = method if method is not None else self.method
+            self.renderer.get_method(name)
+            for tier in self._coreset_tiers.values():
+                tier.renderer.get_method(name)
 
     def append(self, points: "PointLike") -> int:
         """Grow the dataset; refit; bump the version. Returns new count.
@@ -122,6 +240,7 @@ class DatasetEntry:
         with self._lock:
             merged = np.vstack([self.points, extra])
             stale = self.renderer
+            stale_tiers = self._coreset_tiers
             self.renderer = KDVRenderer(
                 merged,
                 kernel=self.renderer.kernel,
@@ -130,17 +249,25 @@ class DatasetEntry:
                 **self.renderer.method_options,
             )
             self.version += 1
-            self.renderer.get_method(self.method)
+            # Coreset representatives (and their delta bounds) are
+            # functions of the points, so the whole pyramid is rebuilt
+            # against the merged dataset before any tile can route to it.
+            self._coreset_tiers = self._build_coreset_tiers()
+            self.warm()
             # The replaced renderer's fitted methods may hold process
             # pools + shared-memory tree segments; release them now
             # rather than waiting on garbage collection.
             _close_renderer_methods(stale)
+            for tier in stale_tiers.values():
+                _close_renderer_methods(tier.renderer)
             return int(merged.shape[0])
 
     def close(self) -> None:
         """Release per-method process pools / shared memory (idempotent)."""
         with self._lock:
             _close_renderer_methods(self.renderer)
+            for tier in self._coreset_tiers.values():
+                _close_renderer_methods(tier.renderer)
 
     def as_dict(self) -> Dict[str, Any]:
         """Entry snapshot for ``/stats``."""
@@ -157,6 +284,14 @@ class DatasetEntry:
                     "high": [float(v) for v in self.base_grid.high],
                 },
                 "points_sha1": self.points_digest(),
+                "coreset": {
+                    "zoom_threshold": self.coreset_zoom,
+                    "delta_cap": self.coreset_delta_cap,
+                    "tiers": [
+                        self._coreset_tiers[z].as_dict()
+                        for z in sorted(self._coreset_tiers)
+                    ],
+                },
             }
 
     def __repr__(self) -> str:
@@ -192,14 +327,22 @@ class DatasetRegistry:
         gamma: Optional[float] = None,
         method: str = "quad",
         grid: Optional["PixelGrid"] = None,
+        coreset_zoom: Optional[int] = None,
+        coreset_delta_cap: float = DEFAULT_CORESET_DELTA_CAP,
+        coreset_tile_px: int = DEFAULT_CORESET_TILE_PX,
         **method_options: Any,
     ) -> DatasetEntry:
         """Validate, index and serve a dataset under ``dataset_id``.
 
         The renderer is built over ``grid`` (default: fitted to the
         points with a small margin) and the serving ``method`` is fitted
-        eagerly. Re-registering an existing id raises — use
-        :meth:`append` to grow a dataset, or :meth:`remove` first.
+        eagerly. With ``coreset_zoom=k`` a per-zoom weighted-coreset
+        pyramid is also materialised: tiles at zoom < k are answered
+        from the zoom's coreset with the coreset error ``delta_z``
+        folded into the request's ``eps`` (see docs/serving.md), while
+        zoom >= k falls through to exact QUAD. Re-registering an
+        existing id raises — use :meth:`append` to grow a dataset, or
+        :meth:`remove` first.
         """
         dataset_id = str(dataset_id)
         if not dataset_id or "/" in dataset_id:
@@ -210,7 +353,13 @@ class DatasetRegistry:
             points, kernel=kernel, gamma=gamma, grid=grid, **method_options
         )
         entry = DatasetEntry(
-            dataset_id, renderer, gamma_given=gamma, method=str(method).lower()
+            dataset_id,
+            renderer,
+            gamma_given=gamma,
+            method=str(method).lower(),
+            coreset_zoom=coreset_zoom,
+            coreset_delta_cap=coreset_delta_cap,
+            coreset_tile_px=coreset_tile_px,
         )
         with self._lock:
             if dataset_id in self._entries:

@@ -64,6 +64,7 @@ from repro.visual.request import OP_EPS, OP_TAU, RenderOptions, RenderRequest
 
 if TYPE_CHECKING:
     from repro._types import FloatArray
+    from repro.visual.kdv import KDVRenderer
 
 __all__ = ["RENDER_TILE_SIZE", "ServiceConfig", "TilePlan", "TileService"]
 
@@ -128,7 +129,14 @@ class ServiceConfig:
 
 @dataclass
 class TilePlan:
-    """A fully planned tile request: resolved render request + cache keys."""
+    """A fully planned tile request: resolved render request + cache keys.
+
+    ``renderer`` is the renderer the plan executes against — the
+    entry's exact renderer, or a per-zoom coreset tier's renderer when
+    the tile's zoom routes below the entry's ``coreset_zoom`` threshold
+    (in which case ``resolved.tier`` carries the tier tag and
+    ``tier_delta_z`` the folded error bound).
+    """
 
     entry: DatasetEntry
     versioned_id: str
@@ -137,6 +145,8 @@ class TilePlan:
     colormap: str
     deadline_ms: Optional[float]
     indexed: bool
+    renderer: "KDVRenderer"
+    tier_delta_z: Optional[float] = None
     png_key: TileKey = field(init=False)
     density_key: TileKey = field(init=False)
     bounds_key: TileKey = field(init=False)
@@ -279,15 +289,38 @@ class TileService:
             colormap if colormap is not None else self.config.colormap
         ).lower()
         get_colormap(colormap_name)  # fail fast on unknown names (400, not 500)
+        # Tier routing: zoom < coreset_zoom renders against the zoom's
+        # weighted coreset with the coreset error delta_z folded into
+        # eps (eps_effective = eps - delta_z, docs/bounds.md); zoom >=
+        # coreset_zoom falls through to exact QUAD. tau renders route
+        # unchanged — masks can flip only where |F - tau| <= delta_abs.
+        tier = entry.coreset_tier(z)
+        renderer = entry.renderer if tier is None else tier.renderer
+        tier_tag = None if tier is None else f"coreset-z{tier.zoom}"
+        tier_delta_z = None if tier is None else float(tier.delta_z)
         if tau is not None:
-            request = RenderRequest.for_tau(float(tau), method_name, grid=grid)
-        elif eps is not None:
-            request = RenderRequest.for_eps(float(eps), method_name, grid=grid)
-        elif self.config.tau is not None:
-            request = RenderRequest.for_tau(float(self.config.tau), method_name, grid=grid)
+            request = RenderRequest.for_tau(
+                float(tau), method_name, grid=grid, tier=tier_tag
+            )
+        elif eps is not None or self.config.tau is None:
+            eps_requested = float(eps if eps is not None else self.config.eps)
+            if tier is not None:
+                if eps_requested <= tier.delta_z:
+                    raise InvalidParameterError(
+                        f"eps={eps_requested} is not achievable at zoom {z}: the "
+                        f"coreset tier's error bound delta_z={tier.delta_z:.6g} "
+                        "consumes the whole budget; request a larger eps or "
+                        "register with a smaller coreset_delta_cap"
+                    )
+                eps_requested -= tier.delta_z
+            request = RenderRequest.for_eps(
+                eps_requested, method_name, grid=grid, tier=tier_tag
+            )
         else:
-            request = RenderRequest.for_eps(float(self.config.eps), method_name, grid=grid)
-        fitted = entry.renderer.get_method(method_name)
+            request = RenderRequest.for_tau(
+                float(self.config.tau), method_name, grid=grid, tier=tier_tag
+            )
+        fitted = renderer.get_method(method_name)
         indexed = isinstance(fitted, IndexedMethod)
         fitted._require(request.op)
         options = (
@@ -301,7 +334,7 @@ class TileService:
             if indexed
             else RenderOptions()
         )
-        resolved = request.replace(options=options).resolve(entry.renderer)
+        resolved = request.replace(options=options).resolve(renderer)
         return TilePlan(
             entry=entry,
             versioned_id=entry.versioned_id(),
@@ -312,6 +345,8 @@ class TileService:
                 deadline_ms if deadline_ms is not None else self.config.deadline_ms
             ),
             indexed=indexed,
+            renderer=renderer,
+            tier_delta_z=tier_delta_z,
         )
 
     # -- serving ------------------------------------------------------------
@@ -354,6 +389,7 @@ class TileService:
             "dataset": plan.versioned_id,
             "tile": list(plan.tile),
             "op": plan.op,
+            "tier": plan.resolved.tier,
             "fingerprint": plan.png_key[2],
             "elapsed_s": elapsed,
         }
@@ -396,7 +432,7 @@ class TileService:
         if plan.indexed:
             envelope = self.cache.get_bounds(plan.bounds_key)
             if envelope is None:
-                fitted = plan.entry.renderer.get_method(resolved.method)
+                fitted = plan.renderer.get_method(resolved.method)
                 assert isinstance(fitted, IndexedMethod)
                 engine = fitted.batch_engine
                 if engine is not None:
@@ -431,14 +467,14 @@ class TileService:
         if not plan.indexed:
             # Non-indexed methods have no anytime path (and no
             # cooperative deadline); they render plain.
-            return np.asarray(plan.entry.renderer.render(resolved))
+            return np.asarray(plan.renderer.render(resolved))
         budget = (
             Budget.from_deadline_ms(plan.deadline_ms)
             if plan.deadline_ms is not None
             else None
         )
         run = resolved.replace(options=resolved.options.replace(budget=budget))
-        outcome = plan.entry.renderer.render(run)
+        outcome = plan.renderer.render(run)
         degraded = outcome.degraded  # type: ignore[union-attr]
         if degraded is not None:
             self.metrics.counter("tiles.degraded").add(1)
@@ -483,12 +519,21 @@ class TileService:
         base = entry.base_grid
         coarse = base.scaled(_VMAX_GRID_WIDTH / float(base.width))
         renderer = entry.renderer
+        if entry.coreset_zoom is not None:
+            # The finest coreset tier's density is within its delta_abs
+            # of exact everywhere — far below colour-map resolution —
+            # and evaluating it avoids an O(n) scan per dataset version
+            # on planet-scale point sets.
+            finest = entry.coreset_tier(entry.coreset_zoom - 1)
+            if finest is not None:
+                renderer = finest.renderer
         values = exact_density(
             renderer.points,
             coarse.centers(),
             renderer.kernel,
             renderer.gamma,
             renderer.weight,
+            point_weights=renderer.point_weights,
         )
         vmax = float(values.max()) if values.size else 1.0
         if vmax <= 0.0:

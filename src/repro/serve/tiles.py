@@ -24,7 +24,14 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.visual.grid import PixelGrid
 
-__all__ = ["DEFAULT_TILE_PX", "MAX_ZOOM", "tile_count", "tile_grid", "validate_tile"]
+__all__ = [
+    "DEFAULT_TILE_PX",
+    "MAX_ZOOM",
+    "tile_count",
+    "tile_grid",
+    "validate_tile",
+    "zoom_cell_size",
+]
 
 #: Default rendered tile edge, the slippy-map standard.
 DEFAULT_TILE_PX = 256
@@ -56,6 +63,26 @@ def validate_tile(z: int, x: int, y: int, *, max_zoom: int = MAX_ZOOM) -> Tuple[
             f"tile ({x}, {y}) outside zoom-{z} range [0, {per_axis})"
         )
     return z, x, y
+
+
+def zoom_cell_size(base: PixelGrid, z: int, tile_px: int = DEFAULT_TILE_PX) -> float:
+    """One pixel's data-space edge length at zoom ``z`` over ``base``.
+
+    The larger viewport span divided by ``2^z * tile_px`` — the natural
+    starting cell size for the coreset pyramid
+    (:func:`repro.sampling.coreset.build_pyramid`): points snapped
+    within one rendered pixel of zoom ``z`` are visually
+    indistinguishable at that zoom and every zoom below it.
+    """
+    z = int(z)
+    if z < 0 or z > MAX_ZOOM:
+        raise InvalidParameterError(f"zoom must be in [0, {MAX_ZOOM}], got {z}")
+    tile_px = int(tile_px)
+    if tile_px < 1:
+        raise InvalidParameterError(f"tile_px must be >= 1, got {tile_px}")
+    span = float(np.max(base.high - base.low))
+    span = max(span, float(np.finfo(np.float64).tiny))
+    return span / float(tile_count(z) * tile_px)
 
 
 def tile_grid(

@@ -185,6 +185,25 @@ class LRUCache(Generic[K, V]):
         del self._entries[key]
         self._bytes -= entry.size
 
+    def _purge_expired(self) -> None:
+        """Drop every entry past its TTL (caller holds the lock).
+
+        Keeps the introspection surface (``keys``/``__iter__``/
+        ``__len__``/``as_dict``) consistent with ``get`` and
+        ``__contains__``, which already treat such entries as absent.
+        """
+        if self.ttl_s is None:
+            return
+        now = self._clock()
+        doomed = [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if entry.expires_at is not None and now >= entry.expires_at
+        ]
+        for key, entry in doomed:
+            self._drop(key, entry)
+            self.stats.expirations += 1
+
     def _shrink(self) -> None:
         """Evict least-recently-used entries until within every budget."""
         while self._entries and (
@@ -234,16 +253,18 @@ class LRUCache(Generic[K, V]):
             return self._bytes
 
     def keys(self) -> List[K]:
-        """Snapshot of the kept keys, least-recently-used first."""
+        """Snapshot of the live (unexpired) keys, least-recently-used first."""
         with self._lock:
+            self._purge_expired()
             return list(self._entries)
 
     def __iter__(self) -> Iterator[K]:
-        """Iterate a snapshot of the keys, least-recently-used first."""
+        """Iterate a snapshot of the live keys, least-recently-used first."""
         return iter(self.keys())
 
     def __len__(self) -> int:
         with self._lock:
+            self._purge_expired()
             return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
@@ -259,6 +280,7 @@ class LRUCache(Generic[K, V]):
     def as_dict(self) -> Dict[str, Any]:
         """Stats plus occupancy and limits, JSON-ready."""
         with self._lock:
+            self._purge_expired()
             snapshot: Dict[str, Any] = self.stats.as_dict()
             snapshot.update(
                 entries=len(self._entries),

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, NamedTuple, Optional
 import numpy as np
 
 from repro.contracts.runtime import invariants_enabled, set_invariants
+from repro.core.backends import resolve_backend
 from repro.core.engine import QueryStats
 from repro.errors import InvalidParameterError
 from repro.index.shared import attach_tree, publish_tree
@@ -238,6 +239,15 @@ class ProcessTileExecutor:
                 "method must be fitted before building a process executor"
             )
         provider = engine.provider
+        # Resolve the backend *here*, in the parent: shipping the raw
+        # name would make every worker process call resolve_backend()
+        # with a fresh fallback-warning latch, re-firing the one-time
+        # "numba unavailable" RuntimeWarning once per worker. Resolving
+        # to the concrete backend's name keeps the warning once per
+        # interpreter and sends workers a name that always exists.
+        resolved_backend = resolve_backend(
+            backend if backend is not None else method.backend
+        )
         spec = {
             "provider": method.provider_name,
             "kernel": provider.kernel.name,
@@ -245,8 +255,9 @@ class ProcessTileExecutor:
             "weight": float(provider.weight),
             "provider_options": dict(method.provider_options),
             "ordering": method.ordering,
-            "backend": backend if backend is not None else method.backend,
+            "backend": resolved_backend.name,
         }
+        self.spec = spec
         start_method = os.environ.get(MP_START_ENV_VAR)
         if not start_method:
             start_method = (

@@ -137,6 +137,11 @@ class KDVRenderer:
         Per-point weight; defaults to ``1 / n``.
     grid:
         Optional explicit :class:`~repro.visual.grid.PixelGrid`.
+    point_weights:
+        Optional non-negative per-point multipliers ``w_i`` of shape
+        ``(n,)`` — the density becomes ``weight * sum_i w_i K(q, p_i)``.
+        Used by the coreset tier, where each representative stands for
+        ``w_i`` original points.
     method_options:
         Default keyword arguments for method construction (e.g.
         ``leaf_size``).
@@ -150,6 +155,7 @@ class KDVRenderer:
         gamma: float | None = None,
         weight: float | None = None,
         grid: PixelGrid | None = None,
+        point_weights: PointLike | None = None,
         **method_options: Any,
     ) -> None:
         self.points = check_points(points)
@@ -165,6 +171,14 @@ class KDVRenderer:
         if weight is None:
             weight = 1.0 / self.points.shape[0]
         self.weight = check_positive(weight, "weight")
+        if point_weights is not None:
+            point_weights = np.ascontiguousarray(point_weights, dtype=np.float64)
+            if point_weights.shape != (self.points.shape[0],):
+                raise InvalidParameterError(
+                    f"point_weights must have shape ({self.points.shape[0]},), "
+                    f"got {point_weights.shape}"
+                )
+        self.point_weights = point_weights
         if grid is None:
             width, height = resolution
             grid = PixelGrid.fit(self.points, width, height)
@@ -179,13 +193,19 @@ class KDVRenderer:
         """Return a fitted method instance (cached per name)."""
         if isinstance(method, Method):
             if method.points is None:
-                method.fit(self.points, self.kernel, self.gamma, self.weight)
+                method.fit(
+                    self.points, self.kernel, self.gamma, self.weight,
+                    point_weights=self.point_weights,
+                )
             return method
         key = str(method).lower()
         fitted = self._methods.get(key)
         if fitted is None:
             fitted = create_method(key, **self.method_options)
-            fitted.fit(self.points, self.kernel, self.gamma, self.weight)
+            fitted.fit(
+                self.points, self.kernel, self.gamma, self.weight,
+                point_weights=self.point_weights,
+            )
             self._methods[key] = fitted
         return fitted
 
@@ -195,7 +215,8 @@ class KDVRenderer:
         """The exact density image, shape ``(height, width)`` (cached)."""
         if self._exact_image is None:
             values = exact_density(
-                self.points, self.grid.centers(), self.kernel, self.gamma, self.weight
+                self.points, self.grid.centers(), self.kernel, self.gamma,
+                self.weight, point_weights=self.point_weights,
             )
             self._exact_image = self.grid.to_image(values)
         return self._exact_image
@@ -866,6 +887,11 @@ class KDVRenderer:
         return {
             "format": "repro-render-v1",
             "points_sha1": hashlib.sha1(self.points.tobytes()).hexdigest(),
+            "point_weights_sha1": (
+                None
+                if self.point_weights is None
+                else hashlib.sha1(self.point_weights.tobytes()).hexdigest()
+            ),
             "n": int(self.points.shape[0]),
             "kernel": self.kernel.name,
             "gamma": float(self.gamma),
@@ -1249,6 +1275,7 @@ class KDVRenderer:
         clone.kernel = self.kernel
         clone.gamma = self.gamma
         clone.weight = self.weight
+        clone.point_weights = self.point_weights
         clone.grid = grid
         clone.method_options = self.method_options
         clone._methods = self._methods  # shared: indexes are reusable

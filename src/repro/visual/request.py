@@ -60,8 +60,8 @@ OP_TAU = "tau"
 
 #: Version tag of the fingerprint payload schema. Bump whenever the
 #: payload layout changes, so stale cache entries can never alias new
-#: ones.
-FINGERPRINT_FORMAT = "repro-render-request-v1"
+#: ones. v2 added the ``tier`` field (exact vs per-zoom coreset).
+FINGERPRINT_FORMAT = "repro-render-request-v2"
 
 
 def _float_token(value: float) -> str:
@@ -206,6 +206,13 @@ class RenderRequest:
     method_options:
         Canonicalised ``(name, repr(value))`` pairs of the method
         constructor options; filled by :meth:`resolve`.
+    tier:
+        Data-tier label: ``None`` for the exact point set, or a
+        coreset-tier tag (e.g. ``"coreset-z3"``) when the render is
+        answered from a per-zoom weighted coreset. Participates in the
+        fingerprint — the same viewport rendered from different tiers
+        produces different (both valid) bytes, so tiers must never
+        alias in the cache.
     options:
         The :class:`RenderOptions` execution knobs.
     """
@@ -220,6 +227,7 @@ class RenderRequest:
     atol: Optional[float] = None
     grid: Optional["PixelGrid"] = None
     method_options: Tuple[Tuple[str, str], ...] = ()
+    tier: Optional[str] = None
     options: RenderOptions = field(default_factory=RenderOptions)
 
     def __post_init__(self) -> None:
@@ -365,6 +373,7 @@ class RenderRequest:
         grid = self.grid
         payload: Dict[str, Any] = {
             "format": FINGERPRINT_FORMAT,
+            "tier": None if self.tier is None else str(self.tier),
             "op": self.op,
             "method": str(self.method).lower(),
             "method_options": [list(pair) for pair in self.method_options],

@@ -150,6 +150,8 @@ class StreamingKDV:
         total = 0.0
         for chunk in self._buffer:
             sq = ((chunk - query) ** 2).sum(axis=1)
+            # lint: allow-backend-dispatch -- unindexed ingest buffer;
+            # the backends only accelerate tree-batched evaluation.
             total += float(self.kernel.evaluate(sq, self.gamma).sum())
         return self.weight * total
 

@@ -288,6 +288,40 @@ def test_process_executor_close_is_idempotent(renderer):
     pool.close()
 
 
+def test_process_executor_spec_ships_resolved_backend(renderer):
+    fitted = renderer.get_method("quad")
+    pool = ProcessTileExecutor(fitted, 1)
+    try:
+        assert pool.spec["backend"] in available_backends()
+        assert pool.spec["backend"] == resolve_backend(fitted.backend).name
+    finally:
+        pool.close()
+
+
+@pytest.mark.skipif(numba_available(), reason="fallback only without numba")
+def test_process_executor_fallback_warns_once_per_interpreter(renderer):
+    # Regression: the job spec used to ship the *requested* backend
+    # name, so every worker re-resolved it against a fresh
+    # _WARNED_FALLBACKS set and the one-per-interpreter fallback
+    # RuntimeWarning re-fired under executor="process". Resolving in
+    # the parent ships the concrete name instead.
+    from repro.core import backends as registry
+
+    fitted = renderer.get_method("quad")
+    registry._WARNED_FALLBACKS.discard("numba")
+    with pytest.warns(RuntimeWarning, match=r"\[perf\]"):
+        pool = ProcessTileExecutor(fitted, 1, backend="numba")
+    try:
+        assert pool.spec["backend"] == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = ProcessTileExecutor(fitted, 1, backend="numba")
+            assert second.spec["backend"] == "numpy"
+            second.close()
+    finally:
+        pool.close()
+
+
 def test_process_executor_rejects_bad_workers(renderer):
     fitted = renderer.get_method("quad")
     with pytest.raises(InvalidParameterError):
@@ -453,5 +487,33 @@ def test_linter_backend_dispatch_marker_suppresses(tmp_path):
         "    # lint: allow-backend-dispatch -- delegation fallback\n"
         "    return provider.leaf_exact_batch(node, q, qs)\n"
     )
+    violations = _lint(tmp_path, source)
+    assert not any("backend-dispatch" in v.rule for v in violations)
+
+
+def test_linter_flags_weighted_kernel_evaluate(tmp_path):
+    source = (
+        "def f(self, sq):\n"
+        "    return self.kernel.evaluate(sq, self.gamma)\n"
+        "def g(kernel, sq, gamma):\n"
+        "    return kernel.evaluate(sq, gamma)\n"
+    )
+    violations = _lint(tmp_path, source)
+    flagged = [v for v in violations if "backend-dispatch" in v.rule]
+    assert len(flagged) == 2
+
+
+def test_linter_kernel_evaluate_marker_suppresses(tmp_path):
+    source = (
+        "def f(self, sq):\n"
+        "    # lint: allow-backend-dispatch -- unindexed scan\n"
+        "    return self.kernel.evaluate(sq, self.gamma)\n"
+    )
+    violations = _lint(tmp_path, source)
+    assert not any("backend-dispatch" in v.rule for v in violations)
+
+
+def test_linter_ignores_unrelated_evaluate_receivers(tmp_path):
+    source = "def f(model, x):\n    return model.evaluate(x)\n"
     violations = _lint(tmp_path, source)
     assert not any("backend-dispatch" in v.rule for v in violations)

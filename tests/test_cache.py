@@ -94,6 +94,41 @@ class TestLRUCache:
         assert cache.get("a") is None
         assert cache.stats.expirations == 1
 
+    def test_introspection_agrees_with_get_after_expiry(self):
+        # Regression: keys()/__iter__/__len__/as_dict used to report
+        # expired entries that get()/__contains__ would refuse to serve.
+        clock = FakeClock()
+        cache = LRUCache(ttl_s=5.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(3.0)
+        cache.put("new", 2)
+        clock.advance(3.0)  # "old" is 6s stale, "new" only 3s
+        assert cache.get("new") == 2
+        assert "old" not in cache
+        assert cache.keys() == ["new"]
+        assert list(cache) == ["new"]
+        assert len(cache) == 1
+        assert cache.as_dict()["entries"] == 1
+        assert cache.stats.expirations == 1
+
+    def test_purge_counts_each_expired_entry_once(self):
+        clock = FakeClock()
+        cache = LRUCache(ttl_s=1.0, clock=clock)
+        for key in ("a", "b", "c"):
+            cache.put(key, 0)
+        clock.advance(2.0)
+        assert len(cache) == 0
+        assert len(cache) == 0  # second purge finds nothing new
+        assert cache.keys() == []
+        assert cache.stats.expirations == 3
+        assert cache.current_bytes == 0
+
+    def test_no_ttl_introspection_is_untouched(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        assert cache.keys() == ["a"]
+        assert cache.stats.expirations == 0
+
     def test_invalidate_single_and_predicate(self):
         cache = LRUCache()
         for key in ("x1", "x2", "y1"):

@@ -162,6 +162,148 @@ def _parallel_scaling(
     return section
 
 
+def _coreset_parity(renderer: Any, *, delta_cap: float, seed: int) -> dict[str, Any]:
+    """Spot-check the coreset error bound against brute-force exact KDE.
+
+    Builds one weighted coreset over the benchmark points and verifies
+    ``|KDE_coreset - KDE_exact| <= delta_abs`` at random queries spread
+    over the data's bounding box — the inequality every serve-layer
+    ``eps`` fold relies on. Runs in both smoke and full mode.
+    """
+    import numpy as np
+
+    from repro.core.exact import exact_density
+    from repro.sampling import coreset_for_delta
+
+    points = renderer.points
+    span = float(np.max(points.max(axis=0) - points.min(axis=0)))
+    coreset = coreset_for_delta(
+        points,
+        renderer.kernel,
+        renderer.gamma,
+        renderer.weight,
+        cell_size=max(span / 8.0, 1e-300),
+        delta_cap=delta_cap,
+    )
+    rng = np.random.default_rng(seed)
+    low, high = points.min(axis=0), points.max(axis=0)
+    queries = rng.uniform(low, high, size=(128, points.shape[1]))
+    exact = exact_density(points, queries, renderer.kernel, renderer.gamma, renderer.weight)
+    approx = exact_density(
+        coreset.points,
+        queries,
+        renderer.kernel,
+        renderer.gamma,
+        renderer.weight,
+        point_weights=coreset.weights,
+    )
+    max_abs_error = float(np.max(np.abs(approx - exact)))
+    # delta_abs is exact arithmetic on realised displacements; allow a
+    # few ulps of accumulated rounding in the two density sums.
+    within = bool(max_abs_error <= coreset.delta_abs * (1.0 + 1e-9) + 1e-15)
+    print(
+        f"  coreset parity  m={coreset.m} delta_abs={coreset.delta_abs:.3e} "
+        f"max|err|={max_abs_error:.3e} within={within}"
+    )
+    return {
+        "delta_cap": delta_cap,
+        "n_source": coreset.n_source,
+        "m": coreset.m,
+        "compression": round(coreset.n_source / max(coreset.m, 1), 2),
+        "delta_abs": coreset.delta_abs,
+        "delta_z": coreset.delta_z,
+        "queries": int(queries.shape[0]),
+        "max_abs_error": max_abs_error,
+        "within_delta": within,
+    }
+
+
+def _coreset_pyramid(
+    n: int,
+    *,
+    dataset: str,
+    seed: int,
+    tile_px: int,
+    eps: float,
+    zoom_threshold: int,
+    delta_cap: float,
+    leaf_size: int,
+    baseline_seconds: float | None,
+) -> dict[str, Any]:
+    """Cold low-zoom serving latency: coreset tier vs exact QUAD at scale.
+
+    Registers the same ``n``-point synthetic dataset twice — once with a
+    coreset pyramid below ``zoom_threshold``, once plain — and times the
+    cold ``(0, 0, 0)`` tile through each. Registration (tree build +
+    pyramid materialisation) happens outside the timed window, mirroring
+    the offline stage of the main workload; the timed window is the
+    user-visible first-tile latency.
+    """
+    from repro.data.synthetic import load_dataset
+    from repro.serve.service import ServiceConfig, TileService
+
+    points = load_dataset(dataset, n=n, seed=seed)
+    config = ServiceConfig(tile_px=tile_px, eps=eps, deadline_ms=None, workers=1)
+
+    def timed_register(service: TileService, **kwargs: Any) -> float:
+        start = time.perf_counter()
+        entry = service.registry.register("pyramid", points, leaf_size=leaf_size, **kwargs)
+        entry.warm()
+        return time.perf_counter() - start
+
+    def timed_cold_tile(service: TileService) -> tuple[float, dict[str, Any]]:
+        start = time.perf_counter()
+        _, info = service.get_tile("pyramid", 0, 0, 0)
+        return time.perf_counter() - start, info
+
+    coreset_svc = TileService(config=config)
+    exact_svc = TileService(config=config)
+    try:
+        coreset_build_s = timed_register(
+            coreset_svc, coreset_zoom=zoom_threshold, coreset_delta_cap=delta_cap
+        )
+        exact_build_s = timed_register(exact_svc)
+        coreset_cold_s, coreset_info = timed_cold_tile(coreset_svc)
+        print(f"  pyramid n={n} cold z0 coreset {coreset_cold_s:8.3f}s")
+        exact_cold_s, exact_info = timed_cold_tile(exact_svc)
+        print(f"  pyramid n={n} cold z0 exact   {exact_cold_s:8.3f}s")
+        warm_start = time.perf_counter()
+        _, warm_info = coreset_svc.get_tile("pyramid", 0, 0, 0)
+        warm_s = time.perf_counter() - warm_start
+        tiers = coreset_svc.registry.get("pyramid").as_dict()["coreset"]["tiers"]
+    finally:
+        coreset_svc.close()
+        exact_svc.close()
+
+    speedup = exact_cold_s / coreset_cold_s if coreset_cold_s > 0 else 0.0
+    return {
+        "n": n,
+        "dataset": dataset,
+        "tile_px": tile_px,
+        "eps": eps,
+        "zoom_threshold": zoom_threshold,
+        "delta_cap": delta_cap,
+        "leaf_size": leaf_size,
+        "register_seconds": {
+            "coreset": round(coreset_build_s, 6),
+            "exact": round(exact_build_s, 6),
+        },
+        "cold_tile_z0": {
+            "coreset_seconds": round(coreset_cold_s, 6),
+            "exact_seconds": round(exact_cold_s, 6),
+            "speedup": round(speedup, 3),
+            "coreset_tier": coreset_info.get("tier"),
+            "exact_tier": exact_info.get("tier"),
+        },
+        "warm_tile_z0": {
+            "seconds": round(warm_s, 6),
+            "cache": warm_info.get("cache"),
+        },
+        "tiers": tiers,
+        "baseline_8k_scalar_seconds": baseline_seconds,
+    }
+
+
 def run_benchmark(
     n: int,
     resolution: tuple[int, int],
@@ -176,6 +318,9 @@ def run_benchmark(
     executor: str | None = None,
     backend: str | None = None,
     scaling: bool = True,
+    pyramid_n: int | None = None,
+    pyramid_zoom: int = 3,
+    coreset_delta_cap: float = 0.01,
 ) -> dict[str, Any]:
     """Run the scalar/batched comparison; return the report dictionary."""
     import numpy as np
@@ -249,6 +394,22 @@ def run_benchmark(
     )
     masks_identical = bool(np.array_equal(scalar_mask, batch_mask))
 
+    parity_section = _coreset_parity(renderer, delta_cap=coreset_delta_cap, seed=seed)
+
+    pyramid_section: dict[str, Any] | None = None
+    if pyramid_n is not None:
+        pyramid_section = _coreset_pyramid(
+            pyramid_n,
+            dataset=dataset,
+            seed=seed,
+            tile_px=256,
+            eps=0.05,
+            zoom_threshold=pyramid_zoom,
+            delta_cap=coreset_delta_cap,
+            leaf_size=512,
+            baseline_seconds=scalar_rep["seconds"],
+        )
+
     scaling_section: dict[str, Any] | None = None
     if scaling:
         scaling_section = _parallel_scaling(
@@ -308,9 +469,12 @@ def run_benchmark(
             "masks_identical": masks_identical,
         },
         "parallel_scaling": scaling_section,
+        "coreset_parity": parity_section,
+        "coreset_pyramid": pyramid_section,
         "validation": {
             "eps_envelope": envelope,
             "tau_masks_identical": masks_identical,
+            "coreset_parity_ok": parity_section["within_delta"],
             "parallel_scaling_ok": (
                 None if scaling_section is None else all(
                     entry["all_identical_and_within_envelope"]
@@ -345,6 +509,15 @@ def main(argv: list[str] | None = None) -> int:
         "(default: REPRO_BACKEND or numpy)",
     )
     parser.add_argument(
+        "--pyramid-n", type=int, default=1_000_000,
+        help="point count for the coreset_pyramid cold-latency section "
+        "(full mode only; smoke always skips it)",
+    )
+    parser.add_argument(
+        "--no-pyramid", action="store_true",
+        help="skip the coreset_pyramid section even in full mode",
+    )
+    parser.add_argument(
         "--no-scaling", action="store_true",
         help="skip the parallel-scaling sweep "
         "(workers x executor x backend)",
@@ -373,6 +546,9 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         backend=args.backend,
         scaling=not args.no_scaling,
+        pyramid_n=(
+            None if args.smoke or args.no_pyramid else args.pyramid_n
+        ),
     )
     report["smoke"] = args.smoke
 
@@ -391,6 +567,11 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"eps envelope violated by the {label} schedule")
     if not report["validation"]["tau_masks_identical"]:
         failures.append("tau masks differ between scalar and batched schedules")
+    if not report["validation"]["coreset_parity_ok"]:
+        failures.append(
+            "coreset density drifted beyond its delta_abs bound "
+            "(see the coreset_parity section)"
+        )
     if report["validation"]["parallel_scaling_ok"] is False:
         failures.append(
             "parallel-scaling sweep broke cross-executor identity or the "

@@ -52,12 +52,16 @@ that keep that contract auditable:
 ``backend-dispatch``
     No direct ``node_bounds_batch`` / ``leaf_exact_batch`` (or their
     ``checked_`` variants) calls outside ``core/backends/`` and
-    ``core/bounds/``. Engine and renderer code must route batched
-    evaluations through the engine's resolved
+    ``core/bounds/``, and no direct ``kernel.evaluate(...)`` calls
+    outside those plus ``core/exact.py`` (the reference scan the
+    backends are validated against). Engine and renderer code must
+    route batched evaluations through the engine's resolved
     :class:`~repro.core.backends.base.ComputeBackend` — a call that
-    goes straight to the provider silently pins the numpy path and
-    escapes the ``REPRO_BACKEND`` / ``RenderOptions.backend``
-    selection. The dispatch targets themselves carry
+    goes straight to the provider (or to the kernel itself, as the
+    weighted-coreset evaluation paths could) silently pins the numpy
+    path and escapes the ``REPRO_BACKEND`` /
+    ``RenderOptions.backend`` selection. The dispatch targets and the
+    deliberate backend-independent scalar paths carry
     ``# lint: allow-backend-dispatch``.
 
 False positives are suppressed with an inline marker on the same or the
@@ -455,19 +459,46 @@ _BACKEND_DISPATCH_CALLS = frozenset(
     }
 )
 
+#: Kernel-evaluation entrypoints: direct ``kernel.evaluate(...)`` calls
+#: outside the dispatch layer sidestep the compute-backend abstraction
+#: exactly like the batch entrypoints do — the weighted-coreset tier
+#: added new evaluation call sites, so the rule covers both families.
+_KERNEL_EVAL_CALLS = frozenset({"evaluate"})
+
 
 def _backend_dispatch_exempt(path: Path) -> bool:
     """Whether a file legitimately calls the batch entrypoints directly.
 
-    ``core/backends/`` holds the dispatch targets and ``core/bounds/``
-    the provider implementations (including internal checked ->
-    unchecked delegation); everywhere else must route through the
-    engine's resolved backend.
+    ``core/backends/`` holds the dispatch targets, ``core/bounds/`` the
+    provider implementations (including internal checked -> unchecked
+    delegation), and ``core/exact.py`` the reference brute-force scan
+    the backends are validated against; everywhere else must route
+    through the engine's resolved backend.
     """
     parts = path.parts
+    if parts and parts[-1] == "exact.py" and len(parts) >= 2 and parts[-2] == "core":
+        return True
     for index in range(len(parts) - 1):
         if parts[index] == "core" and parts[index + 1] in ("backends", "bounds"):
             return True
+    return False
+
+
+def _is_kernel_eval(node: ast.Call) -> bool:
+    """``<something>.evaluate(...)`` where the receiver looks like a kernel.
+
+    Restricted to receivers named ``kernel`` / ``self.kernel`` /
+    ``*.kernel`` so unrelated ``evaluate`` methods (e.g. expression
+    evaluators) never trip the rule.
+    """
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _KERNEL_EVAL_CALLS):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "kernel"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "kernel"
     return False
 
 
@@ -480,19 +511,30 @@ def _check_backend_dispatch(
         if not isinstance(node, ast.Call):
             continue
         name = _call_name(node.func)
-        if name not in _BACKEND_DISPATCH_CALLS:
-            continue
-        if _suppressed(markers, node.lineno, "backend-dispatch"):
-            continue
-        yield Violation(
-            path,
-            node.lineno,
-            "backend-dispatch",
-            f"direct {name}() call bypasses the compute-backend dispatch; "
-            "go through the engine's resolved backend "
-            "(backend.node_bounds_batch(provider, ...)) so REPRO_BACKEND "
-            "and RenderOptions.backend keep working",
-        )
+        if name in _BACKEND_DISPATCH_CALLS:
+            if _suppressed(markers, node.lineno, "backend-dispatch"):
+                continue
+            yield Violation(
+                path,
+                node.lineno,
+                "backend-dispatch",
+                f"direct {name}() call bypasses the compute-backend dispatch; "
+                "go through the engine's resolved backend "
+                "(backend.node_bounds_batch(provider, ...)) so REPRO_BACKEND "
+                "and RenderOptions.backend keep working",
+            )
+        elif _is_kernel_eval(node):
+            if _suppressed(markers, node.lineno, "backend-dispatch"):
+                continue
+            yield Violation(
+                path,
+                node.lineno,
+                "backend-dispatch",
+                "direct kernel.evaluate() call bypasses the compute-backend "
+                "dispatch; evaluate densities through exact_density / the "
+                "engine's resolved backend (or mark a deliberate reference "
+                "path with '# lint: allow-backend-dispatch')",
+            )
 
 
 def _check_bare_except(
