@@ -217,12 +217,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--workers", type=_positive_int, default=4)
     serve.add_argument(
+        "--render-workers",
+        type=_positive_int,
+        default=None,
+        help="tile-render worker count per request (default: single-threaded)",
+    )
+    serve.add_argument(
+        "--render-executor",
+        choices=["thread", "process"],
+        default=None,
+        help="run tile renders on threads or a supervised process pool",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend for renders (default: REPRO_BACKEND)",
+    )
+    serve.add_argument(
         "--queue-limit",
         type=_positive_int,
         default=32,
         help="max in-flight renders before requests get 503",
     )
     serve.add_argument("--max-zoom", type=_positive_int, default=18)
+    serve.add_argument(
+        "--no-degraded",
+        action="store_true",
+        help="disable degrade-don't-fail serving (stale/partial tiles); "
+        "overload and failures then surface as 503/504/500",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=5,
+        help="consecutive render failures that open a dataset's circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-reset-s",
+        type=_positive_float,
+        default=30.0,
+        help="seconds an open breaker waits before its half-open probe",
+    )
+    serve.add_argument(
+        "--drain-s",
+        type=_positive_float,
+        default=5.0,
+        help="max seconds to wait for in-flight requests on shutdown",
+    )
 
     sub.add_parser("list", help="show registered components")
     return parser
@@ -394,11 +435,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         colormap=args.colormap,
         deadline_ms=args.deadline_ms,
         workers=args.workers,
+        render_workers=args.render_workers,
+        executor=args.render_executor,
+        backend=args.backend,
         queue_limit=args.queue_limit,
         max_zoom=args.max_zoom,
         png_cache_bytes=args.cache_mb * megabyte,
         aux_cache_bytes=args.cache_mb * megabyte,
         cache_ttl_s=args.ttl_s,
+        degraded_serving=not args.no_degraded,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s,
+        drain_s=args.drain_s,
     )
     service = TileService(config=config)
     for spec in args.dataset or ["crime:10000:0"]:

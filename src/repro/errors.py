@@ -20,6 +20,8 @@ __all__ = [
     "DataQualityWarning",
     "DatasetNotFoundError",
     "ServiceOverloadedError",
+    "CircuitOpenError",
+    "WorkerPoolBrokenError",
     "DeadlineExceededError",
 ]
 
@@ -134,13 +136,64 @@ class ServiceOverloadedError(ReproError, RuntimeError):
     """
 
 
+class CircuitOpenError(ServiceOverloadedError):
+    """A dataset's circuit breaker is open: rendering is suspended.
+
+    Raised by the tile service after a dataset accumulates consecutive
+    render failures, so one pathological dataset cannot monopolise the
+    worker pool. Subclasses :class:`ServiceOverloadedError` because the
+    remedy is identical — back off and retry later (HTTP 503 with
+    ``Retry-After``); the breaker half-opens on its own after the reset
+    timeout and probes with a single request.
+    """
+
+
+class WorkerPoolBrokenError(ReproError, RuntimeError):
+    """The process worker pool lost a worker mid-render (OOM, SIGKILL).
+
+    ``concurrent.futures`` poisons the whole ``ProcessPoolExecutor``
+    when any worker dies abruptly; this wraps that condition in a typed,
+    retryable error instead of leaking the raw ``BrokenProcessPool``
+    traceback. The supervised executor rebuilds the pool and replays the
+    lost tiles transparently — this error surfaces only when supervision
+    is disabled or its rebuild budget is exhausted. The HTTP layer maps
+    it to a 503 (the *next* render gets a fresh pool), never a 500.
+    """
+
+
 class DeadlineExceededError(ReproError, TimeoutError):
     """A tile render exceeded its per-request deadline budget.
 
-    The degraded (partial-envelope) image is *not* returned — and never
-    cached — because the service contract is that every served tile is a
-    complete render. The HTTP layer maps it to a 504.
+    By default the degraded (partial-envelope) image is *not* returned —
+    and never cached — because the service contract is that every served
+    tile is a complete render. The HTTP layer maps it to a 504. Under
+    the service's degrade-don't-fail policy the attached
+    ``partial_values`` (best-so-far envelope midpoints / conservative
+    τ mask, when the anytime path produced them) may be served instead,
+    explicitly marked as degraded and never cached as fresh.
+
+    Attributes
+    ----------
+    partial_values:
+        Best-so-far tile value array from the anytime render that
+        tripped the deadline, or ``None`` when no partial exists
+        (non-indexed methods have no anytime path).
+    pixels_resolved / pixels_total:
+        How much of the tile had reached its stopping rule.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_values: object | None = None,
+        pixels_resolved: int = 0,
+        pixels_total: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.partial_values = partial_values
+        self.pixels_resolved = int(pixels_resolved)
+        self.pixels_total = int(pixels_total)
 
 
 class InvariantViolation(ReproError, AssertionError):

@@ -346,6 +346,16 @@ class IndexedMethod(Method):
             self._process_executors[key] = pool
         return pool
 
+    def executor_health(self) -> list[dict[str, Any]]:
+        """Liveness snapshots of the cached process pools (for ``/stats``).
+
+        One dict per cached :class:`ProcessTileExecutor` — worker count,
+        break/rebuild counters, supervisor state — so the tile service
+        can surface pool supervision without reaching into executor
+        internals. Empty when no process pool has been built.
+        """
+        return [pool.health() for pool in self._process_executors.values()]
+
     def close_executors(self) -> None:
         """Shut down cached process pools and free their shared memory.
 

@@ -21,7 +21,11 @@ a first-class, well-defined outcome instead of a stack trace:
   injectors (``REPRO_FAULTS=``) so every degradation path above is
   exercised in CI;
 * :mod:`repro.resilience.runner` — the resilient tile loop gluing the
-  pieces together for :class:`repro.visual.kdv.KDVRenderer`.
+  pieces together for :class:`repro.visual.kdv.KDVRenderer`;
+* :mod:`repro.resilience.supervisor` — :class:`PoolSupervisor` (rebuild
+  policy for broken process pools — backoff-capped, storm-bounded) and
+  :class:`CircuitBreaker` (per-dataset closed/open/half-open breaker
+  the tile service consults before rendering).
 
 See ``docs/robustness.md`` for budget semantics, the degradation
 contract, the fault matrix and the resume format.
@@ -44,10 +48,22 @@ from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.resilience.result import DegradedResult, RenderOutcome
 from repro.resilience.retry import RetryPolicy, TransientTileError, is_transient
 from repro.resilience.runner import TileRunReport, run_tiles
+from repro.resilience.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    PoolSupervisor,
+)
 
 __all__ = [
     "Budget",
     "CancellationToken",
+    "CircuitBreaker",
+    "PoolSupervisor",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
     "DegradedResult",
     "RenderOutcome",
     "RetryPolicy",

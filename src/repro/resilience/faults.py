@@ -16,7 +16,25 @@ This module injects four fault kinds into the tile runner:
 ``oom``                   An allocation-failure stand-in raises (transient,
                           reported as ``MemoryError``-like) — exercises the
                           same retry path under a different label.
+``worker_kill``           **Process-level.** The worker process SIGKILLs
+                          itself before evaluating — the parent observes a
+                          real ``BrokenProcessPool`` and the supervised
+                          executor must rebuild the pool and replay the
+                          lost tiles.
+``pool_break``            **Process-level.** The worker calls ``os._exit``
+                          — an abrupt non-signal death that equally poisons
+                          the pool; exercises the same supervision path
+                          through a different kill mechanism.
+``slow_response``         **Process-level.** The worker sleeps ``slow_ms``
+                          before evaluating — exercises cross-process
+                          deadline propagation through the cancel slot.
 ========================  ==================================================
+
+The process-level kinds are executed *inside worker processes* by
+:mod:`repro.visual.executors` (the thread tile runner ignores them);
+:meth:`FaultPlan.partition_process` splits a mixed plan into its
+process-level and thread-level halves so each runner injects only the
+kinds it owns.
 
 Injection is **deterministic**: each (kind, tile, attempt) triple rolls
 its own ``numpy`` generator seeded from the plan seed, so a run with the
@@ -55,16 +73,24 @@ __all__ = [
     "FAULT_SLOW_TILE",
     "FAULT_NAN_BOUNDS",
     "FAULT_OOM",
+    "FAULT_WORKER_KILL",
+    "FAULT_POOL_BREAK",
+    "FAULT_SLOW_RESPONSE",
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "FaultPlan",
     "FaultInjector",
     "InjectedFault",
+    "fault_fires",
 ]
 
 FAULT_WORKER_CRASH = "worker_crash"
 FAULT_SLOW_TILE = "slow_tile"
 FAULT_NAN_BOUNDS = "nan_bounds"
 FAULT_OOM = "oom"
+FAULT_WORKER_KILL = "worker_kill"
+FAULT_POOL_BREAK = "pool_break"
+FAULT_SLOW_RESPONSE = "slow_response"
 
 #: Recognised kinds, with the stable integer each contributes to the
 #: per-roll seed (appending new kinds must not renumber old ones).
@@ -73,7 +99,31 @@ FAULT_KINDS: Dict[str, int] = {
     FAULT_SLOW_TILE: 2,
     FAULT_NAN_BOUNDS: 3,
     FAULT_OOM: 4,
+    FAULT_WORKER_KILL: 5,
+    FAULT_POOL_BREAK: 6,
+    FAULT_SLOW_RESPONSE: 7,
 }
+
+#: Kinds executed inside worker *processes* (real process death / delay)
+#: rather than by the thread tile runner's injector.
+PROCESS_FAULT_KINDS = frozenset(
+    {FAULT_WORKER_KILL, FAULT_POOL_BREAK, FAULT_SLOW_RESPONSE}
+)
+
+
+def fault_fires(seed: int, kind: str, tile: int, attempt: int, rate: float) -> bool:
+    """Whether one deterministic fault roll fires.
+
+    Pure function of ``(seed, kind, tile, attempt)`` — the same roll a
+    :class:`FaultInjector` makes, exposed at module level so worker
+    *processes* (which carry no injector object) reproduce the parent's
+    plan bit-for-bit, and so tests/tools can predict exactly which
+    tiles a given seed kills.
+    """
+    if rate <= 0.0:
+        return False
+    rng = np.random.default_rng([int(seed), FAULT_KINDS[kind], int(tile), int(attempt)])
+    return bool(rng.random() < rate)
 
 #: Environment variable holding the fault plan.
 ENV_FAULTS = "REPRO_FAULTS"
@@ -178,6 +228,22 @@ class FaultPlan:
         """Whether no fault has a positive rate."""
         return not self.rates
 
+    def partition_process(self) -> Tuple["FaultPlan", "FaultPlan"]:
+        """Split into ``(process_plan, thread_plan)`` halves.
+
+        Process-level kinds (:data:`PROCESS_FAULT_KINDS`) are injected
+        inside worker processes by the process tile executor; everything
+        else belongs to the thread runner's :class:`FaultInjector`. Both
+        halves keep the seed and ``slow_ms``, so a kind fires for the
+        same (tile, attempt) regardless of which runner rolls it.
+        """
+        process = {k: r for k, r in self.rates.items() if k in PROCESS_FAULT_KINDS}
+        thread = {k: r for k, r in self.rates.items() if k not in PROCESS_FAULT_KINDS}
+        return (
+            FaultPlan(process, seed=self.seed, slow_ms=self.slow_ms),
+            FaultPlan(thread, seed=self.seed, slow_ms=self.slow_ms),
+        )
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready description of the plan."""
         return {"rates": dict(self.rates), "seed": self.seed, "slow_ms": self.slow_ms}
@@ -209,13 +275,9 @@ class FaultInjector:
         self.by_kind: Dict[str, int] = {}
 
     def _fires(self, kind: str, tile: int, attempt: int) -> bool:
-        rate = self.plan.rates.get(kind, 0.0)
-        if rate <= 0.0:
-            return False
-        rng = np.random.default_rng(
-            [self.plan.seed, FAULT_KINDS[kind], int(tile), int(attempt)]
+        return fault_fires(
+            self.plan.seed, kind, tile, attempt, self.plan.rates.get(kind, 0.0)
         )
-        return bool(rng.random() < rate)
 
     def _record(self, kind: str, tile: int, attempt: int, worker: int) -> None:
         self.injected += 1

@@ -11,14 +11,34 @@ exposing:
   worker pool; the L1 (PNG) lookup runs on the event loop itself so
   warm tiles never queue behind cold renders.
 * ``GET /stats`` — JSON snapshot: datasets, cache levels, obs metrics,
-  load, config.
-* ``GET /healthz`` — liveness probe.
+  load, resilience state, config.
+* ``GET /healthz`` — liveness probe (200 while the process runs).
+* ``GET /readyz`` — readiness probe: 200 while serving, 503 once the
+  service starts draining for shutdown (load balancers stop routing
+  here while in-flight requests finish).
 
-Error mapping: unknown dataset → 404, invalid parameters → 400, full
-render queue → 503 (with ``Retry-After``), tripped per-request deadline
-→ 504, unrecovered render failure → 500. Connections are
-close-per-request (``Connection: close``) — tile clients open cheap
-short-lived connections, and it keeps the parser honest and tiny.
+Error payloads are uniform JSON: ``{"status": N, "code": "...",
+"message": "..."}`` (plus a legacy ``"error"`` alias of ``message``).
+``code`` is a stable machine-readable identifier — clients switch on
+it, never on message text. Mapping: unknown dataset → 404
+``dataset_not_found``, invalid parameters → 400 ``invalid_parameter``,
+full render queue → 503 ``overloaded``, open circuit breaker → 503
+``circuit_open``, broken worker pool → 503 ``worker_pool_broken``
+(every 503 **and** 504 carries ``Retry-After``), tripped per-request
+deadline → 504 ``deadline_exceeded``, unrecovered render failure → 500
+``render_failed``. 5xx messages are generic — internal exception text
+never leaks to clients.
+
+Under the service's degrade-don't-fail policy a request that would
+have failed may instead get a **degraded 200**: the last known-good
+bytes (stale) or the anytime render's partial envelope. Degraded
+responses always carry ``X-Repro-Degraded: <mode>;<reason>``, a
+standard ``Warning`` header, and ``Cache-Control: no-store`` so
+intermediaries never treat a stop-gap tile as fresh.
+
+Connections are close-per-request (``Connection: close``) — tile
+clients open cheap short-lived connections, and it keeps the parser
+honest and tiny.
 """
 
 from __future__ import annotations
@@ -31,12 +51,14 @@ import urllib.parse
 from typing import Any, Dict, Optional
 
 from repro.errors import (
+    CircuitOpenError,
     DatasetNotFoundError,
     DeadlineExceededError,
     InvalidParameterError,
     ReproError,
     ServiceOverloadedError,
     UnknownNameError,
+    WorkerPoolBrokenError,
 )
 from repro.serve.service import TileService
 
@@ -84,8 +106,31 @@ def _json_response(
     return _response(status, body, "application/json", extra_headers)
 
 
-def _error_response(status: int, message: str, **extra: str) -> bytes:
-    return _json_response(status, {"error": message, "status": status}, extra or None)
+def _error_response(
+    status: int,
+    code: str,
+    message: str,
+    retry_after_s: Optional[int] = None,
+    **extra: str,
+) -> bytes:
+    """Uniform error JSON: stable ``code``, human ``message``.
+
+    Every 503 and 504 carries ``Retry-After`` (callers pass
+    ``retry_after_s``; the default backstop adds 1s if they forget) so
+    well-behaved clients back off instead of hammering an overloaded or
+    recovering service. ``error`` duplicates ``message`` for clients of
+    the earlier payload shape.
+    """
+    headers = dict(extra)
+    if retry_after_s is None and status in (503, 504):
+        retry_after_s = 1
+    if retry_after_s is not None:
+        headers["Retry-After"] = str(int(retry_after_s))
+    return _json_response(
+        status,
+        {"status": status, "code": code, "message": message, "error": message},
+        headers or None,
+    )
 
 
 def _parse_float(params: Dict[str, str], name: str) -> Optional[float]:
@@ -155,7 +200,7 @@ class TileServer:
         try:
             payload = await self._handle_request(reader)
         except Exception:  # last-ditch guard: never kill the acceptor loop
-            payload = _error_response(500, "internal error")
+            payload = _error_response(500, "internal", "internal error")
         try:
             writer.write(payload)
             await writer.drain()
@@ -178,18 +223,22 @@ class TileServer:
                 reader.readuntil(b"\r\n\r\n"), timeout=10.0
             )
         except (asyncio.IncompleteReadError, asyncio.TimeoutError):
-            return _error_response(400, "malformed request")
+            return _error_response(400, "malformed_request", "malformed request")
         except asyncio.LimitOverrunError:
-            return _error_response(400, "request too large")
+            return _error_response(400, "request_too_large", "request too large")
         if len(head) > _MAX_REQUEST_BYTES:
-            return _error_response(400, "request too large")
+            return _error_response(400, "request_too_large", "request too large")
         request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
         parts = request_line.split()
         if len(parts) != 3:
-            return _error_response(400, "malformed request line")
+            return _error_response(
+                400, "malformed_request", "malformed request line"
+            )
         verb, target, _version = parts
         if verb != "GET":
-            return _error_response(405, f"method {verb} not allowed")
+            return _error_response(
+                405, "method_not_allowed", f"method {verb} not allowed"
+            )
         parsed = urllib.parse.urlsplit(target)
         path = urllib.parse.unquote(parsed.path)
         params = dict(urllib.parse.parse_qsl(parsed.query))
@@ -198,12 +247,18 @@ class TileServer:
     async def _route(self, path: str, params: Dict[str, str]) -> bytes:
         if path == "/healthz":
             return _json_response(200, {"status": "ok"})
+        if path == "/readyz":
+            if self.service.draining:
+                return _error_response(
+                    503, "draining", "service is draining for shutdown"
+                )
+            return _json_response(200, {"status": "ready"})
         if path == "/stats":
             return _json_response(200, self.service.stats())
         match = _TILE_PATH.match(path)
         if match is not None:
             return await self._tile(match, params)
-        return _error_response(404, f"no route for {path!r}")
+        return _error_response(404, "no_route", f"no route for {path!r}")
 
     async def _tile(self, match: "re.Match[str]", params: Dict[str, str]) -> bytes:
         service = self.service
@@ -223,9 +278,17 @@ class TileServer:
                 **options,
             )
         except DatasetNotFoundError as error:
-            return _error_response(404, str(error.args[0] if error.args else error))
+            return _error_response(
+                404,
+                "dataset_not_found",
+                str(error.args[0] if error.args else error),
+            )
         except (InvalidParameterError, UnknownNameError, ValueError) as error:
-            return _error_response(400, str(error.args[0] if error.args else error))
+            return _error_response(
+                400,
+                "invalid_parameter",
+                str(error.args[0] if error.args else error),
+            )
 
         service.metrics.counter("tiles.requests").add(1)
         data = service.cached_png(plan)
@@ -234,37 +297,95 @@ class TileServer:
             return self._png_response(data, plan.png_key[2], "hit")
 
         if not service.try_acquire_slot():
-            return _error_response(503, "render queue full", **{"Retry-After": "1"})
+            # Degrade-don't-fail: a full queue (or a draining service)
+            # serves the last known-good bytes when it has them — the
+            # stale lookup is a dictionary read, safe on the event loop.
+            stale = service.stale_png(plan)
+            if stale is not None:
+                service.metrics.counter("tiles.stale_served").add(1)
+                service.metrics.counter("tiles.degraded_served").add(1)
+                return self._png_response(
+                    stale, plan.png_key[2], "stale",
+                    degraded=("stale", "overloaded"),
+                )
+            if service.draining:
+                return _error_response(
+                    503, "draining", "service is draining for shutdown"
+                )
+            return _error_response(503, "overloaded", "render queue full")
         loop = asyncio.get_running_loop()
         try:
-            data = await loop.run_in_executor(
-                service.pool, functools.partial(service.render_tile, plan)
+            data, info = await loop.run_in_executor(
+                service.pool, functools.partial(service.serve_tile, plan)
             )
-        except DeadlineExceededError as error:
-            return _error_response(504, str(error.args[0] if error.args else error))
+        except DeadlineExceededError:
+            return _error_response(
+                504,
+                "deadline_exceeded",
+                "tile render exceeded its deadline; retry later",
+            )
+        except CircuitOpenError as error:
+            return _error_response(
+                503,
+                "circuit_open",
+                str(error.args[0] if error.args else error),
+            )
+        except WorkerPoolBrokenError:
+            return _error_response(
+                503,
+                "worker_pool_broken",
+                "render worker pool is rebuilding; retry shortly",
+            )
         except ServiceOverloadedError as error:
             return _error_response(
-                503, str(error.args[0] if error.args else error), **{"Retry-After": "1"}
+                503, "overloaded", str(error.args[0] if error.args else error)
             )
         except (InvalidParameterError, UnknownNameError) as error:
-            return _error_response(400, str(error.args[0] if error.args else error))
-        except ReproError as error:
-            return _error_response(500, str(error.args[0] if error.args else error))
+            return _error_response(
+                400,
+                "invalid_parameter",
+                str(error.args[0] if error.args else error),
+            )
+        except ReproError:
+            return _error_response(
+                500, "render_failed", "tile render failed; see server logs"
+            )
+        except Exception:
+            return _error_response(500, "internal", "internal error")
         finally:
             service.release_slot()
-        return self._png_response(data, plan.png_key[2], "miss")
-
-    def _png_response(self, data: bytes, fingerprint: str, disposition: str) -> bytes:
-        return _response(
-            200,
-            data,
-            "image/png",
-            {
-                "X-Cache": disposition,
-                "X-Fingerprint": fingerprint,
-                "Cache-Control": "public, max-age=60",
-            },
+        degraded = None
+        if info.get("degraded"):
+            degraded = (str(info["degraded"]), str(info.get("degrade_reason", "")))
+        return self._png_response(
+            data, plan.png_key[2], "miss", degraded=degraded
         )
+
+    def _png_response(
+        self,
+        data: bytes,
+        fingerprint: str,
+        disposition: str,
+        degraded: Optional[tuple] = None,
+    ) -> bytes:
+        headers = {
+            "X-Cache": disposition,
+            "X-Fingerprint": fingerprint,
+            "Cache-Control": "public, max-age=60",
+        }
+        if degraded is not None:
+            mode, reason = degraded
+            headers["X-Repro-Degraded"] = f"{mode};{reason}" if reason else mode
+            headers["Warning"] = (
+                '110 - "response is stale"'
+                if mode == "stale"
+                else '214 - "partial render"'
+            )
+            # A stop-gap tile must never be cached as fresh — not by
+            # this server (serve_tile already guarantees that) and not
+            # by any intermediary either.
+            headers["Cache-Control"] = "no-store"
+        return _response(200, data, "image/png", headers)
 
 
 def run_server(

@@ -269,6 +269,30 @@ class DatasetEntry:
             for tier in self._coreset_tiers.values():
                 _close_renderer_methods(tier.renderer)
 
+    def executor_health(self) -> List[Dict[str, Any]]:
+        """Health snapshots of every cached process pool (for ``/stats``).
+
+        Walks the fitted methods of the exact renderer and every coreset
+        tier renderer (deduplicated — tiers share renderers when their
+        coresets converge) and collects each method's
+        :meth:`~repro.methods.base.IndexedMethod.executor_health`.
+        """
+        with self._lock:
+            renderers = [self.renderer] + [
+                tier.renderer for tier in self._coreset_tiers.values()
+            ]
+        reports: List[Dict[str, Any]] = []
+        seen: set[int] = set()
+        for renderer in renderers:
+            if id(renderer) in seen:
+                continue
+            seen.add(id(renderer))
+            for fitted in renderer._methods.values():
+                health = getattr(fitted, "executor_health", None)
+                if health is not None:
+                    reports.extend(health())
+        return reports
+
     def as_dict(self) -> Dict[str, Any]:
         """Entry snapshot for ``/stats``."""
         with self._lock:

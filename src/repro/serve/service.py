@@ -23,6 +23,18 @@ and tests drive it directly. One tile request flows through:
 4. **Backpressure** — admission control is a counting semaphore over
    render slots (:meth:`try_acquire_slot`); when the bounded queue is
    full the HTTP layer answers 503 instead of stacking work.
+5. **Degrade-don't-fail** — :meth:`TileService.serve_tile` wraps the
+   strict render in the overload policy: a per-dataset
+   :class:`~repro.resilience.supervisor.CircuitBreaker` rejects
+   requests against a dataset that keeps failing *before* they burn a
+   worker slot; a tripped deadline serves the anytime render's partial
+   envelope (when one exists); a failed render falls back to the last
+   known-good bytes from the **stale cache** (a small LRU the fresh
+   path refreshes on every successful render, keyed *without* the
+   dataset version so it survives invalidation — that is its entire
+   point). Degraded bytes are never written into the fresh cache and
+   every degraded response is explicitly marked, so clients can always
+   tell a stop-gap tile from a real one.
 
 Every cache event and request/render latency is mirrored into a
 :class:`~repro.obs.metrics.MetricsRegistry` exposed at ``/stats``.
@@ -47,17 +59,22 @@ from repro.cache.tiles import TileCache, TileKey, partial_fingerprint
 from repro.core import stopping
 from repro.core.exact import exact_density
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     InvalidParameterError,
     ServiceOverloadedError,
+    UnknownNameError,
+    UnsupportedKernelError,
+    UnsupportedOperationError,
 )
 from repro.methods.base import IndexedMethod
 from repro.obs.metrics import DEFAULT_SECONDS_BOUNDS, MetricsRegistry
 from repro.resilience.budget import STOP_TILE_FAILURES, Budget
 from repro.resilience.retry import TransientTileError
+from repro.resilience.supervisor import CircuitBreaker
 from repro.serve.registry import DatasetEntry, DatasetRegistry
 from repro.serve.tiles import DEFAULT_TILE_PX, tile_grid, validate_tile
-from repro.utils.cache import SingleFlight
+from repro.utils.cache import LRUCache, SingleFlight
 from repro.visual.colormap import get_colormap, two_color_map
 from repro.visual.image import png_bytes
 from repro.visual.request import OP_EPS, OP_TAU, RenderOptions, RenderRequest
@@ -91,6 +108,14 @@ class ServiceConfig:
     selects the compute backend (``None`` defers to ``REPRO_BACKEND``).
     Cache keys are unaffected — every executor/backend combination
     produces bit-identical tile bytes.
+
+    The degrade-don't-fail knobs: ``degraded_serving`` turns the whole
+    overload policy on/off (off restores strict raise semantics
+    everywhere); ``stale_cache_bytes`` / ``stale_ttl_s`` bound the
+    last-known-good tile store; ``breaker_threshold`` /
+    ``breaker_reset_s`` parameterise the per-dataset circuit breakers;
+    ``drain_s`` bounds how long :meth:`TileService.close` waits for
+    in-flight requests before shutting the pools down.
     """
 
     tile_px: int = DEFAULT_TILE_PX
@@ -107,6 +132,12 @@ class ServiceConfig:
     png_cache_bytes: int = 64 * 1024 * 1024
     aux_cache_bytes: int = 64 * 1024 * 1024
     cache_ttl_s: Optional[float] = None
+    degraded_serving: bool = True
+    stale_cache_bytes: int = 16 * 1024 * 1024
+    stale_ttl_s: Optional[float] = 300.0
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    drain_s: float = 5.0
 
     def __post_init__(self) -> None:
         if int(self.tile_px) < 1:
@@ -124,6 +155,26 @@ class ServiceConfig:
         if int(self.queue_limit) < 1:
             raise InvalidParameterError(
                 f"queue_limit must be >= 1, got {self.queue_limit!r}"
+            )
+        if int(self.stale_cache_bytes) < 1:
+            raise InvalidParameterError(
+                f"stale_cache_bytes must be >= 1, got {self.stale_cache_bytes!r}"
+            )
+        if self.stale_ttl_s is not None and not float(self.stale_ttl_s) > 0.0:
+            raise InvalidParameterError(
+                f"stale_ttl_s must be > 0 (or None), got {self.stale_ttl_s!r}"
+            )
+        if int(self.breaker_threshold) < 1:
+            raise InvalidParameterError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold!r}"
+            )
+        if not float(self.breaker_reset_s) >= 0.0:
+            raise InvalidParameterError(
+                f"breaker_reset_s must be >= 0, got {self.breaker_reset_s!r}"
+            )
+        if not float(self.drain_s) >= 0.0:
+            raise InvalidParameterError(
+                f"drain_s must be >= 0, got {self.drain_s!r}"
             )
 
 
@@ -150,6 +201,7 @@ class TilePlan:
     png_key: TileKey = field(init=False)
     density_key: TileKey = field(init=False)
     bounds_key: TileKey = field(init=False)
+    stale_key: TileKey = field(init=False)
 
     def __post_init__(self) -> None:
         dataset_id = self.entry.dataset_id
@@ -159,6 +211,21 @@ class TilePlan:
             dataset_id,
             "png",
             self.resolved.fingerprint(extra={**base_extra, "colormap": self.colormap}),
+        )
+        # Deliberately keyed on the *unversioned* dataset id: the stale
+        # cache exists to answer "what did this tile look like the last
+        # time a render succeeded", and that answer must survive the
+        # version bump that invalidates every fresh cache level.
+        self.stale_key = (
+            dataset_id,
+            "stale",
+            self.resolved.fingerprint(
+                extra={
+                    "dataset": dataset_id,
+                    "tile": [z, x, y],
+                    "colormap": self.colormap,
+                }
+            ),
         )
         self.density_key = (
             dataset_id,
@@ -222,6 +289,13 @@ class TileService:
         self._active_lock = threading.Lock()
         self._vmax: Dict[str, float] = {}
         self._vmax_lock = threading.Lock()
+        self._stale: LRUCache[TileKey, bytes] = LRUCache(
+            max_bytes=int(self.config.stale_cache_bytes),
+            ttl_s=self.config.stale_ttl_s,
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        self._closing = False
         self.pool = ThreadPoolExecutor(
             max_workers=int(self.config.workers), thread_name_prefix="repro-tile"
         )
@@ -230,7 +304,15 @@ class TileService:
     # -- backpressure -------------------------------------------------------
 
     def try_acquire_slot(self) -> bool:
-        """Claim a render slot; ``False`` means the queue is full (503)."""
+        """Claim a render slot; ``False`` means the queue is full (503).
+
+        A draining service (:meth:`close` in progress) admits nothing
+        new — in-flight requests finish, fresh ones are rejected so the
+        shutdown converges.
+        """
+        if self._closing:
+            self.metrics.counter("tiles.rejected").add(1)
+            return False
         acquired = self._slots.acquire(blocking=False)
         if acquired:
             with self._active_lock:
@@ -257,6 +339,11 @@ class TileService:
         """Render slots currently claimed."""
         with self._active_lock:
             return self._active
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`close` has begun (``/readyz`` answers 503)."""
+        return self._closing
 
     # -- planning -----------------------------------------------------------
 
@@ -356,11 +443,112 @@ class TileService:
         return self.cache.get_png(plan.png_key)
 
     def render_tile(self, plan: TilePlan) -> bytes:
-        """Render (or join the in-flight render of) one planned tile."""
+        """Render (or join the in-flight render of) one planned tile.
+
+        The strict path: a failure raises (no degrade ladder) — callers
+        wanting the overload policy go through :meth:`serve_tile`.
+        """
         data, leader = self._flight.do(plan.png_key, lambda: self._render_uncached(plan))
         if not leader:
             self.metrics.counter("tiles.shared").add(1)
         return data
+
+    def serve_tile(self, plan: TilePlan) -> Tuple[bytes, Dict[str, Any]]:
+        """Render one tile under the degrade-don't-fail overload policy.
+
+        Returns ``(png, degrade_info)`` where ``degrade_info`` is
+        ``{"degraded": None}`` for a full-quality tile, or carries the
+        degradation mode (``"partial"`` / ``"stale"``) and its reason.
+        The ladder, in order:
+
+        1. The dataset's circuit breaker gets a veto *before* any render
+           work; while open, a stale tile is served when one exists,
+           else :class:`~repro.errors.CircuitOpenError` (503).
+        2. The strict render runs. Success refreshes the stale cache
+           and returns fresh bytes.
+        3. A tripped deadline serves the anytime render's best-so-far
+           envelope (attached to the error as ``partial_values``) when
+           one exists — encoded on the fly, **never** written to the
+           fresh cache — else a stale tile, else the error propagates
+           (504).
+        4. Any other render failure tries the stale cache before
+           propagating.
+
+        With ``degraded_serving=False`` every rung collapses to the
+        strict raise semantics (the breaker still counts and vetoes).
+        """
+        breaker = self._breaker(plan.entry.dataset_id)
+        if not breaker.allow():
+            stale = self.stale_png(plan)
+            if stale is not None:
+                return stale, self._degraded_info("stale", "circuit_open")
+            raise CircuitOpenError(
+                f"dataset {plan.entry.dataset_id!r} breaker is open after "
+                f"repeated render failures; retry in "
+                f"{breaker.retry_after_s():.1f}s"
+            )
+        try:
+            data = self.render_tile(plan)
+        except DeadlineExceededError as error:
+            if self.config.degraded_serving and error.partial_values is not None:
+                values = np.asarray(error.partial_values)
+                partial = self._encode(plan, values)
+                self.metrics.counter("tiles.partial_served").add(1)
+                info = self._degraded_info("partial", "deadline")
+                info["pixels_resolved"] = error.pixels_resolved
+                info["pixels_total"] = error.pixels_total
+                return partial, info
+            stale = self.stale_png(plan)
+            if stale is not None:
+                return stale, self._degraded_info("stale", "deadline")
+            raise
+        except (InvalidParameterError, UnknownNameError, UnsupportedKernelError,
+                UnsupportedOperationError):
+            # Client errors: no degrade (the request itself is wrong).
+            raise
+        except Exception:
+            stale = self.stale_png(plan)
+            if stale is not None:
+                return stale, self._degraded_info("stale", "render_failed")
+            raise
+        if self.config.degraded_serving:
+            self._stale.put(plan.stale_key, data, size_bytes=len(data))
+        return data, {"degraded": None}
+
+    def stale_png(self, plan: TilePlan) -> Optional[bytes]:
+        """The tile's last known-good bytes, or ``None``.
+
+        Only consulted on the degrade ladder (and by the HTTP layer's
+        queue-full fallback); returns nothing when ``degraded_serving``
+        is off.
+        """
+        if not self.config.degraded_serving:
+            return None
+        return self._stale.get(plan.stale_key)
+
+    def _degraded_info(self, mode: str, reason: str) -> Dict[str, Any]:
+        self.metrics.counter("tiles.degraded_served").add(1)
+        if mode == "stale":
+            self.metrics.counter("tiles.stale_served").add(1)
+        return {"degraded": mode, "degrade_reason": reason}
+
+    def _breaker(self, dataset_id: str) -> CircuitBreaker:
+        """The dataset's circuit breaker (created on first use)."""
+        with self._breakers_lock:
+            breaker = self._breakers.get(dataset_id)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=int(self.config.breaker_threshold),
+                    reset_timeout_s=float(self.config.breaker_reset_s),
+                    on_transition=self._on_breaker_transition,
+                )
+                self._breakers[dataset_id] = breaker
+            return breaker
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.metrics.counter(
+            f"breaker.to_{new.replace('-', '_')}"
+        ).add(1)
 
     def get_tile(
         self, dataset: str, z: int, x: int, y: int, **params: Any
@@ -370,21 +558,24 @@ class TileService:
         The synchronous convenience the HTTP layer mirrors (it splits
         the same steps across the event loop and worker pool). ``info``
         carries the cache disposition (``"hit"`` / ``"miss"``), the
-        versioned dataset id and the request fingerprint.
+        versioned dataset id, the request fingerprint, and — under the
+        overload policy — the degradation marker (``info["degraded"]``
+        is ``None`` for full-quality tiles).
         """
         start = time.perf_counter()
         self.metrics.counter("tiles.requests").add(1)
         plan = self.plan_tile(dataset, z, x, y, **params)
+        degrade_info: Dict[str, Any] = {"degraded": None}
         data = self.cached_png(plan)
         if data is not None:
             disposition = "hit"
             self.metrics.counter("tiles.l1_hits").add(1)
         else:
             disposition = "miss"
-            data = self.render_tile(plan)
+            data, degrade_info = self.serve_tile(plan)
         elapsed = time.perf_counter() - start
         self.metrics.histogram("tiles.request_s", DEFAULT_SECONDS_BOUNDS).observe(elapsed)
-        return data, {
+        info = {
             "cache": disposition,
             "dataset": plan.versioned_id,
             "tile": list(plan.tile),
@@ -393,22 +584,40 @@ class TileService:
             "fingerprint": plan.png_key[2],
             "elapsed_s": elapsed,
         }
+        info.update(degrade_info)
+        return data, info
 
     # -- rendering internals -------------------------------------------------
 
     def _render_uncached(self, plan: TilePlan) -> bytes:
-        """Single-flight leader body: L2 levels, render, encode, fill L1."""
+        """Single-flight leader body: L2 levels, render, encode, fill L1.
+
+        Also the circuit-breaker sampling point: exactly one
+        success/failure is recorded per *actual* render, so a
+        thundering herd that shares a failed flight does not multiply
+        one failure into a tripped breaker. Client errors and tripped
+        deadlines are excluded — the former say nothing about the
+        dataset's health, the latter have their own degrade path.
+        """
         # Re-check L1: a previous flight may have landed between the
         # caller's lookup and this leader starting.
         data = self.cache.get_png(plan.png_key)
         if data is not None:
             return data
         start = time.perf_counter()
-        values = self.cache.get_density(plan.density_key)
-        if values is None:
-            values = self._compute_values(plan)
-            self.cache.put_density(plan.density_key, values)
-        data = self._encode(plan, values)
+        try:
+            values = self.cache.get_density(plan.density_key)
+            if values is None:
+                values = self._compute_values(plan)
+                self.cache.put_density(plan.density_key, values)
+            data = self._encode(plan, values)
+        except (DeadlineExceededError, InvalidParameterError, UnknownNameError,
+                UnsupportedKernelError, UnsupportedOperationError):
+            raise
+        except Exception:
+            self._breaker(plan.entry.dataset_id).record_failure()
+            raise
+        self._breaker(plan.entry.dataset_id).record_success()
         self.cache.put_png(plan.png_key, data)
         self.metrics.counter("tiles.renders").add(1)
         self.metrics.histogram("tiles.render_s", DEFAULT_SECONDS_BOUNDS).observe(
@@ -487,7 +696,14 @@ class TileService:
                 f"tile {plan.tile} exceeded its deadline "
                 f"({plan.deadline_ms} ms): stopped on {degraded.reason!r} with "
                 f"{degraded.pixels_resolved}/{degraded.pixels_total} pixels "
-                "resolved; partial tiles are never served or cached"
+                "resolved; partial tiles are never cached as fresh",
+                # The anytime render's best-so-far image (envelope
+                # midpoints / conservative tau mask) rides on the error
+                # so the degrade ladder can serve it without paying for
+                # a second render.
+                partial_values=np.asarray(outcome.image),  # type: ignore[union-attr]
+                pixels_resolved=degraded.pixels_resolved,
+                pixels_total=degraded.pixels_total,
             )
         return np.asarray(outcome.image)  # type: ignore[union-attr]
 
@@ -554,7 +770,13 @@ class TileService:
         return count
 
     def invalidate_dataset(self, dataset_id: str) -> int:
-        """Drop every cache level for one dataset id."""
+        """Drop every fresh cache level for one dataset id.
+
+        The stale cache is deliberately left alone: its entries are the
+        degrade ladder's last-known-good fallback, and surviving the
+        version bump is their purpose (they are already marked degraded
+        whenever served, and TTL-bounded).
+        """
         dropped = self.cache.invalidate_dataset(dataset_id)
         self.metrics.counter("tiles.invalidations").add(1)
         with self._vmax_lock:
@@ -567,6 +789,24 @@ class TileService:
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: datasets, cache levels, metrics, load."""
+        with self._breakers_lock:
+            breakers = {
+                dataset_id: breaker.as_dict()
+                for dataset_id, breaker in sorted(self._breakers.items())
+            }
+        pools: list[Dict[str, Any]] = []
+        from repro.errors import DatasetNotFoundError
+        from repro.visual.executors import pool_supervision_totals
+
+        totals = pool_supervision_totals()
+
+        for dataset_id in self.registry.ids():
+            try:
+                pools.extend(self.registry.get(dataset_id).executor_health())
+            # lint: allow-silent-except -- a concurrent remove() pulled
+            # the entry mid-walk; its pools are being torn down anyway.
+            except DatasetNotFoundError:
+                pass
         return {
             "uptime_s": time.time() - self.started_at,
             "datasets": self.registry.as_dict(),
@@ -576,6 +816,21 @@ class TileService:
                 "active_requests": self.active_requests,
                 "queue_limit": int(self.config.queue_limit),
                 "in_flight_renders": self._flight.in_flight(),
+            },
+            "resilience": {
+                "draining": self._closing,
+                "degraded_serving": bool(self.config.degraded_serving),
+                "breakers": breakers,
+                "pools": pools,
+                # Live pools only count their own lifetime; the process
+                # totals survive executor replacement after a rebuild
+                # budget exhaustion.
+                "pool_breaks": totals["breaks"],
+                "pool_rebuilds": totals["rebuilds"],
+                "stale_cache": {
+                    "entries": len(self._stale),
+                    "bytes": self._stale.current_bytes,
+                },
             },
             "config": {
                 "tile_px": int(self.config.tile_px),
@@ -596,7 +851,22 @@ class TileService:
         }
 
     def close(self) -> None:
-        """Shut down the worker pool and per-method render pools (idempotent)."""
+        """Drain in-flight requests, then shut every pool down (idempotent).
+
+        Graceful: the service first flips into *draining* (new slot
+        acquisitions are rejected, ``/readyz`` answers 503), then waits
+        up to ``config.drain_s`` for active requests and in-flight
+        renders to finish before shutting down the worker pool and the
+        per-method render pools. A request racing :meth:`close` either
+        completes normally or is rejected up-front — it is never cut
+        mid-render by the shutdown.
+        """
+        self._closing = True
+        deadline = time.monotonic() + max(0.0, float(self.config.drain_s))
+        while time.monotonic() < deadline:
+            if self.active_requests == 0 and self._flight.in_flight() == 0:
+                break
+            time.sleep(0.01)
         self.pool.shutdown(wait=True, cancel_futures=True)
         from repro.errors import DatasetNotFoundError
 

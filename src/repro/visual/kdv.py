@@ -928,17 +928,21 @@ class KDVRenderer:
         store: Callable[[int, IntArray, FloatArray, FloatArray], None],
         tile_complete: Callable[[FloatArray, FloatArray], bool],
         worker_stats: list[QueryStats],
+        faults: FaultPlan | None = None,
     ) -> Any:
         """Anytime tile drain over the method's process pool.
 
         The process-executor counterpart of
-        :func:`repro.resilience.runner.run_tiles` for the (no faults, no
-        retry) configuration: tiles drain from the pool's shared queue,
+        :func:`repro.resilience.runner.run_tiles` for the (no retry)
+        configuration: tiles drain from the pool's shared queue,
         envelopes stream back through ``store`` as they complete, and
         the parent token's latch (deadline, kernel budget, Ctrl-C)
         propagates to the workers through the shared cancellation slot —
         cut-short tiles land as *partial* with valid best-so-far
-        ``(LB, UB)``, never as failures. Returns the same
+        ``(LB, UB)``, never as failures. ``faults`` (the process-level
+        half of a fault plan) executes inside the workers; a worker a
+        fault kills triggers the executor's supervised pool
+        rebuild-and-replay. Returns the same
         :class:`~repro.resilience.runner.TileRunReport` shape the thread
         runner produces, so degradation metadata is uniform.
         """
@@ -960,7 +964,7 @@ class KDVRenderer:
 
         outcome = pool.run(
             jobs, op=op, params=params, bounds=True, token=token,
-            tracer=tracer, on_result=on_result,
+            tracer=tracer, on_result=on_result, faults=faults,
         )
         worker_stats.append(outcome.stats)
         if outcome.keyboard_interrupt and tracer is not None:
@@ -1148,11 +1152,23 @@ class KDVRenderer:
             return fitted.make_batch_engine(stats, backend=backend)
 
         use_process = executor == "process" and n_workers is not None
+        process_faults: FaultPlan | None = None
+        if use_process and injector is not None and retry is None:
+            # Process-level fault kinds (worker_kill / pool_break /
+            # slow_response) execute *inside* worker processes, so a
+            # plan made only of those stays on the process path — that
+            # is what lets CI chaos-test the supervised pool for real.
+            proc_plan, thread_plan = injector.plan.partition_process()
+            if thread_plan.empty:
+                process_faults = None if proc_plan.empty else proc_plan
+                injector = None
         if use_process and (injector is not None or retry is not None):
             warnings.warn(
-                "faults/retry are features of the thread tile runner; "
-                "executor='process' falls back to thread workers for this "
-                "render",
+                "thread-level faults/retry are features of the thread tile "
+                "runner; executor='process' falls back to thread workers "
+                "for this render (process-level fault kinds alone — "
+                "worker_kill/pool_break/slow_response — keep the process "
+                "path)",
                 RuntimeWarning,
                 stacklevel=4,
             )
@@ -1169,7 +1185,7 @@ class KDVRenderer:
                     fitted, tile_list, centers, op, params, skip=skip,
                     workers=n_workers, backend=backend, token=token,
                     tracer=tracer, store=store, tile_complete=tile_complete,
-                    worker_stats=worker_stats,
+                    worker_stats=worker_stats, faults=process_faults,
                 )
             else:
                 report = run_tiles(

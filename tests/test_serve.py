@@ -271,9 +271,18 @@ class TestTileService:
         stats = service.stats()
         assert set(stats) == {
             "uptime_s", "datasets", "cache", "metrics", "load", "config",
+            "resilience",
         }
         assert "crime" in stats["datasets"]
         assert stats["load"]["queue_limit"] == 32
+        resilience = stats["resilience"]
+        assert resilience["draining"] is False
+        assert resilience["degraded_serving"] is True
+        assert isinstance(resilience["breakers"], dict)
+        # Process-lifetime counters: other tests in this process may have
+        # broken pools on purpose, so only assert shape and sanity.
+        assert resilience["pool_breaks"] >= 0
+        assert resilience["pool_rebuilds"] >= 0
         json.dumps(stats)  # must be JSON-serialisable for /stats
 
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""CI smoke test for the tile server: cache effectiveness + byte identity.
+"""CI smoke tests for the tile server.
 
-Starts the real asyncio server on an ephemeral port, requests a 2x2
-pyramid (z=0 plus the four z=1 tiles) twice over HTTP, and asserts:
+Default mode — cache effectiveness + byte identity. Starts the real
+asyncio server on an ephemeral port, requests a 2x2 pyramid (z=0 plus
+the four z=1 tiles) twice over HTTP, and asserts:
 
 * every response is a valid PNG with status 200;
 * the second pass is served from cache (>= 90% X-Cache: hit);
@@ -11,20 +12,36 @@ pyramid (z=0 plus the four z=1 tiles) twice over HTTP, and asserts:
   (the multi-level cache actually short-circuits the render);
 * the /stats counters agree with what was observed on the wire.
 
+``--chaos`` mode — self-healing under worker loss. Boots the service
+with a supervised process pool, renders a fault-free baseline, then
+injects deterministic ``worker_kill`` faults via ``REPRO_FAULTS`` while
+firing bursts of tile requests, and asserts:
+
+* every chaos-phase response is well-formed: a PNG 200 or a structured
+  JSON error carrying a stable ``code`` field (no hangs, no half-written
+  bodies);
+* degraded 200s carry ``X-Repro-Degraded`` + ``Cache-Control: no-store``;
+* the pool actually broke and was rebuilt (``resilience.pool_breaks`` and
+  ``resilience.pool_rebuilds`` >= 1 in ``/stats``);
+* after the faults are cleared, tiles render fresh again and are
+  bit-identical to the fault-free baseline.
+
 Exits 0 on success, 1 on any violated expectation. Run as::
 
-    PYTHONPATH=src python tools/serve_smoke.py
+    PYTHONPATH=src python tools/serve_smoke.py [--chaos]
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
+import os
 import sys
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["main"]
 
@@ -35,6 +52,17 @@ MIN_SPEEDUP = 10.0
 DATASET = "crime"
 N_POINTS = 8_000
 TILE_PX = 256
+
+# Chaos mode: smaller tiles keep the render (and its replay rounds)
+# fast. The kill rate is paired with a scanned seed whose roll provably
+# fires for batch index 0 at attempt 1, so every fresh render breaks the
+# pool at least once — deterministically, not probabilistically.
+CHAOS_TILE_PX = 128
+CHAOS_N_POINTS = 4_000
+CHAOS_KILL_RATE = 0.3
+CHAOS_ROUNDS = 2
+RECOVERY_ATTEMPTS = 40
+RECOVERY_SLEEP_S = 0.25
 
 
 def _fetch(url: str) -> Tuple[int, Dict[str, str], bytes]:
@@ -50,7 +78,7 @@ def _fail(message: str) -> None:
     raise SystemExit(1)
 
 
-async def _run() -> None:
+async def _run_cache() -> None:
     from repro.data.synthetic import load_dataset
     from repro.serve import ServiceConfig, TileServer, TileService
 
@@ -119,9 +147,161 @@ async def _run() -> None:
     print("serve_smoke: OK")
 
 
-def main() -> int:
+def _check_wellformed(
+    label: str, tile: Tuple[int, int, int], status: int, headers: Dict[str, str], body: bytes
+) -> None:
+    """Every on-the-wire response must be a PNG 200 or a structured error."""
+    z, x, y = tile
+    if status == 200:
+        if not body.startswith(PNG_SIGNATURE):
+            _fail(f"{label}: tile {z}/{x}/{y} returned 200 but body is not a PNG")
+        if headers.get("X-Repro-Degraded"):
+            if headers.get("Cache-Control") != "no-store":
+                _fail(f"{label}: degraded tile {z}/{x}/{y} missing Cache-Control: no-store")
+            if "Warning" not in headers:
+                _fail(f"{label}: degraded tile {z}/{x}/{y} missing Warning header")
+        return
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        _fail(f"{label}: tile {z}/{x}/{y} status {status} body is not JSON: {body[:120]!r}")
+        return
+    for field in ("status", "code", "message"):
+        if field not in payload:
+            _fail(f"{label}: tile {z}/{x}/{y} error JSON missing {field!r}: {payload!r}")
+    if status in (503, 504) and "Retry-After" not in headers:
+        _fail(f"{label}: tile {z}/{x}/{y} status {status} missing Retry-After header")
+
+
+async def _run_chaos() -> None:
+    from repro.data.synthetic import load_dataset
+    from repro.serve import ServiceConfig, TileServer, TileService
+    from repro.visual.executors import pool_supervision_totals
+
+    os.environ.pop("REPRO_FAULTS", None)
+    service = TileService(
+        config=ServiceConfig(
+            tile_px=CHAOS_TILE_PX,
+            eps=0.05,
+            workers=4,
+            render_workers=2,
+            executor="process",
+            breaker_reset_s=0.5,
+        )
+    )
+    service.registry.register(DATASET, load_dataset(DATASET, n=CHAOS_N_POINTS, seed=0))
+    server = await TileServer(service, port=0).start()
+    loop = asyncio.get_running_loop()
+    print(f"serve_smoke[chaos]: server on {server.url}, dataset {DATASET} n={CHAOS_N_POINTS}")
+
+    def url_for(tile: Tuple[int, int, int]) -> str:
+        z, x, y = tile
+        return f"{server.url}/tile/{DATASET}/{z}/{x}/{y}.png"
+
+    async def fetch(tile: Tuple[int, int, int]) -> Tuple[int, Dict[str, str], bytes]:
+        return await loop.run_in_executor(None, _fetch, url_for(tile))
+
+    try:
+        status, _, body = await loop.run_in_executor(None, _fetch, f"{server.url}/readyz")
+        if status != 200:
+            _fail(f"/readyz returned {status} on a healthy service: {body[:120]!r}")
+
+        # Phase 1: fault-free baseline, records the ground-truth bytes.
+        baseline: Dict[Tuple[int, int, int], bytes] = {}
+        for tile in TILES:
+            status, headers, body = await fetch(tile)
+            _check_wellformed("baseline", tile, status, headers, body)
+            if status != 200:
+                _fail(f"baseline: tile {tile} returned {status}")
+            if headers.get("X-Repro-Degraded"):
+                _fail(f"baseline: tile {tile} unexpectedly degraded")
+            baseline[tile] = body
+        print(f"serve_smoke[chaos]: baseline rendered {len(baseline)} tiles")
+
+        # Phase 2: worker-kill chaos. The fault rolls are deterministic
+        # (pure functions of seed + batch index + attempt), so scan for
+        # a seed whose roll fires for batch index 0 on the first attempt
+        # — every fresh render then provably kills a worker at least
+        # once, and the replay rounds (attempt 2, 3, ...) roll anew.
+        from repro.resilience.faults import FAULT_WORKER_KILL, fault_fires
+
+        seed = next(
+            s for s in range(1000)
+            if fault_fires(s, FAULT_WORKER_KILL, 0, 1, CHAOS_KILL_RATE)
+        )
+        breaks_before = pool_supervision_totals()["breaks"]
+        degraded_seen = 0
+        error_seen = 0
+        os.environ["REPRO_FAULTS"] = f"worker_kill:{CHAOS_KILL_RATE},seed:{seed}"
+        for _ in range(CHAOS_ROUNDS):
+            service.invalidate_dataset(DATASET)  # force real renders
+            results = await asyncio.gather(*(fetch(tile) for tile in TILES))
+            for tile, (status, headers, body) in zip(TILES, results):
+                _check_wellformed("chaos", tile, status, headers, body)
+                if status != 200:
+                    error_seen += 1
+                elif headers.get("X-Repro-Degraded"):
+                    degraded_seen += 1
+        os.environ.pop("REPRO_FAULTS", None)
+
+        totals = pool_supervision_totals()
+        print(
+            f"serve_smoke[chaos]: breaks={totals['breaks']} rebuilds={totals['rebuilds']} "
+            f"degraded_responses={degraded_seen} error_responses={error_seen}"
+        )
+        if totals["breaks"] <= breaks_before:
+            _fail("chaos phase never broke the worker pool (fault injection inert?)")
+        if totals["rebuilds"] < 1:
+            _fail("pool broke but was never rebuilt (supervision inert?)")
+
+        # Phase 3: recovery. With faults cleared, every tile must render
+        # fresh (not degraded) and match the baseline bit for bit.
+        service.invalidate_dataset(DATASET)
+        for tile in TILES:
+            fresh: Optional[bytes] = None
+            for _ in range(RECOVERY_ATTEMPTS):
+                status, headers, body = await fetch(tile)
+                _check_wellformed("recovery", tile, status, headers, body)
+                if status == 200 and not headers.get("X-Repro-Degraded"):
+                    fresh = body
+                    break
+                await asyncio.sleep(RECOVERY_SLEEP_S)
+            if fresh is None:
+                _fail(f"recovery: tile {tile} never served fresh after chaos")
+            if fresh != baseline[tile]:
+                _fail(f"recovery: tile {tile} bytes differ from fault-free baseline")
+        print("serve_smoke[chaos]: post-recovery tiles bit-identical to baseline")
+
+        # Phase 4: the /stats payload exposes what happened.
+        status, _, body = await loop.run_in_executor(None, _fetch, f"{server.url}/stats")
+        if status != 200:
+            _fail(f"/stats returned {status}")
+        resilience = json.loads(body.decode("utf-8")).get("resilience", {})
+        if resilience.get("pool_breaks", 0) < 1:
+            _fail(f"/stats resilience.pool_breaks < 1: {resilience!r}")
+        if resilience.get("pool_rebuilds", 0) < 1:
+            _fail(f"/stats resilience.pool_rebuilds < 1: {resilience!r}")
+        print(
+            "serve_smoke[chaos]: /stats resilience:",
+            json.dumps({k: resilience[k] for k in ("pool_breaks", "pool_rebuilds", "draining")}),
+        )
+    finally:
+        os.environ.pop("REPRO_FAULTS", None)
+        await server.stop()
+        service.close()
+    print("serve_smoke[chaos]: OK")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """Run the smoke scenario; returns the process exit code."""
-    asyncio.run(_run())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the self-healing chaos scenario instead of the cache smoke",
+    )
+    args = parser.parse_args(argv)
+    asyncio.run(_run_chaos() if args.chaos else _run_cache())
     return 0
 
 
