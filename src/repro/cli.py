@@ -188,81 +188,111 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8699)
-    serve.add_argument("--tile-px", type=_positive_int, default=256)
     serve.add_argument("--method", default="quad", choices=available_methods())
-    serve.add_argument(
+
+    # Flag groups mirror the nested ServiceConfig groups one-to-one
+    # (RenderConfig / CacheConfig / ResilienceConfig / ShardingConfig).
+    serve_render = serve.add_argument_group(
+        "render", "what a served tile looks like and how it executes"
+    )
+    serve_render.add_argument("--tile-px", type=_positive_int, default=256)
+    serve_render.add_argument(
         "--eps", type=_positive_float, default=0.05, help="default εKDV tolerance"
     )
-    serve.add_argument(
+    serve_render.add_argument(
         "--tau",
         type=_finite_float,
         default=None,
         help="serve τKDV hotspot masks at this threshold instead of εKDV",
     )
-    serve.add_argument("--colormap", default="density")
-    serve.add_argument(
+    serve_render.add_argument("--colormap", default="density")
+    serve_render.add_argument(
         "--deadline-ms",
         type=_positive_float,
         default=10_000.0,
         help="per-request render deadline",
     )
-    serve.add_argument(
-        "--cache-mb",
-        type=_positive_int,
-        default=64,
-        help="byte budget per cache level (PNG / density / bounds)",
-    )
-    serve.add_argument(
-        "--ttl-s", type=_positive_float, default=None, help="cache entry TTL"
-    )
-    serve.add_argument("--workers", type=_positive_int, default=4)
-    serve.add_argument(
+    serve_render.add_argument("--workers", type=_positive_int, default=4)
+    serve_render.add_argument(
         "--render-workers",
         type=_positive_int,
         default=None,
         help="tile-render worker count per request (default: single-threaded)",
     )
-    serve.add_argument(
+    serve_render.add_argument(
         "--render-executor",
         choices=["thread", "process"],
         default=None,
         help="run tile renders on threads or a supervised process pool",
     )
-    serve.add_argument(
+    serve_render.add_argument(
         "--backend",
         default=None,
         help="compute backend for renders (default: REPRO_BACKEND)",
     )
-    serve.add_argument(
+    serve_render.add_argument("--max-zoom", type=_positive_int, default=18)
+
+    serve_cache = serve.add_argument_group(
+        "cache", "tile cache byte budgets and TTL"
+    )
+    serve_cache.add_argument(
+        "--cache-mb",
+        type=_positive_int,
+        default=64,
+        help="byte budget per cache level (PNG / density / bounds)",
+    )
+    serve_cache.add_argument(
+        "--ttl-s", type=_positive_float, default=None, help="cache entry TTL"
+    )
+
+    serve_resilience = serve.add_argument_group(
+        "resilience", "backpressure, circuit breakers and degraded serving"
+    )
+    serve_resilience.add_argument(
         "--queue-limit",
         type=_positive_int,
         default=32,
         help="max in-flight renders before requests get 503",
     )
-    serve.add_argument("--max-zoom", type=_positive_int, default=18)
-    serve.add_argument(
+    serve_resilience.add_argument(
         "--no-degraded",
         action="store_true",
         help="disable degrade-don't-fail serving (stale/partial tiles); "
         "overload and failures then surface as 503/504/500",
     )
-    serve.add_argument(
+    serve_resilience.add_argument(
         "--breaker-threshold",
         type=_positive_int,
         default=5,
         help="consecutive render failures that open a dataset's circuit breaker",
     )
-    serve.add_argument(
+    serve_resilience.add_argument(
         "--breaker-reset-s",
         type=_positive_float,
         default=30.0,
         help="seconds an open breaker waits before its half-open probe",
     )
-    serve.add_argument(
+    serve_resilience.add_argument(
         "--drain-s",
         type=_positive_float,
         default=5.0,
         help="max seconds to wait for in-flight requests on shutdown",
+    )
+
+    serve_sharding = serve.add_argument_group(
+        "sharding", "spatial scale-out of registered datasets"
+    )
+    serve_sharding.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="spatial shards per dataset (kd-tree partition; 1 = monolithic)",
+    )
+    serve_sharding.add_argument(
+        "--min-points-per-shard",
+        type=_positive_int,
+        default=64,
+        help="clamp the effective shard count so no shard starts smaller",
     )
 
     sub.add_parser("list", help="show registered components")
@@ -425,35 +455,57 @@ def _parse_dataset_spec(spec: str) -> tuple[str, int, int]:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.data.synthetic import load_dataset
-    from repro.serve import ServiceConfig, TileService, run_server
+    from repro.serve import (
+        CacheConfig,
+        RenderConfig,
+        ResilienceConfig,
+        ServiceConfig,
+        ShardingConfig,
+        TileService,
+        run_server,
+    )
 
     megabyte = 1024 * 1024
     config = ServiceConfig(
-        tile_px=args.tile_px,
-        eps=args.eps,
-        tau=args.tau,
-        colormap=args.colormap,
-        deadline_ms=args.deadline_ms,
-        workers=args.workers,
-        render_workers=args.render_workers,
-        executor=args.render_executor,
-        backend=args.backend,
-        queue_limit=args.queue_limit,
-        max_zoom=args.max_zoom,
-        png_cache_bytes=args.cache_mb * megabyte,
-        aux_cache_bytes=args.cache_mb * megabyte,
-        cache_ttl_s=args.ttl_s,
-        degraded_serving=not args.no_degraded,
-        breaker_threshold=args.breaker_threshold,
-        breaker_reset_s=args.breaker_reset_s,
-        drain_s=args.drain_s,
+        render=RenderConfig(
+            tile_px=args.tile_px,
+            eps=args.eps,
+            tau=args.tau,
+            colormap=args.colormap,
+            deadline_ms=args.deadline_ms,
+            workers=args.workers,
+            render_workers=args.render_workers,
+            executor=args.render_executor,
+            backend=args.backend,
+            max_zoom=args.max_zoom,
+        ),
+        cache=CacheConfig(
+            png_bytes=args.cache_mb * megabyte,
+            aux_bytes=args.cache_mb * megabyte,
+            ttl_s=args.ttl_s,
+        ),
+        resilience=ResilienceConfig(
+            queue_limit=args.queue_limit,
+            degraded_serving=not args.no_degraded,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset_s,
+            drain_s=args.drain_s,
+        ),
+        sharding=ShardingConfig(
+            shards=args.shards,
+            min_points_per_shard=args.min_points_per_shard,
+        ),
     )
     service = TileService(config=config)
     for spec in args.dataset or ["crime:10000:0"]:
         name, n, seed = _parse_dataset_spec(spec)
         points = load_dataset(name, n=n, seed=seed)
         service.registry.register(name, points, method=args.method)
-        print(f"repro serve: registered {name!r} (n={n}, seed={seed})")
+        shards = getattr(service.registry.get(name), "shard_count", 1)
+        print(
+            f"repro serve: registered {name!r} (n={n}, seed={seed}, "
+            f"shards={shards})"
+        )
     run_server(service, host=args.host, port=args.port)
     return 0
 

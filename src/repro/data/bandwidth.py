@@ -172,7 +172,7 @@ def cv_bandwidth(
     float
         The candidate with the highest leave-one-out log likelihood.
     """
-    from repro.compat import kernel_normaliser
+    from repro.compat import kernel_normaliser  # lint: allow-shim-import -- normaliser's historical home; no canonical alternative yet
     from repro.core.exact import exact_density
     from repro.core.kernels import get_kernel
 

@@ -10,17 +10,37 @@ The serving stack, bottom-up:
   :class:`~repro.cache.TileCache` (PNG bytes / density arrays / root
   bound envelopes), single-flight render dedup, worker pool,
   backpressure and deadline handling;
+* :mod:`repro.serve.sharding` — spatial scale-out: datasets split into
+  K kd-tree shards with per-shard indexes/coresets/pools, summed at
+  serve time with the QUAD guarantee intact;
 * :mod:`repro.serve.http` — a stdlib-asyncio HTTP front end exposing
   ``GET /tile/{dataset}/{z}/{x}/{y}.png`` and ``GET /stats``.
+
+Configuration lives in :mod:`repro.serve.config` as nested groups
+(:class:`RenderConfig` / :class:`CacheConfig` / :class:`ResilienceConfig`
+/ :class:`ShardingConfig`) composed into one :class:`ServiceConfig`.
 
 All rendering goes through the unified
 :class:`~repro.visual.request.RenderRequest` API — the invariant linter
 forbids legacy ``render_eps`` / ``render_tau`` calls in this package.
 """
 
+from repro.serve.config import (
+    CacheConfig,
+    RenderConfig,
+    ResilienceConfig,
+    ServiceConfig,
+    ShardingConfig,
+)
 from repro.serve.http import TileServer, run_server
-from repro.serve.registry import DatasetEntry, DatasetRegistry
-from repro.serve.service import ServiceConfig, TilePlan, TileService
+from repro.serve.registry import DatasetEntry, DatasetRegistry, ShardRouting
+from repro.serve.service import TilePlan, TileService
+from repro.serve.sharding import (
+    ShardedDatasetEntry,
+    ShardedDatasetRegistry,
+    kd_partition,
+    rendezvous_shard,
+)
 from repro.serve.tiles import (
     DEFAULT_TILE_PX,
     MAX_ZOOM,
@@ -32,12 +52,21 @@ from repro.serve.tiles import (
 __all__ = [
     "DEFAULT_TILE_PX",
     "MAX_ZOOM",
+    "CacheConfig",
     "DatasetEntry",
     "DatasetRegistry",
+    "RenderConfig",
+    "ResilienceConfig",
     "ServiceConfig",
+    "ShardRouting",
+    "ShardedDatasetEntry",
+    "ShardedDatasetRegistry",
+    "ShardingConfig",
     "TilePlan",
     "TileServer",
     "TileService",
+    "kd_partition",
+    "rendezvous_shard",
     "run_server",
     "tile_count",
     "tile_grid",

@@ -1,0 +1,514 @@
+"""Service configuration: nested knob groups with a flat-kwarg shim.
+
+:class:`ServiceConfig` began life as one flat frozen dataclass; by PR 9
+it had accumulated 20 knobs spanning four unrelated concerns. This
+module restructures it into four frozen groups —
+
+* :class:`RenderConfig` — what a tile render looks like and how it
+  executes (tile size, default ε/τ, colormap, deadline, worker pools,
+  executor/backend selection, zoom ceiling);
+* :class:`CacheConfig` — byte budgets and TTL of the three-level
+  :class:`~repro.cache.tiles.TileCache`;
+* :class:`ResilienceConfig` — the degrade-don't-fail surface
+  (backpressure queue, stale cache, circuit breakers, drain);
+* :class:`ShardingConfig` — horizontal scale-out: how many spatial
+  shards each registered dataset is split into.
+
+Back-compat contract: ``ServiceConfig(tile_px=32, eps=0.1, ...)`` with
+the historical flat keywords still works — the kwargs are routed into
+their groups and a single :class:`DeprecationWarning` is emitted per
+process (warn *once*: config objects are built in test loops and
+sweeps, and a warning per construction would drown real ones). Every
+flat name also remains readable (``config.eps``, ``config.queue_limit``
+...) as a silent property alias, because read access is not the
+deprecated part — flat *construction* is.
+
+``to_dict()`` / ``from_dict()`` round-trip the nested shape, and
+``from_env()`` builds a config from ``REPRO_SERVE_<GROUP>_<FIELD>``
+environment variables (e.g. ``REPRO_SERVE_RENDER_EPS=0.1``,
+``REPRO_SERVE_SHARDING_SHARDS=4``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.serve.tiles import DEFAULT_TILE_PX
+
+__all__ = [
+    "CacheConfig",
+    "RenderConfig",
+    "ResilienceConfig",
+    "ServiceConfig",
+    "ShardingConfig",
+]
+
+
+@dataclass(frozen=True)
+class RenderConfig:
+    """What a served tile render looks like and how it executes.
+
+    ``workers`` sizes the *request* pool (threads running plan/cache/
+    encode); ``render_workers`` + ``executor`` + ``backend`` shape each
+    render itself: ``render_workers=N`` with ``executor="process"``
+    drains every tile render through the fitted method's shared-memory
+    process pool (true parallelism past the GIL), and ``backend``
+    selects the compute backend (``None`` defers to ``REPRO_BACKEND``).
+    Cache keys are unaffected — every executor/backend combination
+    produces bit-identical tile bytes.
+    """
+
+    tile_px: int = DEFAULT_TILE_PX
+    eps: float = 0.05
+    tau: Optional[float] = None
+    colormap: str = "density"
+    deadline_ms: Optional[float] = 10_000.0
+    workers: int = 4
+    render_workers: Optional[int] = None
+    executor: Optional[str] = None
+    backend: Optional[str] = None
+    max_zoom: int = 18
+
+    def __post_init__(self) -> None:
+        if int(self.tile_px) < 1:
+            raise InvalidParameterError(f"tile_px must be >= 1, got {self.tile_px!r}")
+        if int(self.workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {self.workers!r}")
+        if self.render_workers is not None and int(self.render_workers) < 1:
+            raise InvalidParameterError(
+                f"render_workers must be >= 1, got {self.render_workers!r}"
+            )
+        if self.executor not in (None, "thread", "process"):
+            raise InvalidParameterError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if int(self.max_zoom) < 0:
+            raise InvalidParameterError(
+                f"max_zoom must be >= 0, got {self.max_zoom!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Byte budgets and TTL of the three-level tile cache."""
+
+    png_bytes: int = 64 * 1024 * 1024
+    aux_bytes: int = 64 * 1024 * 1024
+    ttl_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if int(self.png_bytes) < 1:
+            raise InvalidParameterError(
+                f"png_bytes must be >= 1, got {self.png_bytes!r}"
+            )
+        if int(self.aux_bytes) < 1:
+            raise InvalidParameterError(
+                f"aux_bytes must be >= 1, got {self.aux_bytes!r}"
+            )
+        if self.ttl_s is not None and not float(self.ttl_s) > 0.0:
+            raise InvalidParameterError(
+                f"ttl_s must be > 0 (or None), got {self.ttl_s!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The degrade-don't-fail surface.
+
+    ``degraded_serving`` turns the whole overload policy on/off (off
+    restores strict raise semantics everywhere); ``stale_bytes`` /
+    ``stale_ttl_s`` bound the last-known-good tile store;
+    ``breaker_threshold`` / ``breaker_reset_s`` parameterise the
+    per-shard circuit breakers; ``drain_s`` bounds how long
+    :meth:`~repro.serve.service.TileService.close` waits for in-flight
+    requests before shutting the pools down.
+    """
+
+    queue_limit: int = 32
+    degraded_serving: bool = True
+    stale_bytes: int = 16 * 1024 * 1024
+    stale_ttl_s: Optional[float] = 300.0
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    drain_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if int(self.queue_limit) < 1:
+            raise InvalidParameterError(
+                f"queue_limit must be >= 1, got {self.queue_limit!r}"
+            )
+        if int(self.stale_bytes) < 1:
+            raise InvalidParameterError(
+                f"stale_cache_bytes must be >= 1, got {self.stale_bytes!r}"
+            )
+        if self.stale_ttl_s is not None and not float(self.stale_ttl_s) > 0.0:
+            raise InvalidParameterError(
+                f"stale_ttl_s must be > 0 (or None), got {self.stale_ttl_s!r}"
+            )
+        if int(self.breaker_threshold) < 1:
+            raise InvalidParameterError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold!r}"
+            )
+        if not float(self.breaker_reset_s) >= 0.0:
+            raise InvalidParameterError(
+                f"breaker_reset_s must be >= 0, got {self.breaker_reset_s!r}"
+            )
+        if not float(self.drain_s) >= 0.0:
+            raise InvalidParameterError(
+                f"drain_s must be >= 0, got {self.drain_s!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Horizontal scale-out: spatial sharding of registered datasets.
+
+    ``shards=K`` splits each dataset registered through the service into
+    K spatial shards by kd-tree subtree, each with its own index,
+    coreset tiers and render pools; served tiles sum the per-shard
+    partial densities with the per-shard coreset error folded into ε so
+    the QUAD guarantee is preserved exactly (see docs/serving.md).
+    ``min_points_per_shard`` caps the effective shard count on small
+    datasets so no shard ends up empty or degenerate.
+    """
+
+    shards: int = 1
+    min_points_per_shard: int = 64
+
+    def __post_init__(self) -> None:
+        if int(self.shards) < 1:
+            raise InvalidParameterError(
+                f"shards must be >= 1, got {self.shards!r}"
+            )
+        if int(self.min_points_per_shard) < 1:
+            raise InvalidParameterError(
+                f"min_points_per_shard must be >= 1, got {self.min_points_per_shard!r}"
+            )
+
+
+#: Flat legacy keyword -> (group attribute, field name on the group).
+_FLAT_FIELD_MAP: Dict[str, Tuple[str, str]] = {
+    "tile_px": ("render", "tile_px"),
+    "eps": ("render", "eps"),
+    "tau": ("render", "tau"),
+    "colormap": ("render", "colormap"),
+    "deadline_ms": ("render", "deadline_ms"),
+    "workers": ("render", "workers"),
+    "render_workers": ("render", "render_workers"),
+    "executor": ("render", "executor"),
+    "backend": ("render", "backend"),
+    "max_zoom": ("render", "max_zoom"),
+    "png_cache_bytes": ("cache", "png_bytes"),
+    "aux_cache_bytes": ("cache", "aux_bytes"),
+    "cache_ttl_s": ("cache", "ttl_s"),
+    "queue_limit": ("resilience", "queue_limit"),
+    "degraded_serving": ("resilience", "degraded_serving"),
+    "stale_cache_bytes": ("resilience", "stale_bytes"),
+    "stale_ttl_s": ("resilience", "stale_ttl_s"),
+    "breaker_threshold": ("resilience", "breaker_threshold"),
+    "breaker_reset_s": ("resilience", "breaker_reset_s"),
+    "drain_s": ("resilience", "drain_s"),
+    "shards": ("sharding", "shards"),
+}
+
+_GROUP_TYPES: Dict[str, type] = {
+    "render": RenderConfig,
+    "cache": CacheConfig,
+    "resilience": ResilienceConfig,
+    "sharding": ShardingConfig,
+}
+
+#: One-shot latch for the flat-kwarg deprecation warning (config objects
+#: are built in loops; one warning per process is signal, N is noise).
+_flat_kwargs_warned = False
+
+
+def _reset_flat_kwargs_warning() -> None:
+    """Re-arm the one-shot flat-kwarg warning (test hook)."""
+    global _flat_kwargs_warned
+    _flat_kwargs_warned = False
+
+
+def _warn_flat_kwargs(names: Tuple[str, ...]) -> None:
+    global _flat_kwargs_warned
+    if _flat_kwargs_warned:
+        return
+    _flat_kwargs_warned = True
+    warnings.warn(
+        f"ServiceConfig({', '.join(names)}=...): flat keywords are deprecated "
+        "and will be removed in repro 2.0; pass nested groups instead, e.g. "
+        "ServiceConfig(render=RenderConfig(...), resilience=ResilienceConfig(...)) "
+        "(see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class ServiceConfig:
+    """Tunables of a :class:`~repro.serve.service.TileService`.
+
+    Canonical construction is by nested group::
+
+        ServiceConfig(
+            render=RenderConfig(tile_px=256, eps=0.05),
+            cache=CacheConfig(png_bytes=64 << 20),
+            resilience=ResilienceConfig(queue_limit=32),
+            sharding=ShardingConfig(shards=4),
+        )
+
+    The historical flat keywords (``tile_px=...``, ``eps=...``,
+    ``queue_limit=...``, ...) are accepted as a deprecation shim: each is
+    routed into its group and a single :class:`DeprecationWarning` is
+    emitted per process. Mixing a group object with a flat keyword that
+    targets the same group is rejected — there would be no well-defined
+    winner. All flat names remain readable as properties.
+    """
+
+    __slots__ = ("render", "cache", "resilience", "sharding", "_frozen")
+
+    def __init__(
+        self,
+        render: Optional[RenderConfig] = None,
+        cache: Optional[CacheConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        sharding: Optional[ShardingConfig] = None,
+        **flat: Any,
+    ) -> None:
+        unknown = sorted(set(flat) - set(_FLAT_FIELD_MAP))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown ServiceConfig keyword(s): {', '.join(unknown)}"
+            )
+        groups: Dict[str, Any] = {
+            "render": render,
+            "cache": cache,
+            "resilience": resilience,
+            "sharding": sharding,
+        }
+        overrides: Dict[str, Dict[str, Any]] = {name: {} for name in _GROUP_TYPES}
+        for key in sorted(flat):
+            group_name, field_name = _FLAT_FIELD_MAP[key]
+            if groups[group_name] is not None:
+                raise InvalidParameterError(
+                    f"ServiceConfig: flat keyword {key!r} conflicts with the "
+                    f"{group_name}= group object; set {field_name!r} on the "
+                    "group instead"
+                )
+            overrides[group_name][field_name] = flat[key]
+        if flat:
+            _warn_flat_kwargs(tuple(sorted(flat)))
+        for name, group_type in _GROUP_TYPES.items():
+            if groups[name] is None:
+                groups[name] = group_type(**overrides[name])
+            elif not isinstance(groups[name], group_type):
+                raise InvalidParameterError(
+                    f"ServiceConfig {name}= expects a {group_type.__name__}, "
+                    f"got {type(groups[name]).__name__}"
+                )
+        object.__setattr__(self, "render", groups["render"])
+        object.__setattr__(self, "cache", groups["cache"])
+        object.__setattr__(self, "resilience", groups["resilience"])
+        object.__setattr__(self, "sharding", groups["sharding"])
+        object.__setattr__(self, "_frozen", True)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(f"ServiceConfig is immutable; cannot set {name!r}")
+        object.__setattr__(self, name, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceConfig):
+            return NotImplemented
+        return (
+            self.render == other.render
+            and self.cache == other.cache
+            and self.resilience == other.resilience
+            and self.sharding == other.sharding
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.render, self.cache, self.resilience, self.sharding))
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceConfig(render={self.render!r}, cache={self.cache!r}, "
+            f"resilience={self.resilience!r}, sharding={self.sharding!r})"
+        )
+
+    def replace(self, **changes: Any) -> "ServiceConfig":
+        """A copy with whole groups replaced (``render=``, ``cache=``, ...)."""
+        bad = sorted(set(changes) - set(_GROUP_TYPES))
+        if bad:
+            raise InvalidParameterError(
+                f"ServiceConfig.replace takes group names only, got {', '.join(bad)}"
+            )
+        groups = {name: getattr(self, name) for name in _GROUP_TYPES}
+        groups.update(changes)
+        return ServiceConfig(**groups)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Nested JSON-ready snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            name: dataclasses.asdict(getattr(self, name)) for name in _GROUP_TYPES
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Mapping[str, Any]]) -> "ServiceConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot."""
+        unknown = sorted(set(payload) - set(_GROUP_TYPES))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown ServiceConfig group(s): {', '.join(unknown)}"
+            )
+        groups = {
+            name: _GROUP_TYPES[name](**dict(payload[name]))
+            for name in _GROUP_TYPES
+            if name in payload
+        }
+        return cls(**groups)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> "ServiceConfig":
+        """Build a config from ``REPRO_SERVE_<GROUP>_<FIELD>`` variables.
+
+        Examples: ``REPRO_SERVE_RENDER_EPS=0.1``,
+        ``REPRO_SERVE_CACHE_PNG_BYTES=1048576``,
+        ``REPRO_SERVE_RESILIENCE_DEGRADED_SERVING=false``,
+        ``REPRO_SERVE_SHARDING_SHARDS=4``. Unset variables keep their
+        group defaults; values parse by the field's type (the literal
+        ``none``/empty clears an optional field).
+        """
+        env = os.environ if environ is None else environ
+        groups: Dict[str, Any] = {}
+        for name, group_type in _GROUP_TYPES.items():
+            values: Dict[str, Any] = {}
+            for field in fields(group_type):
+                variable = f"REPRO_SERVE_{name.upper()}_{field.name.upper()}"
+                raw = env.get(variable)
+                if raw is None:
+                    continue
+                values[field.name] = _parse_env_value(
+                    variable, raw, field.default
+                )
+            groups[name] = group_type(**values)
+        return cls(**groups)
+
+    # -- flat read aliases (silent; flat *construction* is the shim) ---------
+
+    @property
+    def tile_px(self) -> int:
+        return self.render.tile_px
+
+    @property
+    def eps(self) -> float:
+        return self.render.eps
+
+    @property
+    def tau(self) -> Optional[float]:
+        return self.render.tau
+
+    @property
+    def colormap(self) -> str:
+        return self.render.colormap
+
+    @property
+    def deadline_ms(self) -> Optional[float]:
+        return self.render.deadline_ms
+
+    @property
+    def workers(self) -> int:
+        return self.render.workers
+
+    @property
+    def render_workers(self) -> Optional[int]:
+        return self.render.render_workers
+
+    @property
+    def executor(self) -> Optional[str]:
+        return self.render.executor
+
+    @property
+    def backend(self) -> Optional[str]:
+        return self.render.backend
+
+    @property
+    def max_zoom(self) -> int:
+        return self.render.max_zoom
+
+    @property
+    def png_cache_bytes(self) -> int:
+        return self.cache.png_bytes
+
+    @property
+    def aux_cache_bytes(self) -> int:
+        return self.cache.aux_bytes
+
+    @property
+    def cache_ttl_s(self) -> Optional[float]:
+        return self.cache.ttl_s
+
+    @property
+    def queue_limit(self) -> int:
+        return self.resilience.queue_limit
+
+    @property
+    def degraded_serving(self) -> bool:
+        return self.resilience.degraded_serving
+
+    @property
+    def stale_cache_bytes(self) -> int:
+        return self.resilience.stale_bytes
+
+    @property
+    def stale_ttl_s(self) -> Optional[float]:
+        return self.resilience.stale_ttl_s
+
+    @property
+    def breaker_threshold(self) -> int:
+        return self.resilience.breaker_threshold
+
+    @property
+    def breaker_reset_s(self) -> float:
+        return self.resilience.breaker_reset_s
+
+    @property
+    def drain_s(self) -> float:
+        return self.resilience.drain_s
+
+    @property
+    def shards(self) -> int:
+        return self.sharding.shards
+
+
+def _parse_env_value(variable: str, raw: str, default: Any) -> Any:
+    """Coerce an env string by the field default's type."""
+    text = raw.strip()
+    if text.lower() in ("", "none", "null"):
+        return None
+    if isinstance(default, bool):
+        if text.lower() in ("1", "true", "yes", "on"):
+            return True
+        if text.lower() in ("0", "false", "no", "off"):
+            return False
+        raise InvalidParameterError(f"{variable}={raw!r} is not a boolean")
+    try:
+        if isinstance(default, int) and not isinstance(default, bool):
+            return int(text)
+        if isinstance(default, float) or default is None:
+            # Optional numeric fields default to None; float covers
+            # every current one (ttl/deadline/tau) and int-valued
+            # strings parse losslessly through float for render_workers.
+            number = float(text)
+            return int(number) if number.is_integer() and "." not in text else number
+    except ValueError:
+        raise InvalidParameterError(f"{variable}={raw!r} is not a number") from None
+    return text

@@ -252,7 +252,7 @@ class TileServer:
                 return _error_response(
                     503, "draining", "service is draining for shutdown"
                 )
-            return _json_response(200, {"status": "ready"})
+            return _json_response(200, self.service.readiness())
         if path == "/stats":
             return _json_response(200, self.service.stats())
         match = _TILE_PATH.match(path)
@@ -290,11 +290,14 @@ class TileServer:
                 str(error.args[0] if error.args else error),
             )
 
+        home_shard = plan.home_shard if plan.shards > 1 else None
         service.metrics.counter("tiles.requests").add(1)
         data = service.cached_png(plan)
         if data is not None:
             service.metrics.counter("tiles.l1_hits").add(1)
-            return self._png_response(data, plan.png_key[2], "hit")
+            return self._png_response(
+                data, plan.png_key[2], "hit", shard=home_shard
+            )
 
         if not service.try_acquire_slot():
             # Degrade-don't-fail: a full queue (or a draining service)
@@ -307,6 +310,7 @@ class TileServer:
                 return self._png_response(
                     stale, plan.png_key[2], "stale",
                     degraded=("stale", "overloaded"),
+                    shard=home_shard,
                 )
             if service.draining:
                 return _error_response(
@@ -358,7 +362,7 @@ class TileServer:
         if info.get("degraded"):
             degraded = (str(info["degraded"]), str(info.get("degrade_reason", "")))
         return self._png_response(
-            data, plan.png_key[2], "miss", degraded=degraded
+            data, plan.png_key[2], "miss", degraded=degraded, shard=home_shard
         )
 
     def _png_response(
@@ -367,12 +371,17 @@ class TileServer:
         fingerprint: str,
         disposition: str,
         degraded: Optional[tuple] = None,
+        shard: Optional[int] = None,
     ) -> bytes:
         headers = {
             "X-Cache": disposition,
             "X-Fingerprint": fingerprint,
             "Cache-Control": "public, max-age=60",
         }
+        if shard is not None:
+            # The tile's rendezvous home shard — lets clients and ops
+            # correlate latency/degradation with a specific shard.
+            headers["X-Shard"] = str(shard)
         if degraded is not None:
             mode, reason = degraded
             headers["X-Repro-Degraded"] = f"{mode};{reason}" if reason else mode

@@ -27,10 +27,12 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.exact import exact_density
 from repro.errors import DatasetNotFoundError, InvalidParameterError
 from repro.sampling.coreset import Coreset, coreset_for_delta
 from repro.serve.tiles import zoom_cell_size
@@ -40,7 +42,7 @@ if TYPE_CHECKING:
     from repro._types import FloatArray, PointLike
     from repro.visual.grid import PixelGrid
 
-__all__ = ["CoresetTier", "DatasetEntry", "DatasetRegistry"]
+__all__ = ["CoresetTier", "DatasetEntry", "DatasetRegistry", "ShardRouting"]
 
 #: Default normalised coreset error budget per zoom (``delta_z``);
 #: must stay well below typical request ``eps`` (0.05 by default in
@@ -84,6 +86,27 @@ class CoresetTier:
             "delta_z": float(self.coreset.delta_z),
             "cell_size": float(self.coreset.cell_size),
         }
+
+
+@dataclass(frozen=True)
+class ShardRouting:
+    """How one tile zoom renders against an entry: which renderers, what fold.
+
+    The single-entry case has one renderer (exact or the zoom's coreset
+    tier); a :class:`~repro.serve.sharding.ShardedDatasetEntry` returns
+    one renderer per spatial shard, in fixed shard-index order, with the
+    per-shard coreset errors already combined into one ``delta_z`` (the
+    summed tile folds the *combined* bound into ε once — see
+    docs/serving.md). ``delta_z`` is 0.0 on the exact path.
+    """
+
+    renderers: Tuple[KDVRenderer, ...]
+    tier_tag: Optional[str]
+    delta_z: float
+
+    @property
+    def shards(self) -> int:
+        return len(self.renderers)
 
 
 def _close_renderer_methods(renderer: KDVRenderer) -> None:
@@ -188,6 +211,43 @@ class DatasetEntry:
         """The coreset tier serving ``zoom``, or ``None`` for exact."""
         with self._lock:
             return self._coreset_tiers.get(int(zoom))
+
+    def tile_routes(self, zoom: int) -> ShardRouting:
+        """The renderers (and folded coreset error) serving ``zoom``.
+
+        The monolithic entry routes to exactly one renderer — the
+        zoom's coreset tier below the threshold, the exact renderer
+        otherwise. Sharded entries override this with one renderer per
+        shard.
+        """
+        tier = self.coreset_tier(zoom)
+        if tier is None:
+            return ShardRouting((self.renderer,), None, 0.0)
+        return ShardRouting(
+            (tier.renderer,), f"coreset-z{tier.zoom}", float(tier.delta_z)
+        )
+
+    def coarse_density(self, centers: "FloatArray") -> "FloatArray":
+        """Exact density at ``centers`` — the colour-normalisation probe.
+
+        Evaluated against the finest coreset tier when one exists (its
+        density is within ``delta_abs`` of exact everywhere — far below
+        colour-map resolution — and it avoids an O(n) scan per dataset
+        version on planet-scale point sets), else the exact renderer.
+        """
+        renderer = self.renderer
+        if self.coreset_zoom is not None:
+            finest = self.coreset_tier(self.coreset_zoom - 1)
+            if finest is not None:
+                renderer = finest.renderer
+        return exact_density(
+            renderer.points,
+            centers,
+            renderer.kernel,
+            renderer.gamma,
+            renderer.weight,
+            point_weights=renderer.point_weights,
+        )
 
     @property
     def points(self) -> "FloatArray":

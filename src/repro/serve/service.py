@@ -72,8 +72,21 @@ from repro.obs.metrics import DEFAULT_SECONDS_BOUNDS, MetricsRegistry
 from repro.resilience.budget import STOP_TILE_FAILURES, Budget
 from repro.resilience.retry import TransientTileError
 from repro.resilience.supervisor import CircuitBreaker
+from repro.serve.config import (
+    CacheConfig,
+    RenderConfig,
+    ResilienceConfig,
+    ServiceConfig,
+    ShardingConfig,
+)
 from repro.serve.registry import DatasetEntry, DatasetRegistry
-from repro.serve.tiles import DEFAULT_TILE_PX, tile_grid, validate_tile
+from repro.serve.sharding import (
+    TAU_SHARD_REF_EPS,
+    ShardedDatasetRegistry,
+    rendezvous_shard,
+    tile_extent_key,
+)
+from repro.serve.tiles import tile_grid, validate_tile
 from repro.utils.cache import LRUCache, SingleFlight
 from repro.visual.colormap import get_colormap, two_color_map
 from repro.visual.image import png_bytes
@@ -83,7 +96,16 @@ if TYPE_CHECKING:
     from repro._types import FloatArray
     from repro.visual.kdv import KDVRenderer
 
-__all__ = ["RENDER_TILE_SIZE", "ServiceConfig", "TilePlan", "TileService"]
+__all__ = [
+    "RENDER_TILE_SIZE",
+    "CacheConfig",
+    "RenderConfig",
+    "ResilienceConfig",
+    "ServiceConfig",
+    "ShardingConfig",
+    "TilePlan",
+    "TileService",
+]
 
 #: Fixed internal batch partition for every service render. Part of the
 #: request fingerprint (batch composition shapes per-pixel ε answers),
@@ -96,88 +118,6 @@ RENDER_TILE_SIZE = 64
 _VMAX_GRID_WIDTH = 64
 
 
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Tunables of a :class:`TileService` (all have serving defaults).
-
-    ``workers`` sizes the *request* pool (threads running plan/cache/
-    encode); ``render_workers`` + ``executor`` + ``backend`` shape each
-    render itself: ``render_workers=N`` with ``executor="process"``
-    drains every tile render through the fitted method's shared-memory
-    process pool (true parallelism past the GIL), and ``backend``
-    selects the compute backend (``None`` defers to ``REPRO_BACKEND``).
-    Cache keys are unaffected — every executor/backend combination
-    produces bit-identical tile bytes.
-
-    The degrade-don't-fail knobs: ``degraded_serving`` turns the whole
-    overload policy on/off (off restores strict raise semantics
-    everywhere); ``stale_cache_bytes`` / ``stale_ttl_s`` bound the
-    last-known-good tile store; ``breaker_threshold`` /
-    ``breaker_reset_s`` parameterise the per-dataset circuit breakers;
-    ``drain_s`` bounds how long :meth:`TileService.close` waits for
-    in-flight requests before shutting the pools down.
-    """
-
-    tile_px: int = DEFAULT_TILE_PX
-    eps: float = 0.05
-    tau: Optional[float] = None
-    colormap: str = "density"
-    deadline_ms: Optional[float] = 10_000.0
-    workers: int = 4
-    render_workers: Optional[int] = None
-    executor: Optional[str] = None
-    backend: Optional[str] = None
-    queue_limit: int = 32
-    max_zoom: int = 18
-    png_cache_bytes: int = 64 * 1024 * 1024
-    aux_cache_bytes: int = 64 * 1024 * 1024
-    cache_ttl_s: Optional[float] = None
-    degraded_serving: bool = True
-    stale_cache_bytes: int = 16 * 1024 * 1024
-    stale_ttl_s: Optional[float] = 300.0
-    breaker_threshold: int = 5
-    breaker_reset_s: float = 30.0
-    drain_s: float = 5.0
-
-    def __post_init__(self) -> None:
-        if int(self.tile_px) < 1:
-            raise InvalidParameterError(f"tile_px must be >= 1, got {self.tile_px!r}")
-        if int(self.workers) < 1:
-            raise InvalidParameterError(f"workers must be >= 1, got {self.workers!r}")
-        if self.render_workers is not None and int(self.render_workers) < 1:
-            raise InvalidParameterError(
-                f"render_workers must be >= 1, got {self.render_workers!r}"
-            )
-        if self.executor not in (None, "thread", "process"):
-            raise InvalidParameterError(
-                f"executor must be 'thread' or 'process', got {self.executor!r}"
-            )
-        if int(self.queue_limit) < 1:
-            raise InvalidParameterError(
-                f"queue_limit must be >= 1, got {self.queue_limit!r}"
-            )
-        if int(self.stale_cache_bytes) < 1:
-            raise InvalidParameterError(
-                f"stale_cache_bytes must be >= 1, got {self.stale_cache_bytes!r}"
-            )
-        if self.stale_ttl_s is not None and not float(self.stale_ttl_s) > 0.0:
-            raise InvalidParameterError(
-                f"stale_ttl_s must be > 0 (or None), got {self.stale_ttl_s!r}"
-            )
-        if int(self.breaker_threshold) < 1:
-            raise InvalidParameterError(
-                f"breaker_threshold must be >= 1, got {self.breaker_threshold!r}"
-            )
-        if not float(self.breaker_reset_s) >= 0.0:
-            raise InvalidParameterError(
-                f"breaker_reset_s must be >= 0, got {self.breaker_reset_s!r}"
-            )
-        if not float(self.drain_s) >= 0.0:
-            raise InvalidParameterError(
-                f"drain_s must be >= 0, got {self.drain_s!r}"
-            )
-
-
 @dataclass
 class TilePlan:
     """A fully planned tile request: resolved render request + cache keys.
@@ -187,6 +127,17 @@ class TilePlan:
     the tile's zoom routes below the entry's ``coreset_zoom`` threshold
     (in which case ``resolved.tier`` carries the tier tag and
     ``tier_delta_z`` the folded error bound).
+
+    Sharded entries route to ``shard_renderers`` (one per spatial
+    shard, fixed order; ``renderer`` is then shard 0's): the tile sums
+    per-shard partial densities, each shard render described by the one
+    shared ``shard_request`` (an ε request whose atol is split ``/K``)
+    and cached under its own per-shard density/bounds keys. Every key
+    of a sharded plan mixes the shard count into its fingerprint, so a
+    resharded dataset can never alias old cache entries; a one-shard
+    plan's keys are byte-identical to the historical unsharded ones.
+    ``home_shard`` is the tile's rendezvous-hashed affinity shard,
+    whose circuit breaker (``breaker_id``) owns this tile's renders.
     """
 
     entry: DatasetEntry
@@ -198,15 +149,32 @@ class TilePlan:
     indexed: bool
     renderer: "KDVRenderer"
     tier_delta_z: Optional[float] = None
+    shard_renderers: Tuple["KDVRenderer", ...] = ()
+    shard_request: Optional[RenderRequest] = None
+    home_shard: int = 0
     png_key: TileKey = field(init=False)
     density_key: TileKey = field(init=False)
     bounds_key: TileKey = field(init=False)
     stale_key: TileKey = field(init=False)
+    shard_density_keys: Tuple[TileKey, ...] = field(init=False)
+    shard_bounds_keys: Tuple[TileKey, ...] = field(init=False)
 
     def __post_init__(self) -> None:
         dataset_id = self.entry.dataset_id
         z, x, y = self.tile
-        base_extra = {"dataset": self.versioned_id, "tile": [z, x, y]}
+        shards = self.shards
+        base_extra: Dict[str, Any] = {
+            "dataset": self.versioned_id,
+            "tile": [z, x, y],
+        }
+        stale_extra: Dict[str, Any] = {
+            "dataset": dataset_id,
+            "tile": [z, x, y],
+            "colormap": self.colormap,
+        }
+        if shards > 1:
+            base_extra["shards"] = shards
+            stale_extra["shards"] = shards
         self.png_key = (
             dataset_id,
             "png",
@@ -219,13 +187,7 @@ class TilePlan:
         self.stale_key = (
             dataset_id,
             "stale",
-            self.resolved.fingerprint(
-                extra={
-                    "dataset": dataset_id,
-                    "tile": [z, x, y],
-                    "colormap": self.colormap,
-                }
-            ),
+            self.resolved.fingerprint(extra=stale_extra),
         )
         self.density_key = (
             dataset_id,
@@ -241,11 +203,58 @@ class TilePlan:
                 extra=base_extra,
             ),
         )
+        if shards > 1:
+            assert self.shard_request is not None
+            density_keys = []
+            bounds_keys = []
+            for index in range(shards):
+                shard_extra = {**base_extra, "shard": index}
+                density_keys.append(
+                    (
+                        dataset_id,
+                        "density",
+                        partial_fingerprint(self.shard_request, extra=shard_extra),
+                    )
+                )
+                bounds_keys.append(
+                    (
+                        dataset_id,
+                        "bounds",
+                        partial_fingerprint(
+                            self.shard_request,
+                            drop=("op", "eps", "tau", "atol", "tile_size"),
+                            extra=shard_extra,
+                        ),
+                    )
+                )
+            self.shard_density_keys = tuple(density_keys)
+            self.shard_bounds_keys = tuple(bounds_keys)
+        else:
+            self.shard_density_keys = ()
+            self.shard_bounds_keys = ()
 
     @property
     def op(self) -> str:
         """The render operation (``"eps"`` or ``"tau"``)."""
         return self.resolved.op
+
+    @property
+    def shards(self) -> int:
+        """How many spatial shards this tile sums over (1 = unsharded)."""
+        return len(self.shard_renderers) or 1
+
+    @property
+    def breaker_id(self) -> str:
+        """The circuit breaker owning this tile's renders.
+
+        The dataset id itself for monolithic entries; the tile's
+        rendezvous home shard (``"<dataset>#s<i>"``) for sharded ones,
+        so a poisoned spatial region trips one shard's breaker instead
+        of blacking out the whole dataset.
+        """
+        if self.shards > 1:
+            return f"{self.entry.dataset_id}#s{self.home_shard}"
+        return self.entry.dataset_id
 
 
 class TileService:
@@ -281,7 +290,11 @@ class TileService:
         self.registry = (
             registry
             if registry is not None
-            else DatasetRegistry(on_invalidate=self.invalidate_dataset)
+            else ShardedDatasetRegistry(
+                on_invalidate=self.invalidate_dataset,
+                default_shards=int(self.config.sharding.shards),
+                min_points_per_shard=int(self.config.sharding.min_points_per_shard),
+            )
         )
         self._flight: SingleFlight[TileKey, bytes] = SingleFlight()
         self._slots = threading.BoundedSemaphore(int(self.config.queue_limit))
@@ -376,30 +389,34 @@ class TileService:
             colormap if colormap is not None else self.config.colormap
         ).lower()
         get_colormap(colormap_name)  # fail fast on unknown names (400, not 500)
-        # Tier routing: zoom < coreset_zoom renders against the zoom's
-        # weighted coreset with the coreset error delta_z folded into
-        # eps (eps_effective = eps - delta_z, docs/bounds.md); zoom >=
+        # Tier + shard routing: the entry answers with one renderer per
+        # spatial shard for this zoom (one renderer, period, for
+        # monolithic entries). Below the coreset threshold those are
+        # tier renderers and routing.delta_z carries the *combined*
+        # coreset error, folded into eps once for the whole summed tile
+        # (eps_effective = eps - delta_z, docs/bounds.md); zoom >=
         # coreset_zoom falls through to exact QUAD. tau renders route
         # unchanged — masks can flip only where |F - tau| <= delta_abs.
-        tier = entry.coreset_tier(z)
-        renderer = entry.renderer if tier is None else tier.renderer
-        tier_tag = None if tier is None else f"coreset-z{tier.zoom}"
-        tier_delta_z = None if tier is None else float(tier.delta_z)
+        routing = entry.tile_routes(z)
+        shards = routing.shards
+        renderer = routing.renderers[0]
+        tier_tag = routing.tier_tag
+        tier_delta_z = routing.delta_z if tier_tag is not None else None
         if tau is not None:
             request = RenderRequest.for_tau(
                 float(tau), method_name, grid=grid, tier=tier_tag
             )
         elif eps is not None or self.config.tau is None:
             eps_requested = float(eps if eps is not None else self.config.eps)
-            if tier is not None:
-                if eps_requested <= tier.delta_z:
+            if tier_tag is not None:
+                if eps_requested <= routing.delta_z:
                     raise InvalidParameterError(
                         f"eps={eps_requested} is not achievable at zoom {z}: the "
-                        f"coreset tier's error bound delta_z={tier.delta_z:.6g} "
+                        f"coreset tier's error bound delta_z={routing.delta_z:.6g} "
                         "consumes the whole budget; request a larger eps or "
                         "register with a smaller coreset_delta_cap"
                     )
-                eps_requested -= tier.delta_z
+                eps_requested -= routing.delta_z
             request = RenderRequest.for_eps(
                 eps_requested, method_name, grid=grid, tier=tier_tag
             )
@@ -410,6 +427,11 @@ class TileService:
         fitted = renderer.get_method(method_name)
         indexed = isinstance(fitted, IndexedMethod)
         fitted._require(request.op)
+        if shards > 1 and request.op == OP_TAU:
+            # Sharded tau tiles pre-decide pixels from summed per-shard
+            # eps bounds before the exact fallback, so the method must
+            # support the eps operation too.
+            fitted._require(OP_EPS)
         options = (
             RenderOptions(
                 tile_size=RENDER_TILE_SIZE,
@@ -422,6 +444,31 @@ class TileService:
             else RenderOptions()
         )
         resolved = request.replace(options=options).resolve(renderer)
+        shard_request: Optional[RenderRequest] = None
+        home_shard = 0
+        if shards > 1:
+            home_shard = rendezvous_shard(
+                entry.dataset_id, shards, tile_extent_key(grid)
+            )
+            if resolved.op == OP_EPS:
+                # Each shard renders the folded eps with the absolute
+                # floor split K ways; summing the per-shard contracts
+                # |F_s_hat - F_s| <= eps*F_s + atol/K reproduces the
+                # unsharded envelope |F_hat - F| <= eps*F + atol.
+                assert resolved.atol is not None
+                shard_request = resolved.replace(atol=float(resolved.atol) / shards)
+            else:
+                # tau has no accuracy knob, so shards render a
+                # reference-eps density whose summed bounds decide the
+                # mask (exact fallback for the undecided sliver).
+                shard_request = RenderRequest.for_eps(
+                    TAU_SHARD_REF_EPS,
+                    method_name,
+                    grid=grid,
+                    tier=tier_tag,
+                    atol=(1e-9 * float(renderer.weight)) / shards,
+                    options=options,
+                ).resolve(renderer)
         return TilePlan(
             entry=entry,
             versioned_id=entry.versioned_id(),
@@ -434,6 +481,9 @@ class TileService:
             indexed=indexed,
             renderer=renderer,
             tier_delta_z=tier_delta_z,
+            shard_renderers=routing.renderers if shards > 1 else (),
+            shard_request=shard_request,
+            home_shard=home_shard,
         )
 
     # -- serving ------------------------------------------------------------
@@ -477,13 +527,13 @@ class TileService:
         With ``degraded_serving=False`` every rung collapses to the
         strict raise semantics (the breaker still counts and vetoes).
         """
-        breaker = self._breaker(plan.entry.dataset_id)
+        breaker = self._breaker(plan.breaker_id)
         if not breaker.allow():
             stale = self.stale_png(plan)
             if stale is not None:
                 return stale, self._degraded_info("stale", "circuit_open")
             raise CircuitOpenError(
-                f"dataset {plan.entry.dataset_id!r} breaker is open after "
+                f"dataset {plan.breaker_id!r} breaker is open after "
                 f"repeated render failures; retry in "
                 f"{breaker.retry_after_s():.1f}s"
             )
@@ -615,9 +665,9 @@ class TileService:
                 UnsupportedKernelError, UnsupportedOperationError):
             raise
         except Exception:
-            self._breaker(plan.entry.dataset_id).record_failure()
+            self._breaker(plan.breaker_id).record_failure()
             raise
-        self._breaker(plan.entry.dataset_id).record_success()
+        self._breaker(plan.breaker_id).record_success()
         self.cache.put_png(plan.png_key, data)
         self.metrics.counter("tiles.renders").add(1)
         self.metrics.histogram("tiles.render_s", DEFAULT_SECONDS_BOUNDS).observe(
@@ -638,6 +688,8 @@ class TileService:
         resolved = plan.resolved
         grid = resolved.grid
         assert grid is not None
+        if plan.shards > 1:
+            return self._compute_values_sharded(plan)
         if plan.indexed:
             envelope = self.cache.get_bounds(plan.bounds_key)
             if envelope is None:
@@ -670,20 +722,143 @@ class TileService:
             return 0.5 * (lower + upper)
         return None
 
-    def _render_full(self, plan: TilePlan) -> np.ndarray:
-        """Render through ``KDVRenderer.render`` under the deadline budget."""
+    def _compute_values_sharded(self, plan: TilePlan) -> np.ndarray:
+        """Sum K per-shard partial densities into one guaranteed tile.
+
+        Every shard renders the shared ``shard_request`` (each hitting
+        its own density/bounds cache levels and per-shard root-bounds
+        shortcut) and the partial images are summed in fixed shard
+        order — deterministic bytes for a given shard count. ε tiles
+        return the sum directly: per-shard contracts at atol/K sum to
+        the exact unsharded envelope (docs/serving.md). τ tiles decide
+        each pixel from the summed reference-ε bounds via the τ
+        stopping rule and finish the undecided sliver with summed
+        per-shard exact density, so the mask matches the unsharded mask
+        wherever τ is not within floating-point noise of the density.
+
+        The deadline budget applies per shard render; a shard that
+        trips it raises without partial values — one shard's partial
+        envelope is not a valid tile for the summed dataset.
+        """
         resolved = plan.resolved
-        if not plan.indexed:
-            # Non-indexed methods have no anytime path (and no
-            # cooperative deadline); they render plain.
-            return np.asarray(plan.renderer.render(resolved))
+        grid = resolved.grid
+        shard_request = plan.shard_request
+        assert grid is not None and shard_request is not None
         budget = (
             Budget.from_deadline_ms(plan.deadline_ms)
             if plan.deadline_ms is not None
             else None
         )
+        total: Optional[np.ndarray] = None
+        for index in range(plan.shards):
+            values = self._shard_density(plan, index, budget)
+            total = np.asarray(values) if total is None else total + values
+        assert total is not None
+        if resolved.op == OP_EPS:
+            return total
+        # tau hybrid: each shard value v_s obeys
+        # |v_s - F_s| <= eps_ref * F_s + atol/K, so the summed value v
+        # brackets the true density F by
+        #   (v - atol) / (1 + eps_ref) <= F <= (v + atol) / (1 - eps_ref).
+        flat = total.reshape(-1)
+        eps_ref = float(shard_request.eps)  # type: ignore[arg-type]
+        atol_total = float(shard_request.atol) * plan.shards  # type: ignore[arg-type]
+        lower = np.maximum((flat - atol_total) / (1.0 + eps_ref), 0.0)
+        upper = (flat + atol_total) / (1.0 - eps_ref)
+        tau = float(resolved.tau)  # type: ignore[arg-type]
+        decided = np.asarray(stopping.tau_stop_mask(lower, upper, tau))
+        hot = np.asarray(stopping.tau_hot_mask(lower, tau))
+        undecided = ~decided
+        if bool(undecided.any()):
+            centers = np.asarray(grid.centers())[undecided]
+            exact: Optional[np.ndarray] = None
+            for renderer in plan.shard_renderers:
+                part = exact_density(
+                    renderer.points,
+                    centers,
+                    renderer.kernel,
+                    renderer.gamma,
+                    renderer.weight,
+                    point_weights=renderer.point_weights,
+                )
+                exact = np.asarray(part) if exact is None else exact + part
+            assert exact is not None
+            hot[undecided] = np.asarray(stopping.tau_hot_mask(exact, tau))
+            self.metrics.counter("tiles.shard_tau_exact_pixels").add(
+                int(undecided.sum())
+            )
+        return np.asarray(grid.to_image(hot))
+
+    def _shard_density(
+        self, plan: TilePlan, index: int, budget: Optional[Budget]
+    ) -> np.ndarray:
+        """One shard's partial-density image (cache → bounds → render)."""
+        key = plan.shard_density_keys[index]
+        cached = self.cache.get_density(key)
+        if cached is not None:
+            return cached
+        renderer = plan.shard_renderers[index]
+        request = plan.shard_request
+        assert request is not None
+        grid = request.grid
+        assert grid is not None
+        values: Optional[np.ndarray] = None
+        if plan.indexed:
+            bounds_key = plan.shard_bounds_keys[index]
+            envelope = self.cache.get_bounds(bounds_key)
+            if envelope is None:
+                fitted = renderer.get_method(str(request.method))
+                if isinstance(fitted, IndexedMethod):
+                    engine = fitted.batch_engine
+                    if engine is not None:
+                        envelope = engine.root_envelope(grid.centers())
+                        self.cache.put_bounds(bounds_key, envelope)
+            if envelope is not None:
+                shortcut = self._from_envelope(request, envelope)
+                if shortcut is not None:
+                    self.metrics.counter("tiles.bounds_shortcircuit").add(1)
+                    values = np.asarray(grid.to_image(shortcut))
+        if values is None:
+            values = self._render_request(
+                renderer, request, plan, budget, attach_partial=False
+            )
+        self.cache.put_density(key, values)
+        return values
+
+    def _render_full(self, plan: TilePlan) -> np.ndarray:
+        """Render through ``KDVRenderer.render`` under the deadline budget."""
+        budget = (
+            Budget.from_deadline_ms(plan.deadline_ms)
+            if plan.deadline_ms is not None
+            else None
+        )
+        return self._render_request(
+            plan.renderer, plan.resolved, plan, budget, attach_partial=True
+        )
+
+    def _render_request(
+        self,
+        renderer: "KDVRenderer",
+        resolved: RenderRequest,
+        plan: TilePlan,
+        budget: Optional[Budget],
+        *,
+        attach_partial: bool,
+    ) -> np.ndarray:
+        """One render of ``resolved`` against ``renderer`` under ``budget``.
+
+        ``attach_partial`` controls whether a tripped deadline carries
+        the anytime render's best-so-far image for the degrade ladder —
+        true for the monolithic full-tile render, false for per-shard
+        partial-density renders (a lone shard's partial is not a
+        servable tile).
+        """
+        if not plan.indexed:
+            # Non-indexed methods have no anytime path (and no
+            # cooperative deadline); they render plain.
+            return np.asarray(renderer.render(resolved))
         run = resolved.replace(options=resolved.options.replace(budget=budget))
-        outcome = plan.renderer.render(run)
+        outcome = renderer.render(run)
         degraded = outcome.degraded  # type: ignore[union-attr]
         if degraded is not None:
             self.metrics.counter("tiles.degraded").add(1)
@@ -701,7 +876,9 @@ class TileService:
                 # midpoints / conservative tau mask) rides on the error
                 # so the degrade ladder can serve it without paying for
                 # a second render.
-                partial_values=np.asarray(outcome.image),  # type: ignore[union-attr]
+                partial_values=(
+                    np.asarray(outcome.image) if attach_partial else None  # type: ignore[union-attr]
+                ),
                 pixels_resolved=degraded.pixels_resolved,
                 pixels_total=degraded.pixels_total,
             )
@@ -734,23 +911,11 @@ class TileService:
             return cached
         base = entry.base_grid
         coarse = base.scaled(_VMAX_GRID_WIDTH / float(base.width))
-        renderer = entry.renderer
-        if entry.coreset_zoom is not None:
-            # The finest coreset tier's density is within its delta_abs
-            # of exact everywhere — far below colour-map resolution —
-            # and evaluating it avoids an O(n) scan per dataset version
-            # on planet-scale point sets.
-            finest = entry.coreset_tier(entry.coreset_zoom - 1)
-            if finest is not None:
-                renderer = finest.renderer
-        values = exact_density(
-            renderer.points,
-            coarse.centers(),
-            renderer.kernel,
-            renderer.gamma,
-            renderer.weight,
-            point_weights=renderer.point_weights,
-        )
+        # The entry evaluates against its finest coreset tier when one
+        # exists (within delta_abs of exact — far below colour-map
+        # resolution — without an O(n) scan per dataset version), and a
+        # sharded entry sums its per-shard probes.
+        values = np.asarray(entry.coarse_density(coarse.centers()))
         vmax = float(values.max()) if values.size else 1.0
         if vmax <= 0.0:
             vmax = 1.0
@@ -786,6 +951,36 @@ class TileService:
         return dropped
 
     # -- introspection -------------------------------------------------------
+
+    def readiness(self) -> Dict[str, Any]:
+        """The ``/readyz`` payload: overall status + per-shard health.
+
+        Per dataset: the shard count and each shard breaker's state, so
+        an orchestrator can tell "ready, but shard 2 of `crime` is
+        tripped" from "ready, everything closed". Draining is the HTTP
+        layer's concern (it answers 503 before consulting this).
+        """
+        with self._breakers_lock:
+            states = {name: breaker.state for name, breaker in self._breakers.items()}
+        datasets: Dict[str, Any] = {}
+        from repro.errors import DatasetNotFoundError
+
+        for dataset_id in self.registry.ids():
+            try:
+                entry = self.registry.get(dataset_id)
+            # lint: allow-silent-except -- a concurrent remove() pulled
+            # the entry mid-walk; it has no readiness to report.
+            except DatasetNotFoundError:
+                continue
+            shard_ids = list(getattr(entry, "shard_ids", ())) or [dataset_id]
+            datasets[dataset_id] = {
+                "shards": len(shard_ids),
+                "breakers": {
+                    shard_id: states.get(shard_id, "closed")
+                    for shard_id in shard_ids
+                },
+            }
+        return {"status": "ready", "datasets": datasets}
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: datasets, cache levels, metrics, load."""
@@ -847,6 +1042,12 @@ class TileService:
                 "executor": self.config.executor,
                 "backend": self.config.backend,
                 "max_zoom": int(self.config.max_zoom),
+                "sharding": {
+                    "shards": int(self.config.sharding.shards),
+                    "min_points_per_shard": int(
+                        self.config.sharding.min_points_per_shard
+                    ),
+                },
             },
         }
 

@@ -610,8 +610,9 @@ class KDVRenderer:
         if used:
             warnings.warn(
                 f"KDVRenderer.{name}({', '.join(used)}=...): passing execution "
-                "keywords here is deprecated; put them on RenderOptions and "
-                "call KDVRenderer.render(RenderRequest(...)) instead "
+                "keywords here is deprecated and will be removed in repro 2.0; "
+                "put them on RenderOptions and call "
+                "KDVRenderer.render(RenderRequest(...)) instead "
                 "(see docs/api.md)",
                 DeprecationWarning,
                 stacklevel=3,

@@ -469,7 +469,10 @@ class TestHttpErrorContract:
                 return await loop.run_in_executor(None, _fetch, url, path)
 
             status, _, body = await get("/readyz")
-            assert status == 200 and json.loads(body) == {"status": "ready"}
+            ready = json.loads(body)
+            assert status == 200 and ready["status"] == "ready"
+            assert ready["datasets"]["crime"]["shards"] == 1
+            assert ready["datasets"]["crime"]["breakers"] == {"crime": "closed"}
 
             status, _, fresh = await get("/tile/crime/1/0/0.png")
             assert status == 200 and fresh.startswith(PNG_SIGNATURE)

@@ -1,0 +1,306 @@
+"""Tests for spatial sharding (repro.serve.sharding).
+
+The load-bearing property: a dataset served as K kd-tree shards is
+indistinguishable from the unsharded dataset at the API surface —
+τ masks are bit-identical and ε tiles satisfy the same
+``|F_hat - F| <= eps*F + atol`` envelope against ground truth, for
+K in {1, 2, 4} and across kernels. Plus the mechanics underneath:
+deterministic balanced partitions, rendezvous tile→shard routing,
+coreset-δ folding across shards, and append invalidation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_density
+from repro.errors import InvalidParameterError
+from repro.serve import (
+    RenderConfig,
+    ServiceConfig,
+    ShardingConfig,
+    TileService,
+)
+from repro.serve.sharding import (
+    ShardedDatasetEntry,
+    ShardedDatasetRegistry,
+    kd_partition,
+    rendezvous_shard,
+    tile_extent_key,
+)
+
+PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+TILES = [(0, 0, 0), (1, 1, 0), (2, 3, 2)]
+
+
+def _service(shards: int, *, tile_px: int = 16, eps: float = 0.1) -> TileService:
+    return TileService(
+        config=ServiceConfig(
+            render=RenderConfig(
+                tile_px=tile_px, eps=eps, workers=1, deadline_ms=None
+            ),
+            sharding=ShardingConfig(shards=shards, min_points_per_shard=1),
+        )
+    )
+
+
+def _tau_between_density_levels(service: TileService, dataset: str) -> float:
+    """A τ that no pixel's density ties exactly (midpoint of two levels)."""
+    plan = service.plan_tile(dataset, 0, 0, 0)
+    centers = np.asarray(plan.resolved.grid.centers())
+    renderer = service.registry.get(dataset).renderer
+    values = np.unique(
+        np.asarray(
+            exact_density(
+                renderer.points,
+                centers,
+                renderer.kernel,
+                renderer.gamma,
+                renderer.weight,
+            )
+        )
+    )
+    positive = values[values > 0]
+    assert positive.size >= 2
+    middle = positive.size // 2
+    return float((positive[middle - 1] + positive[middle]) / 2.0)
+
+
+class TestKdPartition:
+    def test_disjoint_union_and_balance(self, small_points):
+        n = small_points.shape[0]
+        for k in (1, 2, 3, 4, 7):
+            parts = kd_partition(small_points, k)
+            assert len(parts) == k
+            merged = np.sort(np.concatenate(parts))
+            np.testing.assert_array_equal(merged, np.arange(n))
+            sizes = [part.size for part in parts]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self, small_points):
+        first = kd_partition(small_points, 4)
+        second = kd_partition(small_points, 4)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_splits_are_spatial(self, small_points):
+        # A 2-way split separates the halves along the widest dimension:
+        # every left point sits at or below every right point there.
+        left, right = kd_partition(small_points, 2)
+        spans = small_points.max(axis=0) - small_points.min(axis=0)
+        dim = int(np.argmax(spans))
+        assert small_points[left, dim].max() <= small_points[right, dim].min()
+
+    def test_validates_inputs(self, small_points):
+        with pytest.raises(InvalidParameterError):
+            kd_partition(small_points, 0)
+        with pytest.raises(InvalidParameterError):
+            kd_partition(small_points[:3], 5)
+
+
+class TestRendezvousRouting:
+    def test_deterministic_and_in_range(self, small_points):
+        svc = _service(4)
+        try:
+            svc.registry.register("crime", small_points)
+            for tile in TILES:
+                first = svc.plan_tile("crime", *tile)
+                second = svc.plan_tile("crime", *tile)
+                assert first.home_shard == second.home_shard
+                assert 0 <= first.home_shard < 4
+                assert first.breaker_id == f"crime#s{first.home_shard}"
+        finally:
+            svc.close()
+
+    def test_single_shard_routes_to_zero(self):
+        assert rendezvous_shard("crime", 1, "anything") == 0
+
+    def test_spreads_over_shards(self, small_points):
+        svc = _service(4)
+        try:
+            svc.registry.register("crime", small_points)
+            homes = set()
+            for z in (2, 3):
+                for x in range(2**z):
+                    for y in range(2**z):
+                        homes.add(svc.plan_tile("crime", z, x, y).home_shard)
+            assert homes == {0, 1, 2, 3}
+        finally:
+            svc.close()
+
+    def test_extent_key_distinguishes_tiles(self, small_points):
+        svc = _service(2)
+        try:
+            svc.registry.register("crime", small_points)
+            keys = {
+                tile_extent_key(svc.plan_tile("crime", *tile).resolved.grid)
+                for tile in TILES
+            }
+            assert len(keys) == len(TILES)
+        finally:
+            svc.close()
+
+
+class TestShardedEqualsUnsharded:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("kernel", ["gaussian", "epanechnikov"])
+    def test_tau_masks_bit_identical(self, small_points, shards, kernel):
+        baseline = _service(1)
+        sharded = _service(shards)
+        try:
+            baseline.registry.register("crime", small_points, kernel=kernel)
+            sharded.registry.register("crime", small_points, kernel=kernel)
+            entry = sharded.registry.get("crime")
+            if shards > 1:
+                assert isinstance(entry, ShardedDatasetEntry)
+                assert entry.shard_count == shards
+            tau = _tau_between_density_levels(baseline, "crime")
+            for tile in TILES:
+                expected, _ = baseline.get_tile("crime", *tile, tau=tau)
+                actual, _ = sharded.get_tile("crime", *tile, tau=tau)
+                assert expected.startswith(PNG_SIGNATURE)
+                assert actual == expected, f"τ tile {tile} differs at K={shards}"
+        finally:
+            baseline.close()
+            sharded.close()
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("kernel", ["gaussian", "epanechnikov"])
+    def test_eps_tiles_stay_in_envelope(self, small_points, shards, kernel):
+        eps = 0.1
+        svc = _service(shards, eps=eps)
+        try:
+            svc.registry.register("crime", small_points, kernel=kernel)
+            renderer = svc.registry.get("crime").renderer
+            for tile in TILES:
+                plan = svc.plan_tile("crime", *tile)
+                values = np.asarray(svc._compute_values(plan)).ravel()
+                centers = np.asarray(plan.resolved.grid.centers())
+                truth = np.asarray(
+                    exact_density(
+                        renderer.points,
+                        centers,
+                        renderer.kernel,
+                        renderer.gamma,
+                        renderer.weight,
+                    )
+                ).ravel()
+                atol = float(plan.resolved.atol)
+                slack = eps * truth + atol + 1e-12
+                assert np.all(np.abs(values - truth) <= slack), (
+                    f"ε envelope violated on tile {tile} at K={shards}"
+                )
+        finally:
+            svc.close()
+
+    def test_small_dataset_clamps_to_monolithic(self, small_points):
+        svc = TileService(
+            config=ServiceConfig(
+                render=RenderConfig(tile_px=16, workers=1, deadline_ms=None),
+                sharding=ShardingConfig(shards=8, min_points_per_shard=400),
+            )
+        )
+        try:
+            entry = svc.registry.register("crime", small_points)
+            # 600 points // 400 per shard -> 1 effective shard: a plain entry
+            assert not isinstance(entry, ShardedDatasetEntry)
+            plan = svc.plan_tile("crime", 0, 0, 0)
+            assert plan.shards == 1
+            assert plan.breaker_id == "crime"
+        finally:
+            svc.close()
+
+
+class TestCoresetFolding:
+    def test_low_zoom_tiles_fold_shard_deltas_into_eps(self, small_points):
+        eps = 0.1
+        svc = _service(2, eps=eps)
+        try:
+            svc.registry.register(
+                "crime",
+                small_points,
+                coreset_zoom=2,
+                coreset_delta_cap=0.01,
+                leaf_size=32,
+            )
+            plan = svc.plan_tile("crime", 0, 0, 0)
+            assert plan.resolved.tier == "coreset-z0"
+            assert plan.tier_delta_z is not None and plan.tier_delta_z > 0.0
+            # the guarantee is against the FULL dataset's density, with
+            # the summed per-shard coreset error folded into ε
+            values = np.asarray(svc._compute_values(plan)).ravel()
+            renderer = svc.registry.get("crime").renderer
+            truth = np.asarray(
+                exact_density(
+                    renderer.points,
+                    np.asarray(plan.resolved.grid.centers()),
+                    renderer.kernel,
+                    renderer.gamma,
+                    renderer.weight,
+                )
+            ).ravel()
+            slack = eps * truth + float(plan.resolved.atol) + 1e-12
+            assert np.all(np.abs(values - truth) <= slack)
+        finally:
+            svc.close()
+
+
+class TestAppendInvalidation:
+    def test_append_rebuilds_shards_and_invalidates_tiles(self, small_points, rng):
+        svc = _service(2)
+        try:
+            entry = svc.registry.register("crime", small_points)
+            before_version = entry.version
+            before_png, before_info = svc.get_tile("crime", 0, 0, 0)
+            assert before_info["cache"] == "miss"
+
+            extra = small_points[:64] + rng.normal(scale=0.3, size=(64, 2))
+            svc.registry.append("crime", extra)
+
+            assert entry.version == before_version + 1
+            assert entry.points.shape[0] == small_points.shape[0] + 64
+            assert entry.shard_count == 2
+            # shard point counts cover the merged dataset exactly
+            snapshot = entry.as_dict()["sharding"]
+            assert snapshot["shards"] == 2
+            assert sum(s["n"] for s in snapshot["per_shard"]) == entry.points.shape[0]
+
+            after_png, after_info = svc.get_tile("crime", 0, 0, 0)
+            assert after_info["cache"] == "miss"  # versioned keys: no stale hit
+            assert after_png != before_png
+        finally:
+            svc.close()
+
+
+class TestObservability:
+    def test_readiness_reports_per_shard_breakers(self, small_points):
+        svc = _service(2)
+        try:
+            svc.registry.register("crime", small_points)
+            ready = svc.readiness()
+            assert ready["status"] == "ready"
+            crime = ready["datasets"]["crime"]
+            assert crime["shards"] == 2
+            assert crime["breakers"] == {"crime#s0": "closed", "crime#s1": "closed"}
+        finally:
+            svc.close()
+
+    def test_stats_exposes_sharding_config(self, small_points):
+        svc = _service(2)
+        try:
+            svc.registry.register("crime", small_points)
+            config = svc.stats()["config"]
+            assert config["sharding"] == {"shards": 2, "min_points_per_shard": 1}
+        finally:
+            svc.close()
+
+    def test_registry_effective_shards(self):
+        registry = ShardedDatasetRegistry(default_shards=4, min_points_per_shard=100)
+        assert registry.effective_shards(1000, None) == 4
+        assert registry.effective_shards(250, None) == 2
+        assert registry.effective_shards(50, None) == 1
+        assert registry.effective_shards(1000, 2) == 2
+        with pytest.raises(InvalidParameterError):
+            registry.effective_shards(1000, 0)

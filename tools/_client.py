@@ -1,0 +1,132 @@
+"""Shared HTTP-client plumbing for the serving tools.
+
+Both ``tools/serve_smoke.py`` and ``tools/loadgen.py`` talk to the tile
+server over real HTTP and apply the same well-formedness contract to
+every response. That contract lives here, once:
+
+* a 200 must carry a PNG body; a degraded 200 must carry
+  ``Cache-Control: no-store`` and a ``Warning`` header;
+* any non-200 must be a structured JSON error with ``status`` /
+  ``code`` / ``message`` fields; 503/504 must carry ``Retry-After``.
+
+``fetch`` is the blocking urllib fetcher (run it in an executor from
+async code); ``http_get`` is a from-scratch asyncio GET for callers
+that need thousands of concurrent in-flight requests without a thread
+per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PNG_SIGNATURE", "Response", "check_wellformed", "fetch", "http_get"]
+
+PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+# (status, headers, body) — the shape every client helper returns.
+Response = Tuple[int, Dict[str, str], bytes]
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def fetch(url: str, timeout: float = 120.0) -> Response:
+    """Blocking GET returning ``(status, headers, body)``.
+
+    HTTP error statuses are returned, not raised, so callers can apply
+    the well-formedness contract to 4xx/5xx bodies too.
+    """
+    try:
+        response = urllib.request.urlopen(url, timeout=timeout)
+        return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+async def http_get(
+    host: str, port: int, path: str, timeout: float = 120.0
+) -> Response:
+    """Asyncio GET against ``http://host:port``; returns ``(status, headers, body)``.
+
+    Speaks just enough HTTP/1.1 for the tile server: one request per
+    connection (``Connection: close``), Content-Length or read-to-EOF
+    bodies. No thread is consumed while the request is in flight, so a
+    load generator can hold thousands of concurrent requests open.
+    """
+
+    async def _go() -> Response:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            request = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(request.encode("ascii"))
+            await writer.drain()
+
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1", "replace").split(" ", 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"malformed status line: {status_line!r}")
+            status = int(parts[1])
+
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1", "replace").partition(":")
+                headers[name.strip()] = value.strip()
+
+            length = headers.get("Content-Length")
+            if length is not None and length.isdigit():
+                body = await reader.readexactly(int(length))
+            else:
+                body = await reader.read(_MAX_BODY_BYTES)
+            return status, headers, body
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # lint: allow-silent-except
+                pass  # peer already gone; the response is complete
+
+    return await asyncio.wait_for(_go(), timeout=timeout)
+
+
+def check_wellformed(
+    status: int, headers: Dict[str, str], body: bytes
+) -> Optional[str]:
+    """Validate one tile response; return a violation message or ``None``.
+
+    Encodes the server's on-the-wire contract: a 200 is a PNG (degraded
+    200s additionally carry no-store + Warning), anything else is a
+    structured JSON error, and backpressure statuses advertise
+    ``Retry-After``.
+    """
+    if status == 200:
+        if not body.startswith(PNG_SIGNATURE):
+            return "200 body is not a PNG"
+        if headers.get("X-Repro-Degraded"):
+            if headers.get("Cache-Control") != "no-store":
+                return "degraded 200 missing Cache-Control: no-store"
+            if "Warning" not in headers:
+                return "degraded 200 missing Warning header"
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return f"status {status} body is not JSON: {body[:120]!r}"
+    if not isinstance(payload, dict):
+        return f"status {status} error JSON is not an object: {payload!r}"
+    for field in ("status", "code", "message"):
+        if field not in payload:
+            return f"status {status} error JSON missing {field!r}: {payload!r}"
+    if status in (503, 504) and "Retry-After" not in headers:
+        return f"status {status} missing Retry-After header"
+    return None

@@ -240,10 +240,12 @@ def _coreset_pyramid(
     user-visible first-tile latency.
     """
     from repro.data.synthetic import load_dataset
-    from repro.serve.service import ServiceConfig, TileService
+    from repro.serve.service import RenderConfig, ServiceConfig, TileService
 
     points = load_dataset(dataset, n=n, seed=seed)
-    config = ServiceConfig(tile_px=tile_px, eps=eps, deadline_ms=None, workers=1)
+    config = ServiceConfig(
+        render=RenderConfig(tile_px=tile_px, eps=eps, deadline_ms=None, workers=1)
+    )
 
     def timed_register(service: TileService, **kwargs: Any) -> float:
         start = time.perf_counter()

@@ -63,6 +63,14 @@ that keep that contract auditable:
     ``RenderOptions.backend`` selection. The dispatch targets and the
     deliberate backend-independent scalar paths carry
     ``# lint: allow-backend-dispatch``.
+``shim-import``
+    No ``repro.compat`` imports inside ``src/`` (outside the shim
+    module itself). ``repro.compat`` exists for *external* callers
+    migrating off the legacy surface; internal code importing it makes
+    the deprecated names load-bearing and un-removable. The blessed
+    exceptions (the package root's ``QuadKernelDensity`` re-export and
+    the historical ``kernel_normaliser`` alias) carry
+    ``# lint: allow-shim-import``.
 
 False positives are suppressed with an inline marker on the same or the
 preceding line::
@@ -555,7 +563,42 @@ def _check_bare_except(
         )
 
 
+_SHIM_MODULE = "repro.compat"
+
+
+def _check_shim_import(
+    path: Path, tree: ast.Module, markers: dict[int, set[str]]
+) -> Iterator[Violation]:
+    if path.name == "compat.py" and "repro" in path.parts:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if not (module == _SHIM_MODULE or module.startswith(_SHIM_MODULE + ".")):
+                continue
+        elif isinstance(node, ast.Import):
+            if not any(
+                alias.name == _SHIM_MODULE
+                or alias.name.startswith(_SHIM_MODULE + ".")
+                for alias in node.names
+            ):
+                continue
+        else:
+            continue
+        if _suppressed(markers, node.lineno, "shim-import"):
+            continue
+        yield Violation(
+            path,
+            node.lineno,
+            "shim-import",
+            "internal import of the repro.compat shim keeps deprecated names "
+            "load-bearing; import the canonical home instead (or mark a "
+            "blessed re-export with '# lint: allow-shim-import')",
+        )
+
+
 _CHECKS = (
+    _check_shim_import,
     _check_float_eq,
     _check_unclipped_exp,
     _check_dtype_required,

@@ -39,13 +39,15 @@ import json
 import os
 import sys
 import time
-import urllib.error
-import urllib.request
 from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _client import PNG_SIGNATURE, check_wellformed  # noqa: E402
+from _client import fetch as _fetch  # noqa: E402
 
 __all__ = ["main"]
 
-PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
 TILES: List[Tuple[int, int, int]] = [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 0, 1), (1, 1, 1)]
 MIN_HIT_RATE = 0.9
 MIN_SPEEDUP = 10.0
@@ -65,14 +67,6 @@ RECOVERY_ATTEMPTS = 40
 RECOVERY_SLEEP_S = 0.25
 
 
-def _fetch(url: str) -> Tuple[int, Dict[str, str], bytes]:
-    try:
-        response = urllib.request.urlopen(url, timeout=120)
-        return response.status, dict(response.headers), response.read()
-    except urllib.error.HTTPError as error:
-        return error.code, dict(error.headers), error.read()
-
-
 def _fail(message: str) -> None:
     print(f"FAIL: {message}", file=sys.stderr)
     raise SystemExit(1)
@@ -80,10 +74,12 @@ def _fail(message: str) -> None:
 
 async def _run_cache() -> None:
     from repro.data.synthetic import load_dataset
-    from repro.serve import ServiceConfig, TileServer, TileService
+    from repro.serve import RenderConfig, ServiceConfig, TileServer, TileService
 
     service = TileService(
-        config=ServiceConfig(tile_px=TILE_PX, eps=0.05, workers=2)
+        config=ServiceConfig(
+            render=RenderConfig(tile_px=TILE_PX, eps=0.05, workers=2)
+        )
     )
     service.registry.register(DATASET, load_dataset(DATASET, n=N_POINTS, seed=0))
     server = await TileServer(service, port=0).start()
@@ -152,41 +148,33 @@ def _check_wellformed(
 ) -> None:
     """Every on-the-wire response must be a PNG 200 or a structured error."""
     z, x, y = tile
-    if status == 200:
-        if not body.startswith(PNG_SIGNATURE):
-            _fail(f"{label}: tile {z}/{x}/{y} returned 200 but body is not a PNG")
-        if headers.get("X-Repro-Degraded"):
-            if headers.get("Cache-Control") != "no-store":
-                _fail(f"{label}: degraded tile {z}/{x}/{y} missing Cache-Control: no-store")
-            if "Warning" not in headers:
-                _fail(f"{label}: degraded tile {z}/{x}/{y} missing Warning header")
-        return
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError):
-        _fail(f"{label}: tile {z}/{x}/{y} status {status} body is not JSON: {body[:120]!r}")
-        return
-    for field in ("status", "code", "message"):
-        if field not in payload:
-            _fail(f"{label}: tile {z}/{x}/{y} error JSON missing {field!r}: {payload!r}")
-    if status in (503, 504) and "Retry-After" not in headers:
-        _fail(f"{label}: tile {z}/{x}/{y} status {status} missing Retry-After header")
+    violation = check_wellformed(status, headers, body)
+    if violation is not None:
+        _fail(f"{label}: tile {z}/{x}/{y}: {violation}")
 
 
 async def _run_chaos() -> None:
     from repro.data.synthetic import load_dataset
-    from repro.serve import ServiceConfig, TileServer, TileService
+    from repro.serve import (
+        RenderConfig,
+        ResilienceConfig,
+        ServiceConfig,
+        TileServer,
+        TileService,
+    )
     from repro.visual.executors import pool_supervision_totals
 
     os.environ.pop("REPRO_FAULTS", None)
     service = TileService(
         config=ServiceConfig(
-            tile_px=CHAOS_TILE_PX,
-            eps=0.05,
-            workers=4,
-            render_workers=2,
-            executor="process",
-            breaker_reset_s=0.5,
+            render=RenderConfig(
+                tile_px=CHAOS_TILE_PX,
+                eps=0.05,
+                workers=4,
+                render_workers=2,
+                executor="process",
+            ),
+            resilience=ResilienceConfig(breaker_reset_s=0.5),
         )
     )
     service.registry.register(DATASET, load_dataset(DATASET, n=CHAOS_N_POINTS, seed=0))
